@@ -1,0 +1,118 @@
+// Command lsbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	lsbench [flags] <experiment>...
+//	lsbench [flags] all
+//
+// Experiments: table1, fig1, fig2, fig3, fig4a, fig4b, fig5, fig6, fig7,
+// fig8. By default runs at reduced scale (8k rows, 30 trials); -full runs
+// at the paper's dataset sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		rows    = flag.Int("rows", 0, "dataset rows (0 = harness default 8000)")
+		trials  = flag.Int("trials", 0, "trials per distribution (0 = default 30)")
+		seed    = flag.Uint64("seed", 1, "root random seed")
+		dataset = flag.String("dataset", "", "restrict to one dataset (sports|neighbors)")
+		fracs   = flag.String("fracs", "", "comma-separated sample fractions (default 0.01,0.02)")
+		csvOut  = flag.String("csv", "", "also write results as CSV to this file (one block per experiment)")
+		full    = flag.Bool("full", false, "paper scale: full dataset sizes and 100 trials")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lsbench [flags] <experiment>...|all\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experiment.IDs(), ", "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiment.Options{
+		Rows:    *rows,
+		Trials:  *trials,
+		Seed:    *seed,
+		Dataset: *dataset,
+	}
+	if *full {
+		opts.Rows = paperRows(*dataset)
+		if opts.Trials == 0 {
+			opts.Trials = 100
+		}
+	}
+	if *fracs != "" {
+		for _, tok := range strings.Split(*fracs, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil || f <= 0 || f > 1 {
+				fatalf("bad -fracs entry %q", tok)
+			}
+			opts.SampleFracs = append(opts.SampleFracs, f)
+		}
+	}
+
+	ids := flag.Args()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiment.IDs()
+	}
+
+	var csvFile *os.File
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatalf("creating %s: %v", *csvOut, err)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	for _, id := range ids {
+		t0 := time.Now()
+		rep, err := experiment.Run(id, opts)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		rep.Notes = append(rep.Notes, fmt.Sprintf("elapsed %v", time.Since(t0).Round(time.Millisecond)))
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fatalf("writing %s: %v", id, err)
+		}
+		if csvFile != nil {
+			fmt.Fprintf(csvFile, "# %s: %s\n", rep.ID, rep.Title)
+			if err := rep.WriteCSV(csvFile); err != nil {
+				fatalf("writing CSV for %s: %v", id, err)
+			}
+			fmt.Fprintln(csvFile)
+		}
+	}
+}
+
+// paperRows returns the paper's dataset size; with both datasets in play the
+// harness builds each at its own paper scale, so 0 suffices there.
+func paperRows(dataset string) int {
+	switch dataset {
+	case "sports":
+		return 47000
+	case "neighbors":
+		return 73000
+	default:
+		return 47000 // mixed runs: a single size keeps runtime bounded
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lsbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Command lscount runs one count estimation on a calibrated workload and
+// prints the estimate, confidence interval, true count, and cost breakdown.
+//
+// Usage:
+//
+//	lscount -dataset neighbors -size S -method lss -budget 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		ds        = flag.String("dataset", "neighbors", "dataset: sports or neighbors")
+		rows      = flag.Int("rows", 8000, "dataset rows (0 = paper scale)")
+		sizeStr   = flag.String("size", "S", "result-size regime: XS S M L XL XXL")
+		method    = flag.String("method", "lss", "estimator: srs ssp ssn lws lss qlcc qlac oracle")
+		budget    = flag.Float64("budget", 0.02, "labeling budget as a fraction of N")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		clfName   = flag.String("classifier", "rf", "classifier for learned methods: rf knn nn random")
+		strata    = flag.Int("strata", 4, "strata for stratified methods")
+		expensive = flag.Bool("expensive", false, "use the real O(N)-per-eval predicate instead of cached labels")
+	)
+	flag.Parse()
+
+	sz, err := workload.ParseSize(*sizeStr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	suite, err := workload.Build(*ds, *rows, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	in := suite.Instances[sz]
+
+	var newClf core.NewClassifierFunc
+	switch *clfName {
+	case "rf":
+		newClf = core.DefaultForest
+	case "knn":
+		newClf = func(uint64) learn.Classifier { return learn.NewKNN(5) }
+	case "nn":
+		newClf = func(s uint64) learn.Classifier { return learn.NewMLP(s) }
+	case "random":
+		newClf = func(s uint64) learn.Classifier { return learn.NewDummy(s) }
+	default:
+		fatalf("unknown classifier %q", *clfName)
+	}
+
+	var m core.Method
+	switch *method {
+	case "srs":
+		m = &core.SRS{}
+	case "ssp":
+		m = &core.SSP{Strata: *strata}
+	case "ssn":
+		m = &core.SSN{Strata: *strata}
+	case "lws":
+		m = &core.LWS{NewClassifier: newClf}
+	case "lss":
+		m = &core.LSS{NewClassifier: newClf, Strata: *strata}
+	case "qlcc":
+		m = &core.QLCC{NewClassifier: newClf}
+	case "qlac":
+		m = &core.QLAC{NewClassifier: newClf}
+	case "oracle":
+		m = core.Oracle{}
+	default:
+		fatalf("unknown method %q", *method)
+	}
+
+	obj := in.Objects()
+	if *expensive {
+		obj = in.ExpensiveObjects()
+	}
+	b := int(math.Round(*budget * float64(in.N())))
+	if b < 10 {
+		b = 10
+	}
+	res, err := m.Estimate(obj, b, xrand.New(*seed))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("dataset     %s (N=%d)\n", *ds, in.N())
+	fmt.Printf("query       %s\n", describe(in))
+	fmt.Printf("regime      %s (target %.0f%%, actual %.1f%%)\n", sz, in.Target*100, in.Selectivity*100)
+	fmt.Printf("method      %s\n", res.Method)
+	fmt.Printf("budget      %d q-evaluations (%.2f%% of N)\n", b, 100*float64(b)/float64(in.N()))
+	fmt.Printf("estimate    %.1f\n", res.Estimate)
+	if res.HasCI {
+		fmt.Printf("95%% CI      [%.1f, %.1f]\n", res.CI.Lo, res.CI.Hi)
+	} else {
+		fmt.Printf("95%% CI      (none: quantification learning gives no interval)\n")
+	}
+	fmt.Printf("true count  %d\n", in.TrueCount)
+	rel := math.Abs(res.Estimate-float64(in.TrueCount)) / math.Max(1, float64(in.TrueCount))
+	fmt.Printf("rel. error  %.2f%%\n", rel*100)
+	fmt.Printf("evals used  %d\n", res.Evals)
+	tm := res.Timing
+	fmt.Printf("timing      learn=%v design=%v sample=%v predicate=%v overhead=%v\n",
+		tm.Learn.Round(time.Microsecond), tm.Design.Round(time.Microsecond),
+		tm.Sample.Round(time.Microsecond), tm.Predicate.Round(time.Microsecond),
+		tm.Overhead().Round(time.Microsecond))
+}
+
+func describe(in *workload.Instance) string {
+	if in.Dataset == "sports" {
+		return fmt.Sprintf("k-skyband membership over (strikeouts, wins), k=%d (Example 2)", in.K)
+	}
+	return fmt.Sprintf("≤%d neighbors within d=%.3f over (f0, f1) (Example 1)", in.K, in.D)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lscount: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Walenz, Sintos, Roy, Yang. "Learning to Sample: Counting with Complex
+//	Queries." PVLDB 12, 2019 (arXiv:1906.09335).
+//
+// The library estimates the count of objects satisfying an expensive
+// predicate — correlated aggregate subqueries, join conditions, or
+// user-defined functions — by training a cheap classifier on a labeled
+// sample and using its scores to design a sampling scheme: Learned Weighted
+// Sampling (PPS + Des Raj estimator) and Learned Stratified Sampling
+// (score-ordered strata with jointly optimized stratification and
+// allocation). Estimates stay unbiased with valid confidence intervals even
+// when the classifier is poor.
+//
+// Package layout (all implementation under internal/):
+//
+//	internal/core        the paper's methods: SRS, SSP, SSN, QLCC, QLAC, LWS, LSS
+//	internal/stratify    stratification designers: DirSol, LogBdr, DynPgm, DynPgmP
+//	internal/estimate    proportion/stratified/Des Raj estimators, allocations
+//	internal/learn       kNN, decision tree, random forest, MLP, logistic, dummy
+//	internal/quantify    Classify-and-Count, Adjusted Count
+//	internal/active      uncertainty-sampling augmentation
+//	internal/sample      SRS, stratified draws, Fenwick-backed PPS w/o replacement
+//	internal/sql         lexer/parser/AST for the paper's SQL subset
+//	internal/engine      naive executor + the §2 Q1→(Q2, Q3) decomposition
+//	internal/predicate   expensive-predicate instances with cost accounting
+//	internal/dataset     typed tables, CSV I/O, synthetic dataset generators
+//	internal/geom        kd-tree, Fenwick tree, dominance counting
+//	internal/stats       descriptive stats, normal/t quantiles, intervals
+//	internal/workload    calibrated instances for the paper's six regimes
+//	internal/experiment  drivers regenerating Table 1 and Figures 1–8
+//	internal/xrand       deterministic xoshiro256** randomness
+//
+// Binaries: cmd/lscount (single estimation) and cmd/lsbench (regenerate any
+// paper table/figure). Runnable walkthroughs live under examples/.
+//
+// The benchmarks in bench_test.go regenerate each table and figure at
+// reduced scale; see EXPERIMENTS.md for paper-versus-measured results.
+package repro

@@ -1,0 +1,72 @@
+// Quickstart: estimate the count of objects satisfying an expensive
+// predicate using Learned Stratified Sampling, against plain random
+// sampling, on a synthetic population.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/predicate"
+	"repro/internal/xrand"
+)
+
+func main() {
+	// A population of 20,000 objects with two features. The "expensive"
+	// predicate accepts objects inside an ellipse — imagine a correlated
+	// subquery or UDF costing milliseconds per call.
+	const n = 20000
+	r := xrand.New(7)
+	features := make([][]float64, n)
+	for i := range features {
+		features[i] = []float64{r.Float64()*4 - 2, r.Float64()*4 - 2}
+	}
+	q := predicate.NewFunc(func(i int) bool {
+		x, y := features[i][0], features[i][1]
+		return x*x/2.2+y*y/0.7 <= 1
+	})
+	obj, err := core.NewObjectSet(features, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth := 0
+	for i := 0; i < n; i++ {
+		if q.Eval(i) {
+			truth++
+		}
+	}
+	q.ResetCount()
+	fmt.Printf("population N = %d, true count = %d (%.1f%%)\n\n", n, truth, 100*float64(truth)/n)
+
+	// Budget: label only 2% of the population.
+	budget := n / 50
+	methods := []core.Method{
+		&core.SRS{},
+		&core.LWS{NewClassifier: func(s uint64) learn.Classifier { return learn.NewRandomForest(50, s) }},
+		&core.LSS{NewClassifier: func(s uint64) learn.Classifier { return learn.NewRandomForest(50, s) }},
+	}
+	fmt.Printf("%-6s  %10s  %22s  %8s\n", "method", "estimate", "95% CI", "error")
+	for _, m := range methods {
+		res, err := m.Estimate(obj, budget, xrand.New(42))
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 100 * abs(res.Estimate-float64(truth)) / float64(truth)
+		fmt.Printf("%-6s  %10.1f  [%8.1f, %8.1f]  %7.2f%%\n",
+			res.Method, res.Estimate, res.CI.Lo, res.CI.Hi, errPct)
+	}
+	fmt.Printf("\neach method spent exactly %d predicate evaluations (%.1f%% of N)\n",
+		budget, 100*float64(budget)/n)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/stratify"
+	"repro/internal/xrand"
+)
+
+func TestGridStrataPartition(t *testing.T) {
+	obj, _ := syntheticInstance(1000, 1.0, 40)
+	pools, err := gridStrata(obj, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every object appears in exactly one pool.
+	seen := make(map[int]bool)
+	total := 0
+	for _, p := range pools {
+		for _, i := range p {
+			if seen[i] {
+				t.Fatalf("object %d in two strata", i)
+			}
+			seen[i] = true
+		}
+		total += len(p)
+	}
+	if total != obj.N() {
+		t.Fatalf("strata cover %d of %d objects", total, obj.N())
+	}
+	// A 2×2 grid on continuous attributes yields 4 non-empty cells.
+	if len(pools) != 4 {
+		t.Fatalf("pools = %d, want 4", len(pools))
+	}
+}
+
+func TestGridStrataOneAttribute(t *testing.T) {
+	obj, _ := syntheticInstance(500, 1.0, 41)
+	pools, err := gridStrata(obj, []int{0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pools) != 5 {
+		t.Fatalf("1-d pools = %d, want 5", len(pools))
+	}
+}
+
+func TestGridStrataBadAttribute(t *testing.T) {
+	obj, _ := syntheticInstance(100, 1.0, 42)
+	if _, err := gridStrata(obj, []int{7}, 4); err == nil {
+		t.Fatal("out-of-range attribute should error")
+	}
+}
+
+func TestSSNAllocatesMoreToMixedStrata(t *testing.T) {
+	// Population where one grid quadrant is mixed and the rest are pure:
+	// Neyman should outperform proportional in spread.
+	r := xrand.New(43)
+	n := 4000
+	features := make([][]float64, n)
+	labels := make([]bool, n)
+	truth := 0
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		y := r.Float64()
+		features[i] = []float64{x, y}
+		// Mixed only when x > 0.5 && y > 0.5; otherwise negative.
+		if x > 0.5 && y > 0.5 {
+			labels[i] = r.Bool(0.5)
+		}
+		if labels[i] {
+			truth++
+		}
+	}
+	obj, err := NewObjectSet(features, labelsPred(labels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials, budget = 80, 800
+	collect := func(m Method) []float64 {
+		rr := xrand.New(44)
+		ests := make([]float64, trials)
+		for i := range ests {
+			res, err := m.Estimate(obj, budget, rr.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests[i] = res.Estimate
+		}
+		return ests
+	}
+	ssn := collect(&SSN{Strata: 4})
+	ssp := collect(&SSP{Strata: 4})
+	// Neyman concentrates budget on the one mixed quadrant, so its spread
+	// must come out below proportional allocation's.
+	if stats.StdDev(ssn) >= stats.StdDev(ssp) {
+		t.Fatalf("SSN sd %v should beat SSP sd %v on a concentrated predicate",
+			stats.StdDev(ssn), stats.StdDev(ssp))
+	}
+	mean := stats.Mean(ssn)
+	if math.Abs(mean-float64(truth)) > 0.2*float64(truth) {
+		t.Fatalf("SSN mean %v vs truth %d", mean, truth)
+	}
+}
+
+func TestLSSConstraintsOverride(t *testing.T) {
+	obj, _ := syntheticInstance(2000, 1.2, 45)
+	m := &LSS{
+		NewClassifier: knnSpec,
+		Constraints:   &stratify.Constraints{MinStratumSize: 50, MinPilotPerStratum: 3},
+	}
+	if _, err := m.Estimate(obj, 300, xrand.New(46)); err != nil {
+		t.Fatal(err)
+	}
+	// Impossible constraints: the designer fails, and LSS falls back to the
+	// equal-count layout instead of erroring.
+	m.Constraints = &stratify.Constraints{MinStratumSize: 1900, MinPilotPerStratum: 3}
+	if _, err := m.Estimate(obj, 300, xrand.New(47)); err != nil {
+		t.Fatalf("infeasible constraints should fall back, got %v", err)
+	}
+}
+
+func TestOrderByScoreDeterministicTies(t *testing.T) {
+	restIdx := []int{5, 3, 9, 1}
+	scores := []float64{0.5, 0.5, 0.1, 0.5}
+	orderByScore(restIdx, scores)
+	if restIdx[0] != 9 {
+		t.Fatalf("lowest score should come first: %v", restIdx)
+	}
+	// Ties broken by object index ascending.
+	if restIdx[1] != 1 || restIdx[2] != 3 || restIdx[3] != 5 {
+		t.Fatalf("tie-break order wrong: %v", restIdx)
+	}
+}
+
+func TestLearnPhaseErrors(t *testing.T) {
+	obj, _ := syntheticInstance(100, 1.0, 48)
+	r := xrand.New(49)
+	if _, _, _, err := runLearnPhase(obj, obj.Pred, 10, learnOptions{}, r); err == nil {
+		t.Fatal("nil classifier constructor should error")
+	}
+	if _, _, _, err := runLearnPhase(obj, obj.Pred, 1, learnOptions{newClf: knnSpec}, r); err == nil {
+		t.Fatal("tiny learn budget should error")
+	}
+}
+
+// labelsPred adapts a label vector without importing predicate in the test.
+type labelsAdapter struct {
+	labels []bool
+	n      int64
+}
+
+func labelsPred(labels []bool) *labelsAdapter { return &labelsAdapter{labels: labels} }
+
+func (l *labelsAdapter) Eval(i int) bool {
+	l.n++
+	return l.labels[i]
+}
+func (l *labelsAdapter) Evals() int64 { return l.n }
+func (l *labelsAdapter) ResetCount()  { l.n = 0 }

@@ -1,0 +1,166 @@
+// Package core implements the paper's estimation methods behind a single
+// Method interface: the sampling baselines SRS, SSP, and SSN (§3.1), the
+// quantification-learning baselines QLCC and QLAC (§3.2), and the paper's
+// contributions — Learned Weighted Sampling (§4.1) and Learned Stratified
+// Sampling (§4.2).
+//
+// Every method spends a labeling budget: a maximum number of evaluations of
+// the expensive predicate q. Sampling-based methods return estimates with
+// confidence intervals; quantification methods return point estimates only,
+// which is exactly the trade the paper studies.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/learn"
+	"repro/internal/predicate"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// ObjectSet is one instance of the §2 problem: N objects enumerable by
+// index, a feature vector per object (the attributes referenced by q, per
+// the paper's feature-selection heuristic), and the expensive predicate.
+type ObjectSet struct {
+	Features [][]float64
+	Pred     predicate.Predicate
+}
+
+// NewObjectSet validates and bundles a problem instance.
+func NewObjectSet(features [][]float64, pred predicate.Predicate) (*ObjectSet, error) {
+	if len(features) == 0 {
+		return nil, fmt.Errorf("core: empty object set")
+	}
+	if pred == nil {
+		return nil, fmt.Errorf("core: nil predicate")
+	}
+	d := len(features[0])
+	for i, f := range features {
+		if len(f) != d {
+			return nil, fmt.Errorf("core: object %d has %d features, want %d", i, len(f), d)
+		}
+	}
+	return &ObjectSet{Features: features, Pred: pred}, nil
+}
+
+// N returns the number of objects.
+func (o *ObjectSet) N() int { return len(o.Features) }
+
+// Timing breaks an estimation run into the paper's Figure 3 phases.
+// Overhead is everything that is not predicate evaluation.
+type Timing struct {
+	Learn     time.Duration // P1 learning: sampling, labeling, training, scoring
+	Design    time.Duration // P1 sample design: variance estimates + strata layout
+	Sample    time.Duration // P2: sampling, iteration, estimation
+	Predicate time.Duration // total time inside q (across all phases)
+}
+
+// Total returns the wall time of all phases.
+func (t Timing) Total() time.Duration { return t.Learn + t.Design + t.Sample }
+
+// Overhead returns non-labeling time: Total − Predicate.
+func (t Timing) Overhead() time.Duration {
+	ov := t.Total() - t.Predicate
+	if ov < 0 {
+		return 0
+	}
+	return ov
+}
+
+// Result is the outcome of one estimation run.
+type Result struct {
+	Method   string
+	Estimate float64        // estimated count C(O, q)
+	CI       stats.Interval // count interval; meaningful only if HasCI
+	HasCI    bool
+	Evals    int64 // predicate evaluations spent
+	Timing   Timing
+}
+
+// Method estimates C(O, q) within a labeling budget.
+type Method interface {
+	Name() string
+	// Estimate runs one estimation spending at most budget evaluations of
+	// obj.Pred, drawing randomness from r.
+	Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error)
+}
+
+// NewClassifierFunc builds a fresh classifier for a given seed; methods
+// derive per-run seeds from their *xrand.Rand so that repeated trials are
+// independent yet reproducible.
+type NewClassifierFunc func(seed uint64) learn.Classifier
+
+// DefaultForest is the paper's default classifier: a random forest with 100
+// trees.
+func DefaultForest(seed uint64) learn.Classifier { return learn.NewRandomForest(100, seed) }
+
+// timedPred wraps a predicate, accumulating the wall time spent inside q so
+// Timing can separate labeling cost from overhead.
+type timedPred struct {
+	p   predicate.Predicate
+	dur time.Duration
+}
+
+func (tp *timedPred) Eval(i int) bool {
+	t0 := time.Now()
+	v := tp.p.Eval(i)
+	tp.dur += time.Since(t0)
+	return v
+}
+
+func (tp *timedPred) Evals() int64 { return tp.p.Evals() }
+func (tp *timedPred) ResetCount()  { tp.p.ResetCount() }
+
+// checkBudget validates common preconditions.
+func checkBudget(obj *ObjectSet, budget int) error {
+	if budget < 1 {
+		return fmt.Errorf("core: budget %d < 1", budget)
+	}
+	if budget > obj.N() {
+		return fmt.Errorf("core: budget %d exceeds population %d", budget, obj.N())
+	}
+	return nil
+}
+
+// countPositives tallies true labels.
+func countPositives(labels []bool) int {
+	c := 0
+	for _, b := range labels {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// Oracle evaluates q on every object — the exact, expensive path. It
+// ignores the budget and is used for ground truth in tests and experiment
+// calibration.
+type Oracle struct{}
+
+// Name implements Method.
+func (Oracle) Name() string { return "oracle" }
+
+// Estimate evaluates the predicate exhaustively.
+func (Oracle) Estimate(obj *ObjectSet, _ int, _ *xrand.Rand) (*Result, error) {
+	tp := &timedPred{p: obj.Pred}
+	start := obj.Pred.Evals()
+	t0 := time.Now()
+	count := 0
+	for i := 0; i < obj.N(); i++ {
+		if tp.Eval(i) {
+			count++
+		}
+	}
+	c := float64(count)
+	return &Result{
+		Method:   "oracle",
+		Estimate: c,
+		CI:       stats.Interval{Lo: c, Hi: c},
+		HasCI:    true,
+		Evals:    obj.Pred.Evals() - start,
+		Timing:   Timing{Sample: time.Since(t0), Predicate: tp.dur},
+	}, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/active"
+	"repro/internal/learn"
+	"repro/internal/predicate"
+	"repro/internal/sample"
+	"repro/internal/xrand"
+)
+
+// learnOptions configures the shared first phase of the learned methods
+// (§4): draw and label SL, optionally augment by uncertainty sampling, and
+// train a classifier.
+type learnOptions struct {
+	newClf      NewClassifierFunc
+	augment     bool
+	augmentFrac float64 // fraction of the learn budget spent on augmentation
+	rounds      int     // augmentation rounds (default 1, per §3.2)
+	poolCap     int
+}
+
+func (o learnOptions) normalized() learnOptions {
+	if o.augmentFrac <= 0 || o.augmentFrac >= 1 {
+		o.augmentFrac = 0.1
+	}
+	if o.rounds <= 0 {
+		o.rounds = 1
+	}
+	return o
+}
+
+// runLearnPhase labels nLearn objects and trains a classifier on them.
+// It returns the classifier, the labeled indices SL, and their labels.
+func runLearnPhase(obj *ObjectSet, pred predicate.Predicate, nLearn int,
+	opt learnOptions, r *xrand.Rand) (learn.Classifier, []int, []bool, error) {
+
+	if opt.newClf == nil {
+		return nil, nil, nil, fmt.Errorf("core: nil classifier constructor")
+	}
+	if nLearn < 2 {
+		return nil, nil, nil, fmt.Errorf("core: learn budget %d too small", nLearn)
+	}
+	opt = opt.normalized()
+	factory := func() learn.Classifier { return opt.newClf(r.Uint64()) }
+
+	if opt.augment {
+		nAug := int(math.Round(opt.augmentFrac * float64(nLearn)))
+		if nAug >= nLearn {
+			nAug = nLearn / 2
+		}
+		perRound := nAug / opt.rounds
+		initial := nLearn - perRound*opt.rounds
+		if initial < 2 {
+			initial = 2
+		}
+		initIdx := sample.SRS(r, obj.N(), initial)
+		clf, idx, labels, err := active.Train(active.Config{
+			Factory: factory,
+			Rounds:  opt.rounds,
+			PoolCap: opt.poolCap,
+		}, obj.Features, pred, initIdx, perRound, r)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return clf, idx, labels, nil
+	}
+
+	idx := sample.SRS(r, obj.N(), nLearn)
+	labels := make([]bool, len(idx))
+	X := make([][]float64, len(idx))
+	for j, i := range idx {
+		labels[j] = pred.Eval(i)
+		X[j] = obj.Features[i]
+	}
+	clf := factory()
+	if err := clf.Fit(X, labels); err != nil {
+		return nil, nil, nil, err
+	}
+	return clf, idx, labels, nil
+}
+
+// scoreRest scores every object outside the labeled set and returns the
+// remaining object indices with their scores.
+func scoreRest(obj *ObjectSet, clf learn.Classifier, labeled []int) (restIdx []int, scores []float64) {
+	inSL := make(map[int]bool, len(labeled))
+	for _, i := range labeled {
+		inSL[i] = true
+	}
+	restIdx = make([]int, 0, obj.N()-len(labeled))
+	scores = make([]float64, 0, obj.N()-len(labeled))
+	for i := 0; i < obj.N(); i++ {
+		if inSL[i] {
+			continue
+		}
+		restIdx = append(restIdx, i)
+		scores = append(scores, clf.Score(obj.Features[i]))
+	}
+	return restIdx, scores
+}
+
+// orderByScore sorts rest indices (and scores) ascending by score, with
+// index tie-breaking for determinism.
+func orderByScore(restIdx []int, scores []float64) {
+	order := make([]int, len(restIdx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] < scores[order[b]]
+		}
+		return restIdx[order[a]] < restIdx[order[b]]
+	})
+	ni := make([]int, len(restIdx))
+	ns := make([]float64, len(scores))
+	for p, o := range order {
+		ni[p] = restIdx[o]
+		ns[p] = scores[o]
+	}
+	copy(restIdx, ni)
+	copy(scores, ns)
+}

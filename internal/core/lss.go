@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/estimate"
+	"repro/internal/sample"
+	"repro/internal/stats"
+	"repro/internal/stratify"
+	"repro/internal/xrand"
+)
+
+// Layout selects how LSS lays out strata over the score-ordered objects
+// (the §5.4.1 comparison).
+type Layout int
+
+// Layout values.
+const (
+	// LayoutOptimal uses the paper's variance-minimizing designers (§4.2.1).
+	LayoutOptimal Layout = iota
+	// LayoutFixedWidth divides the score range into even increments.
+	LayoutFixedWidth
+	// LayoutEqualCount gives every stratum the same number of objects
+	// (the paper's "fixed height").
+	LayoutEqualCount
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutOptimal:
+		return "optimal"
+	case LayoutFixedWidth:
+		return "fixed-width"
+	case LayoutEqualCount:
+		return "fixed-height"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
+
+// Allocation selects the second-stage allocation rule.
+type Allocation int
+
+// Allocation values.
+const (
+	// AllocNeyman allocates n_h ∝ N_h S_h (variance-minimizing).
+	AllocNeyman Allocation = iota
+	// AllocProportional allocates n_h ∝ N_h.
+	AllocProportional
+)
+
+func (a Allocation) String() string {
+	if a == AllocProportional {
+		return "proportional"
+	}
+	return "neyman"
+}
+
+// DesignAlgo selects the stratification-design algorithm for LayoutOptimal.
+type DesignAlgo int
+
+// DesignAlgo values.
+const (
+	// DesignAuto picks DirSol for H = 3, otherwise DynPgm (Neyman) or
+	// DynPgmP (proportional).
+	DesignAuto DesignAlgo = iota
+	// DesignDirSol forces the H = 3 closed-form designer.
+	DesignDirSol
+	// DesignLogBdr forces the partition-enumeration designer.
+	DesignLogBdr
+	// DesignDynPgm forces the Neyman dynamic program.
+	DesignDynPgm
+	// DesignDynPgmP forces the proportional dynamic program.
+	DesignDynPgmP
+)
+
+func (d DesignAlgo) String() string {
+	switch d {
+	case DesignAuto:
+		return "auto"
+	case DesignDirSol:
+		return "dirsol"
+	case DesignLogBdr:
+		return "logbdr"
+	case DesignDynPgm:
+		return "dynpgm"
+	case DesignDynPgmP:
+		return "dynpgmp"
+	}
+	return fmt.Sprintf("DesignAlgo(%d)", int(d))
+}
+
+// LSS is Learned Stratified Sampling (§4.2): order the unlabeled objects by
+// classifier score, draw a pilot SI, jointly design stratification and
+// allocation from the pilot, then draw the second-stage sample SII and form
+// the stratified estimate. LSS uses only the score ordering — not the score
+// values — so it degrades gracefully with classifier quality (§5.4.4).
+type LSS struct {
+	NewClassifier NewClassifierFunc
+	Alpha         float64 // 0 means 0.05
+	TrainFrac     float64 // budget fraction for phase 1; 0 means 0.25
+	PilotFrac     float64 // fraction of the sampling budget for SI; 0 means 0.3
+	Strata        int     // number of strata H; 0 means 4
+	Layout        Layout
+	Alloc         Allocation
+	Algo          DesignAlgo
+	MinAlloc      int // per-stratum second-stage minimum; 0 means 2
+	Augment       bool
+	AugmentFrac   float64
+	Rounds        int
+	PoolCap       int
+	// Constraints overrides the designer feasibility constraints; nil means
+	// scale-aware defaults.
+	Constraints *stratify.Constraints
+}
+
+// Name implements Method.
+func (m *LSS) Name() string { return "lss" }
+
+func (m *LSS) alpha() float64 {
+	if m.Alpha <= 0 {
+		return 0.05
+	}
+	return m.Alpha
+}
+
+func (m *LSS) trainFrac() float64 {
+	if m.TrainFrac <= 0 || m.TrainFrac >= 1 {
+		return 0.25
+	}
+	return m.TrainFrac
+}
+
+func (m *LSS) pilotFrac() float64 {
+	if m.PilotFrac <= 0 || m.PilotFrac >= 1 {
+		return 0.3
+	}
+	return m.PilotFrac
+}
+
+func (m *LSS) strata() int {
+	if m.Strata < 2 {
+		return 4
+	}
+	return m.Strata
+}
+
+func (m *LSS) minAlloc() int {
+	if m.MinAlloc <= 0 {
+		return 5
+	}
+	return m.MinAlloc
+}
+
+// constraintsFor builds feasibility constraints scaled to the instance.
+func (m *LSS) constraintsFor(M, mPilot, H int) stratify.Constraints {
+	if m.Constraints != nil {
+		return *m.Constraints
+	}
+	mq := mPilot / (3 * H)
+	if mq > 5 {
+		mq = 5
+	}
+	if mq < 2 {
+		mq = 2
+	}
+	nq := M / (5 * H)
+	if nq < 2 {
+		nq = 2
+	}
+	return stratify.Constraints{MinStratumSize: nq, MinPilotPerStratum: mq}
+}
+
+// design computes the stratification cuts for the ordered object set.
+func (m *LSS) design(pilot *stratify.Pilot, scores []float64, nII int) ([]int, error) {
+	H := m.strata()
+	switch m.Layout {
+	case LayoutFixedWidth:
+		return stratify.FixedWidth(scores, H), nil
+	case LayoutEqualCount:
+		return stratify.EqualCount(pilot.N, H), nil
+	}
+	c := m.constraintsFor(pilot.N, pilot.M(), H)
+	algo := m.Algo
+	if algo == DesignAuto {
+		switch {
+		case H == 3:
+			algo = DesignDirSol
+		case m.Alloc == AllocProportional:
+			algo = DesignDynPgmP
+		case H > 6:
+			// The Neyman DP costs O(|T|·H·|B|²); for many strata the
+			// separable proportional DP finds a near-identical layout at a
+			// fraction of the cost (allocation stays Neyman regardless).
+			algo = DesignDynPgmP
+		default:
+			algo = DesignDynPgm
+		}
+	}
+	var d *stratify.Design
+	var err error
+	switch algo {
+	case DesignDirSol:
+		if H != 3 {
+			return nil, fmt.Errorf("core: DirSol requires H=3, got %d", H)
+		}
+		d, err = stratify.DirSol(pilot, nII, c)
+	case DesignLogBdr:
+		d, err = stratify.LogBdr(pilot, H, nII, c)
+	case DesignDynPgm:
+		d, err = stratify.DynPgm(pilot, H, nII, c)
+	case DesignDynPgmP:
+		d, err = stratify.DynPgmP(pilot, H, nII, c)
+	default:
+		return nil, fmt.Errorf("core: unknown design algorithm %v", algo)
+	}
+	if err != nil {
+		// Infeasible optimal design (tiny pilots, extreme constraints):
+		// fall back to the equal-count layout rather than failing the run.
+		return stratify.EqualCount(pilot.N, H), nil
+	}
+	return d.Cuts, nil
+}
+
+// Estimate implements Method.
+func (m *LSS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+	if err := checkBudget(obj, budget); err != nil {
+		return nil, err
+	}
+	tp := &timedPred{p: obj.Pred}
+	start := obj.Pred.Evals()
+	newClf := m.NewClassifier
+	if newClf == nil {
+		newClf = DefaultForest
+	}
+
+	// Phase 1: learn and score.
+	t0 := time.Now()
+	nLearn := int(math.Round(m.trainFrac() * float64(budget)))
+	if nLearn < 2 {
+		nLearn = 2
+	}
+	if nLearn > budget-2 {
+		nLearn = budget - 2
+	}
+	if nLearn < 2 {
+		return nil, fmt.Errorf("core: budget %d too small for LSS", budget)
+	}
+	clf, SL, labels, err := runLearnPhase(obj, tp, nLearn, learnOptions{
+		newClf:      newClf,
+		augment:     m.Augment,
+		augmentFrac: m.AugmentFrac,
+		rounds:      m.Rounds,
+		poolCap:     m.PoolCap,
+	}, r)
+	if err != nil {
+		return nil, err
+	}
+	cs := countPositives(labels)
+	restIdx, scores := scoreRest(obj, clf, SL)
+	orderByScore(restIdx, scores)
+	M := len(restIdx)
+	learnDur := time.Since(t0)
+
+	// Phase 2, stage 1: pilot + design.
+	t1 := time.Now()
+	sampling := budget - len(SL)
+	nI := int(math.Round(m.pilotFrac() * float64(sampling)))
+	if nI < 2 {
+		nI = 2
+	}
+	if nI > sampling-1 {
+		nI = sampling - 1
+	}
+	nII := sampling - nI
+	if nI > M {
+		nI = M
+		nII = 0
+	}
+
+	pilotPos := sample.SRS(r, M, nI)
+	sort.Ints(pilotPos)
+	pilotQ := make([]bool, len(pilotPos))
+	for j, p := range pilotPos {
+		pilotQ[j] = tp.Eval(restIdx[p])
+	}
+	pilot, err := stratify.NewPilot(M, pilotPos, pilotQ)
+	if err != nil {
+		return nil, err
+	}
+	cuts, err := m.design(pilot, scores, maxInt(nII, 1))
+	if err != nil {
+		return nil, err
+	}
+	H := len(cuts) - 1
+
+	// Per-stratum pilot statistics for allocation. Allocation uses the
+	// Laplace-smoothed deviation so that strata whose pilot sample happens
+	// to be pure are not starved (footnote 1 of §3.1): a pilot that saw 5/5
+	// positives is consistent with a true proportion well below 1.
+	sizes := make([]int, H)
+	Sh := make([]float64, H)
+	for h := 0; h < H; h++ {
+		sizes[h] = cuts[h+1] - cuts[h]
+		mh, pos := pilot.StratumCounts(cuts[h], cuts[h+1])
+		Sh[h] = stratify.SmoothedStdDev(mh, pos)
+	}
+	// Second-stage pools exclude pilot positions.
+	inPilot := make(map[int]bool, len(pilotPos))
+	for _, p := range pilotPos {
+		inPilot[p] = true
+	}
+	pools := make([][]int, H)
+	poolSizes := make([]int, H)
+	for h := 0; h < H; h++ {
+		for p := cuts[h]; p < cuts[h+1]; p++ {
+			if !inPilot[p] {
+				pools[h] = append(pools[h], restIdx[p])
+			}
+		}
+		poolSizes[h] = len(pools[h])
+	}
+	var alloc []int
+	if m.Alloc == AllocProportional {
+		alloc = estimate.ProportionalAllocation(poolSizes, nII, m.minAlloc())
+	} else {
+		alloc = estimate.NeymanAllocation(poolSizes, Sh, nII, m.minAlloc())
+	}
+	designDur := time.Since(t1)
+
+	// Phase 2, stage 2: draw SII and estimate.
+	t2 := time.Now()
+	draws, err := sample.Stratified(r, pools, alloc)
+	if err != nil {
+		return nil, err
+	}
+	strata := make([]estimate.StratumSample, H)
+	for h, dset := range draws {
+		pos := 0
+		for _, i := range dset {
+			if tp.Eval(i) {
+				pos++
+			}
+		}
+		strata[h] = estimate.StratumSample{N: sizes[h], Sampled: len(dset), Positives: pos}
+	}
+	res, err := estimate.Stratified(strata, m.alpha())
+	if err != nil {
+		return nil, err
+	}
+	total := float64(cs) + res.Count
+	ci := stats.Interval{Lo: float64(cs) + res.CI.Lo, Hi: float64(cs) + res.CI.Hi}
+	return &Result{
+		Method:   m.Name(),
+		Estimate: total,
+		CI:       ci,
+		HasCI:    true,
+		Evals:    obj.Pred.Evals() - start,
+		Timing:   Timing{Learn: learnDur, Design: designDur, Sample: time.Since(t2), Predicate: tp.dur},
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

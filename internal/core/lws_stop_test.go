@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/learn"
+	"repro/internal/xrand"
+)
+
+func TestLWSEarlyStopSavesBudget(t *testing.T) {
+	obj, truth := syntheticInstance(4000, 1.2, 60)
+	// An oracle classifier makes the Des Raj running estimate converge
+	// almost immediately, so a loose stop width should end phase 2 well
+	// before the budget is exhausted.
+	m := &LWS{
+		NewClassifier: func(uint64) learn.Classifier { return &circleOracle{r2: 1.2 * 1.2} },
+		TrainFrac:     0.1,
+		StopRelWidth:  0.05,
+	}
+	res, err := m.Estimate(obj, 800, xrand.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals >= 800 {
+		t.Fatalf("early stop did not fire: spent %d of 800", res.Evals)
+	}
+	if res.Evals < 30 {
+		t.Fatalf("must take at least the minimum draws: %d", res.Evals)
+	}
+	rel := res.Estimate/float64(truth) - 1
+	if rel < -0.2 || rel > 0.2 {
+		t.Fatalf("early-stopped estimate %v vs truth %d", res.Estimate, truth)
+	}
+	// The achieved interval honors the requested width.
+	if res.CI.Width() > 0.05*float64(obj.N())+1 {
+		t.Fatalf("CI width %v exceeds requested", res.CI.Width())
+	}
+}
+
+func TestLWSNoStopWithoutTarget(t *testing.T) {
+	obj, _ := syntheticInstance(2000, 1.2, 62)
+	m := &LWS{NewClassifier: knnSpec}
+	res, err := m.Estimate(obj, 400, xrand.New(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 400 {
+		t.Fatalf("without a stop target the full budget must be spent: %d", res.Evals)
+	}
+}

@@ -1,0 +1,327 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sql"
+)
+
+// Stats accumulates work counters so experiments can report the cost of
+// "full" query evaluation versus sampled predicate evaluation.
+type Stats struct {
+	RowsScanned   int64 // rows produced by FROM enumeration
+	SubqueryRuns  int64 // scalar/EXISTS subquery executions
+	PredicateEval int64 // WHERE/HAVING evaluations
+}
+
+// Evaluator evaluates expressions and executes statements against a catalog.
+// Params supplies values for free identifiers (e.g. the paper's d and k
+// query parameters).
+type Evaluator struct {
+	Cat    Catalog
+	Params map[string]Value
+	Stats  Stats
+}
+
+// NewEvaluator returns an evaluator over cat with no parameters.
+func NewEvaluator(cat Catalog) *Evaluator {
+	return &Evaluator{Cat: cat, Params: make(map[string]Value)}
+}
+
+// SetParam sets a named parameter.
+func (ev *Evaluator) SetParam(name string, v Value) { ev.Params[name] = v }
+
+// aggEnv carries accumulated aggregate results during HAVING / projection
+// evaluation of a grouped query.
+type aggEnv map[*sql.FuncCall]Value
+
+// Eval evaluates a non-aggregate expression in the given scope.
+func (ev *Evaluator) Eval(e sql.Expr, sc *Scope) (Value, error) {
+	return ev.eval(e, sc, nil)
+}
+
+func (ev *Evaluator) eval(e sql.Expr, sc *Scope, aggs aggEnv) (Value, error) {
+	switch x := e.(type) {
+	case *sql.NumberLit:
+		if x.IsInt {
+			return IntVal(int64(x.Value)), nil
+		}
+		return FloatVal(x.Value), nil
+
+	case *sql.StringLit:
+		return StringVal(x.Value), nil
+
+	case *sql.ColumnRef:
+		v, ok, err := sc.resolve(x.Qualifier, x.Name)
+		if err != nil {
+			return Null, err
+		}
+		if ok {
+			return v, nil
+		}
+		if x.Qualifier == "" {
+			if pv, ok := ev.Params[x.Name]; ok {
+				return pv, nil
+			}
+		}
+		return Null, fmt.Errorf("engine: unresolved column %s", x.String())
+
+	case *sql.UnaryExpr:
+		v, err := ev.eval(x.X, sc, aggs)
+		if err != nil {
+			return Null, err
+		}
+		switch x.Op {
+		case "NOT":
+			b, err := v.AsBool()
+			if err != nil {
+				return Null, err
+			}
+			return BoolVal(!b), nil
+		case "-":
+			switch v.Kind {
+			case KInt:
+				return IntVal(-v.I), nil
+			case KFloat:
+				return FloatVal(-v.F), nil
+			default:
+				return Null, fmt.Errorf("engine: cannot negate %s", v)
+			}
+		}
+		return Null, fmt.Errorf("engine: unknown unary op %q", x.Op)
+
+	case *sql.BinaryExpr:
+		return ev.evalBinary(x, sc, aggs)
+
+	case *sql.FuncCall:
+		if isAggregate(x.Name) {
+			if aggs == nil {
+				return Null, fmt.Errorf("engine: aggregate %s outside grouped query", x.Name)
+			}
+			v, ok := aggs[x]
+			if !ok {
+				return Null, fmt.Errorf("engine: aggregate %s not accumulated", x.String())
+			}
+			return v, nil
+		}
+		return ev.evalScalarFunc(x, sc, aggs)
+
+	case *sql.SubqueryExpr:
+		ev.Stats.SubqueryRuns++
+		res, err := ev.Run(x.Query, sc)
+		if err != nil {
+			return Null, err
+		}
+		if x.Exists {
+			return BoolVal(len(res.Rows) > 0), nil
+		}
+		if len(res.Cols) != 1 {
+			return Null, fmt.Errorf("engine: scalar subquery has %d columns", len(res.Cols))
+		}
+		switch len(res.Rows) {
+		case 0:
+			return Null, nil
+		case 1:
+			return res.Rows[0][0], nil
+		default:
+			return Null, fmt.Errorf("engine: scalar subquery returned %d rows", len(res.Rows))
+		}
+	}
+	return Null, fmt.Errorf("engine: unsupported expression %T", e)
+}
+
+func (ev *Evaluator) evalBinary(x *sql.BinaryExpr, sc *Scope, aggs aggEnv) (Value, error) {
+	switch x.Op {
+	case "AND", "OR":
+		l, err := ev.eval(x.L, sc, aggs)
+		if err != nil {
+			return Null, err
+		}
+		lb, err := l.AsBool()
+		if err != nil {
+			return Null, err
+		}
+		// Short-circuit.
+		if x.Op == "AND" && !lb {
+			return BoolVal(false), nil
+		}
+		if x.Op == "OR" && lb {
+			return BoolVal(true), nil
+		}
+		r, err := ev.eval(x.R, sc, aggs)
+		if err != nil {
+			return Null, err
+		}
+		rb, err := r.AsBool()
+		if err != nil {
+			return Null, err
+		}
+		return BoolVal(rb), nil
+	}
+
+	l, err := ev.eval(x.L, sc, aggs)
+	if err != nil {
+		return Null, err
+	}
+	r, err := ev.eval(x.R, sc, aggs)
+	if err != nil {
+		return Null, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.Kind == KNull || r.Kind == KNull {
+			return BoolVal(false), nil
+		}
+		c, err := compare(l, r)
+		if err != nil {
+			return Null, err
+		}
+		switch x.Op {
+		case "=":
+			return BoolVal(c == 0), nil
+		case "<>":
+			return BoolVal(c != 0), nil
+		case "<":
+			return BoolVal(c < 0), nil
+		case "<=":
+			return BoolVal(c <= 0), nil
+		case ">":
+			return BoolVal(c > 0), nil
+		case ">=":
+			return BoolVal(c >= 0), nil
+		}
+	case "+", "-", "*", "/":
+		// Integer arithmetic stays integral except division.
+		if l.Kind == KInt && r.Kind == KInt && x.Op != "/" {
+			switch x.Op {
+			case "+":
+				return IntVal(l.I + r.I), nil
+			case "-":
+				return IntVal(l.I - r.I), nil
+			case "*":
+				return IntVal(l.I * r.I), nil
+			}
+		}
+		lf, err := l.AsFloat()
+		if err != nil {
+			return Null, err
+		}
+		rf, err := r.AsFloat()
+		if err != nil {
+			return Null, err
+		}
+		switch x.Op {
+		case "+":
+			return FloatVal(lf + rf), nil
+		case "-":
+			return FloatVal(lf - rf), nil
+		case "*":
+			return FloatVal(lf * rf), nil
+		case "/":
+			if rf == 0 {
+				return Null, fmt.Errorf("engine: division by zero")
+			}
+			return FloatVal(lf / rf), nil
+		}
+	}
+	return Null, fmt.Errorf("engine: unknown operator %q", x.Op)
+}
+
+func (ev *Evaluator) evalScalarFunc(x *sql.FuncCall, sc *Scope, aggs aggEnv) (Value, error) {
+	args := make([]float64, len(x.Args))
+	for i, a := range x.Args {
+		v, err := ev.eval(a, sc, aggs)
+		if err != nil {
+			return Null, err
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return Null, fmt.Errorf("engine: %s argument %d: %w", x.Name, i, err)
+		}
+		args[i] = f
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("engine: %s expects %d arguments, got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "SQRT":
+		if err := need(1); err != nil {
+			return Null, err
+		}
+		if args[0] < 0 {
+			return Null, fmt.Errorf("engine: SQRT of negative %v", args[0])
+		}
+		return FloatVal(math.Sqrt(args[0])), nil
+	case "POWER", "POW":
+		if err := need(2); err != nil {
+			return Null, err
+		}
+		return FloatVal(math.Pow(args[0], args[1])), nil
+	case "ABS":
+		if err := need(1); err != nil {
+			return Null, err
+		}
+		return FloatVal(math.Abs(args[0])), nil
+	case "FLOOR":
+		if err := need(1); err != nil {
+			return Null, err
+		}
+		return FloatVal(math.Floor(args[0])), nil
+	case "CEIL", "CEILING":
+		if err := need(1); err != nil {
+			return Null, err
+		}
+		return FloatVal(math.Ceil(args[0])), nil
+	case "LN":
+		if err := need(1); err != nil {
+			return Null, err
+		}
+		return FloatVal(math.Log(args[0])), nil
+	case "EXP":
+		if err := need(1); err != nil {
+			return Null, err
+		}
+		return FloatVal(math.Exp(args[0])), nil
+	case "LEAST":
+		if len(args) == 0 {
+			return Null, fmt.Errorf("engine: LEAST needs arguments")
+		}
+		m := args[0]
+		for _, a := range args[1:] {
+			m = math.Min(m, a)
+		}
+		return FloatVal(m), nil
+	case "GREATEST":
+		if len(args) == 0 {
+			return Null, fmt.Errorf("engine: GREATEST needs arguments")
+		}
+		m := args[0]
+		for _, a := range args[1:] {
+			m = math.Max(m, a)
+		}
+		return FloatVal(m), nil
+	}
+	return Null, fmt.Errorf("engine: unknown function %s", x.Name)
+}
+
+func isAggregate(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// collectAggregates gathers aggregate calls in e (not descending into
+// subqueries, whose aggregates belong to their own group context).
+func collectAggregates(e sql.Expr, out *[]*sql.FuncCall) {
+	sql.WalkExpr(e, func(x sql.Expr) {
+		if fc, ok := x.(*sql.FuncCall); ok && isAggregate(fc.Name) {
+			*out = append(*out, fc)
+		}
+	})
+}

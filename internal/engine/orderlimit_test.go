@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sql"
+)
+
+func valuesTable() *dataset.Table {
+	tb := dataset.New("t", dataset.Schema{
+		{Name: "grp", Kind: dataset.String},
+		{Name: "v", Kind: dataset.Float},
+	})
+	tb.MustAppendRow("b", 3.0)
+	tb.MustAppendRow("a", 1.0)
+	tb.MustAppendRow("c", 2.0)
+	tb.MustAppendRow("a", 5.0)
+	return tb
+}
+
+func TestOrderByColumn(t *testing.T) {
+	res := run(t, Catalog{"t": valuesTable()}, "SELECT grp, v FROM t ORDER BY v", nil)
+	want := []float64{1, 2, 3, 5}
+	for i, w := range want {
+		if res.Rows[i][1].F != w {
+			t.Fatalf("row %d = %v, want %v", i, res.Rows[i][1], w)
+		}
+	}
+}
+
+func TestOrderByDesc(t *testing.T) {
+	res := run(t, Catalog{"t": valuesTable()}, "SELECT v FROM t ORDER BY v DESC", nil)
+	want := []float64{5, 3, 2, 1}
+	for i, w := range want {
+		if res.Rows[i][0].F != w {
+			t.Fatalf("row %d = %v, want %v", i, res.Rows[i][0], w)
+		}
+	}
+}
+
+func TestOrderByMultiKey(t *testing.T) {
+	res := run(t, Catalog{"t": valuesTable()}, "SELECT grp, v FROM t ORDER BY grp ASC, v DESC", nil)
+	// Groups a(5,1), b(3), c(2).
+	wantGrp := []string{"a", "a", "b", "c"}
+	wantV := []float64{5, 1, 3, 2}
+	for i := range wantGrp {
+		if res.Rows[i][0].S != wantGrp[i] || res.Rows[i][1].F != wantV[i] {
+			t.Fatalf("row %d = %v", i, res.Rows[i])
+		}
+	}
+}
+
+func TestOrderByPosition(t *testing.T) {
+	res := run(t, Catalog{"t": valuesTable()}, "SELECT grp, v FROM t ORDER BY 2", nil)
+	if res.Rows[0][1].F != 1 || res.Rows[3][1].F != 5 {
+		t.Fatalf("positional order wrong: %v", res.Rows)
+	}
+}
+
+func TestOrderByAggregateAlias(t *testing.T) {
+	res := run(t, Catalog{"t": valuesTable()},
+		"SELECT grp, SUM(v) AS total FROM t GROUP BY grp ORDER BY total DESC", nil)
+	if res.Rows[0][0].S != "a" || res.Rows[0][1].F != 6 {
+		t.Fatalf("top group = %v", res.Rows[0])
+	}
+	if res.Rows[2][0].S != "c" {
+		t.Fatalf("bottom group = %v", res.Rows[2])
+	}
+}
+
+func TestLimit(t *testing.T) {
+	res := run(t, Catalog{"t": valuesTable()}, "SELECT v FROM t ORDER BY v LIMIT 2", nil)
+	if len(res.Rows) != 2 || res.Rows[0][0].F != 1 || res.Rows[1][0].F != 2 {
+		t.Fatalf("limit rows = %v", res.Rows)
+	}
+	res = run(t, Catalog{"t": valuesTable()}, "SELECT v FROM t LIMIT 0", nil)
+	if len(res.Rows) != 0 {
+		t.Fatalf("LIMIT 0 rows = %d", len(res.Rows))
+	}
+	res = run(t, Catalog{"t": valuesTable()}, "SELECT v FROM t LIMIT 100", nil)
+	if len(res.Rows) != 4 {
+		t.Fatalf("oversized limit rows = %d", len(res.Rows))
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	ev := NewEvaluator(Catalog{"t": valuesTable()})
+	for _, q := range []string{
+		"SELECT v FROM t ORDER BY nope",
+		"SELECT v FROM t ORDER BY 5",
+		"SELECT v FROM t ORDER BY v + 1",
+	} {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := ev.Run(stmt, nil); err == nil {
+			t.Fatalf("expected error for %q", q)
+		}
+	}
+}
+
+func TestOrderLimitParseErrors(t *testing.T) {
+	for _, q := range []string{
+		"SELECT v FROM t ORDER v",
+		"SELECT v FROM t LIMIT abc",
+		"SELECT v FROM t LIMIT 1.5",
+	} {
+		if _, err := sql.Parse(q); err == nil {
+			t.Fatalf("expected parse error for %q", q)
+		}
+	}
+}
+
+func TestOrderLimitRoundTrip(t *testing.T) {
+	q := "SELECT grp, SUM(v) AS total FROM t GROUP BY grp ORDER BY total DESC, grp LIMIT 3"
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := stmt.String()
+	stmt2, err := sql.Parse(rendered)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", rendered, err)
+	}
+	if stmt2.String() != rendered {
+		t.Fatalf("round trip unstable: %s vs %s", rendered, stmt2.String())
+	}
+	if !stmt2.HasLimit || stmt2.Limit != 3 || len(stmt2.OrderBy) != 2 || !stmt2.OrderBy[0].Desc {
+		t.Fatalf("order/limit lost: %+v", stmt2)
+	}
+}

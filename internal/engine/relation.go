@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Relation is a read-only rowset: either a base table or a materialized
+// intermediate result.
+type Relation interface {
+	NumRows() int
+	Columns() []string
+	ColIndex(name string) int
+	Value(row, col int) Value
+}
+
+// tableRel adapts a dataset.Table to Relation.
+type tableRel struct {
+	t    *dataset.Table
+	cols []string
+}
+
+// NewTableRelation wraps a dataset table as a Relation.
+func NewTableRelation(t *dataset.Table) Relation {
+	cols := make([]string, t.NumCols())
+	for i, c := range t.Schema() {
+		cols[i] = c.Name
+	}
+	return &tableRel{t: t, cols: cols}
+}
+
+func (r *tableRel) NumRows() int      { return r.t.NumRows() }
+func (r *tableRel) Columns() []string { return r.cols }
+func (r *tableRel) ColIndex(name string) int {
+	return r.t.ColIndex(name)
+}
+func (r *tableRel) Value(row, col int) Value {
+	switch r.t.Schema()[col].Kind {
+	case dataset.Float:
+		return FloatVal(r.t.Float(row, col))
+	case dataset.Int:
+		return IntVal(r.t.Int(row, col))
+	default:
+		return StringVal(r.t.Str(row, col))
+	}
+}
+
+// ResultSet is a fully materialized query result.
+type ResultSet struct {
+	Cols []string
+	Rows [][]Value
+}
+
+// NumRows returns the number of rows.
+func (r *ResultSet) NumRows() int { return len(r.Rows) }
+
+// Columns returns the output column names.
+func (r *ResultSet) Columns() []string { return r.Cols }
+
+// ColIndex returns the position of the named column, or -1.
+func (r *ResultSet) ColIndex(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns the value at (row, col).
+func (r *ResultSet) Value(row, col int) Value { return r.Rows[row][col] }
+
+// ScalarInt returns the single value of a 1×1 result as an int64
+// (useful for COUNT queries).
+func (r *ResultSet) ScalarInt() (int64, error) {
+	if len(r.Rows) != 1 || len(r.Cols) != 1 {
+		return 0, fmt.Errorf("engine: result is %dx%d, not scalar", len(r.Rows), len(r.Cols))
+	}
+	v := r.Rows[0][0]
+	switch v.Kind {
+	case KInt:
+		return v.I, nil
+	case KFloat:
+		return int64(v.F), nil
+	default:
+		return 0, fmt.Errorf("engine: scalar %s is not numeric", v)
+	}
+}
+
+// Catalog maps table names to base tables.
+type Catalog map[string]*dataset.Table
+
+// binding associates an alias with one current row of a relation.
+type binding struct {
+	name string
+	rel  Relation
+	row  int
+}
+
+// Scope is a chain of row bindings; inner scopes shadow outer ones, which is
+// how correlated subqueries see the outer query's current row.
+type Scope struct {
+	parent   *Scope
+	bindings []*binding
+}
+
+// NewScope returns a scope with parent as enclosing scope.
+func NewScope(parent *Scope) *Scope { return &Scope{parent: parent} }
+
+// Bind adds an alias binding and returns the binding handle so the executor
+// can advance its row cursor.
+func (s *Scope) Bind(name string, rel Relation) *binding {
+	b := &binding{name: name, rel: rel}
+	s.bindings = append(s.bindings, b)
+	return b
+}
+
+// BindRow adds an alias binding fixed at a specific row (used to bind the
+// decomposed object alias).
+func (s *Scope) BindRow(name string, rel Relation, row int) {
+	s.bindings = append(s.bindings, &binding{name: name, rel: rel, row: row})
+}
+
+// resolve finds the value of a (possibly qualified) column reference.
+func (s *Scope) resolve(qualifier, name string) (Value, bool, error) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if qualifier != "" {
+			for _, b := range sc.bindings {
+				if b.name == qualifier {
+					ci := b.rel.ColIndex(name)
+					if ci < 0 {
+						return Null, false, fmt.Errorf("engine: table %q has no column %q", qualifier, name)
+					}
+					return b.rel.Value(b.row, ci), true, nil
+				}
+			}
+			continue
+		}
+		// Unqualified: must be unique among bindings at this level.
+		var found *binding
+		ci := -1
+		for _, b := range sc.bindings {
+			if j := b.rel.ColIndex(name); j >= 0 {
+				if found != nil {
+					return Null, false, fmt.Errorf("engine: ambiguous column %q", name)
+				}
+				found, ci = b, j
+			}
+		}
+		if found != nil {
+			return found.rel.Value(found.row, ci), true, nil
+		}
+	}
+	return Null, false, nil
+}

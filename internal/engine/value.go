@@ -1,0 +1,159 @@
+// Package engine executes the SQL subset parsed by internal/sql over
+// internal/dataset tables. The executor is deliberately naive — nested-loop
+// joins, hash aggregation, full materialization — because the paper's
+// premise (§1) is that a generic system evaluates these counting queries as
+// nested loops, which is exactly the cost our sampling estimators avoid.
+//
+// The package also implements the §2 decomposition of a counting query (Q1)
+// into an object-enumeration query (Q2) and a per-object predicate (Q3),
+// which is how complex SQL becomes an instance of the C(O, q) problem.
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValueKind discriminates Value contents.
+type ValueKind int
+
+// Value kinds.
+const (
+	KNull ValueKind = iota
+	KBool
+	KInt
+	KFloat
+	KString
+)
+
+// Value is one SQL runtime value.
+type Value struct {
+	Kind ValueKind
+	B    bool
+	I    int64
+	F    float64
+	S    string
+}
+
+// Null, BoolVal, IntVal, FloatVal, StringVal construct values.
+var Null = Value{Kind: KNull}
+
+// BoolVal returns a boolean value.
+func BoolVal(b bool) Value { return Value{Kind: KBool, B: b} }
+
+// IntVal returns an integer value.
+func IntVal(i int64) Value { return Value{Kind: KInt, I: i} }
+
+// FloatVal returns a float value.
+func FloatVal(f float64) Value { return Value{Kind: KFloat, F: f} }
+
+// StringVal returns a string value.
+func StringVal(s string) Value { return Value{Kind: KString, S: s} }
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.Kind == KInt || v.Kind == KFloat }
+
+// AsFloat coerces a numeric value to float64.
+func (v Value) AsFloat() (float64, error) {
+	switch v.Kind {
+	case KInt:
+		return float64(v.I), nil
+	case KFloat:
+		return v.F, nil
+	default:
+		return 0, fmt.Errorf("engine: value %s is not numeric", v)
+	}
+}
+
+// AsBool returns the boolean content.
+func (v Value) AsBool() (bool, error) {
+	if v.Kind != KBool {
+		return false, fmt.Errorf("engine: value %s is not boolean", v)
+	}
+	return v.B, nil
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KNull:
+		return "NULL"
+	case KBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KString:
+		return "'" + v.S + "'"
+	}
+	return "?"
+}
+
+// key returns a string usable as a hash key for grouping / DISTINCT.
+func (v Value) key() string {
+	switch v.Kind {
+	case KNull:
+		return "n"
+	case KBool:
+		if v.B {
+			return "bt"
+		}
+		return "bf"
+	case KInt:
+		return "i" + strconv.FormatInt(v.I, 10)
+	case KFloat:
+		// Normalize integral floats so 2.0 groups with 2 consistently.
+		return "f" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KString:
+		return "s" + v.S
+	}
+	return "?"
+}
+
+// rowKey encodes a tuple of values for hashing.
+func rowKey(vals []Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		k := v.key()
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// compare returns -1, 0, +1 for a < b, a == b, a > b. Numerics compare
+// numerically (int/float mixed allowed); strings lexicographically;
+// booleans with false < true. Mixed incomparable kinds yield an error.
+func compare(a, b Value) (int, error) {
+	if a.IsNumeric() && b.IsNumeric() {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if a.Kind == KString && b.Kind == KString {
+		return strings.Compare(a.S, b.S), nil
+	}
+	if a.Kind == KBool && b.Kind == KBool {
+		switch {
+		case a.B == b.B:
+			return 0, nil
+		case !a.B:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: cannot compare %s with %s", a, b)
+}

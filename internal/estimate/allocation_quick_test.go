@@ -1,0 +1,108 @@
+package estimate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the allocation rules: whatever the inputs, allocations
+// must be feasible (0 ≤ n_h ≤ N_h) and exhaust the budget when capacity
+// allows.
+
+func decodeSizes(raw []uint8) []int {
+	if len(raw) == 0 {
+		return nil
+	}
+	if len(raw) > 8 {
+		raw = raw[:8]
+	}
+	sizes := make([]int, len(raw))
+	for i, v := range raw {
+		sizes[i] = int(v%200) + 1
+	}
+	return sizes
+}
+
+func feasible(alloc, sizes []int, n int) bool {
+	total := 0
+	capTotal := 0
+	for h, a := range alloc {
+		if a < 0 || a > sizes[h] {
+			return false
+		}
+		total += a
+		capTotal += sizes[h]
+	}
+	want := n
+	if capTotal < n {
+		want = capTotal
+	}
+	return total == want
+}
+
+func TestProportionalAllocationQuick(t *testing.T) {
+	f := func(raw []uint8, nRaw uint16, minRaw uint8) bool {
+		sizes := decodeSizes(raw)
+		if sizes == nil {
+			return true
+		}
+		n := int(nRaw % 2000)
+		minPer := int(minRaw % 10)
+		alloc := ProportionalAllocation(sizes, n, minPer)
+		return feasible(alloc, sizes, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeymanAllocationQuick(t *testing.T) {
+	f := func(raw []uint8, devs []uint8, nRaw uint16, minRaw uint8) bool {
+		sizes := decodeSizes(raw)
+		if sizes == nil {
+			return true
+		}
+		Sh := make([]float64, len(sizes))
+		for i := range Sh {
+			if i < len(devs) {
+				Sh[i] = float64(devs[i]%128) / 255
+			}
+		}
+		n := int(nRaw % 2000)
+		minPer := int(minRaw % 10)
+		alloc := NeymanAllocation(sizes, Sh, n, minPer)
+		return feasible(alloc, sizes, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDesRajRunningEstimateQuick(t *testing.T) {
+	// Running estimates must always stay finite and within [0, N] after
+	// clamping at the interval level.
+	f := func(qs []bool, pis []uint8) bool {
+		n := len(qs)
+		if n == 0 || n > 50 {
+			return true
+		}
+		d := NewDesRaj(1000)
+		for i, q := range qs {
+			pi := 0.001
+			if i < len(pis) {
+				pi = (float64(pis[i]) + 1) / 512
+			}
+			d.Add(q, pi)
+		}
+		res := d.Estimate(0.05)
+		if res.CI.Lo < 0 || res.CI.Hi > 1000 {
+			return false
+		}
+		return !isNaN(res.Count) && !isNaN(res.StdErr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isNaN(v float64) bool { return v != v }

@@ -1,0 +1,68 @@
+package estimate
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// HansenHurwitz is the classical estimator for PPS sampling *with*
+// replacement: each draw contributes q(o)/(N·π(o)), and the estimate is the
+// mean of the contributions. The paper's LWS uses the Des Raj estimator for
+// without-replacement draws (§4.1); Hansen-Hurwitz is provided as the
+// with-replacement ablation — simpler, but it revisits objects and so wastes
+// labeling budget when the effective sample rate is high.
+type HansenHurwitz struct {
+	n    int // population size N
+	vals []float64
+}
+
+// NewHansenHurwitz creates an estimator for a population of n objects.
+func NewHansenHurwitz(n int) *HansenHurwitz { return &HansenHurwitz{n: n} }
+
+// Add records a with-replacement draw: the predicate outcome and the draw
+// probability π(o) (normalized over the population).
+func (h *HansenHurwitz) Add(q bool, pi float64) {
+	v := 0.0
+	if q && pi > 0 {
+		v = 1 / (pi * float64(h.n))
+	}
+	h.vals = append(h.vals, v)
+}
+
+// Draws returns the number of draws recorded.
+func (h *HansenHurwitz) Draws() int { return len(h.vals) }
+
+// Estimate returns the current point estimate and confidence interval for
+// the count.
+func (h *HansenHurwitz) Estimate(alpha float64) Result {
+	n := len(h.vals)
+	if n == 0 {
+		return Result{CI: stats.Interval{Lo: 0, Hi: float64(h.n)}, Alpha: alpha}
+	}
+	phat := stats.Mean(h.vals)
+	varhat := 0.0
+	if n >= 2 {
+		varhat = stats.Variance(h.vals) / float64(n)
+	}
+	se := math.Sqrt(varhat)
+	df := n - 1
+	if df < 1 {
+		df = 1
+	}
+	iv := stats.TInterval(phat, se, df, alpha)
+	if iv.Lo < 0 {
+		iv.Lo = 0
+	}
+	if iv.Hi > 1 {
+		iv.Hi = 1
+	}
+	return Result{
+		Proportion:  phat,
+		Count:       phat * float64(h.n),
+		StdErr:      se,
+		CI:          iv.Scale(float64(h.n)),
+		Alpha:       alpha,
+		SamplesUsed: n,
+	}
+}

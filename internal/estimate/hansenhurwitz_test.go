@@ -1,0 +1,82 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sample"
+	"repro/internal/xrand"
+)
+
+func TestHansenHurwitzPerfectWeights(t *testing.T) {
+	// With draw probabilities exactly proportional to q, every contribution
+	// equals the true proportion.
+	N := 200
+	positives := 50
+	h := NewHansenHurwitz(N)
+	for i := 0; i < 30; i++ {
+		h.Add(true, 1.0/float64(positives))
+	}
+	est := h.Estimate(0.05)
+	if math.Abs(est.Count-float64(positives)) > 1e-9 {
+		t.Fatalf("count = %v, want %d", est.Count, positives)
+	}
+	if est.StdErr > 1e-12 {
+		t.Fatalf("stderr = %v, want 0", est.StdErr)
+	}
+	if h.Draws() != 30 {
+		t.Fatalf("Draws = %d", h.Draws())
+	}
+}
+
+func TestHansenHurwitzUnbiased(t *testing.T) {
+	r := xrand.New(1)
+	N := 300
+	labels := make([]bool, N)
+	weights := make([]float64, N)
+	truth := 0
+	for i := range labels {
+		labels[i] = r.Bool(0.25)
+		if labels[i] {
+			truth++
+			weights[i] = 0.5 + r.Float64()
+		} else {
+			weights[i] = 0.05 + 0.3*r.Float64()
+		}
+	}
+	w, err := sample.NewWithReplacement(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials, draws = 500, 50
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		h := NewHansenHurwitz(N)
+		for i := 0; i < draws; i++ {
+			j := w.Draw(r)
+			h.Add(labels[j], w.Prob(j))
+		}
+		sum += h.Estimate(0.05).Count
+	}
+	mean := sum / trials
+	if math.Abs(mean-float64(truth)) > 0.08*float64(truth) {
+		t.Fatalf("mean HH estimate %v vs truth %d", mean, truth)
+	}
+}
+
+func TestHansenHurwitzEmpty(t *testing.T) {
+	h := NewHansenHurwitz(40)
+	est := h.Estimate(0.05)
+	if est.CI.Lo != 0 || est.CI.Hi != 40 {
+		t.Fatalf("empty HH CI = %v", est.CI)
+	}
+}
+
+func TestHansenHurwitzZeroProbGuard(t *testing.T) {
+	h := NewHansenHurwitz(10)
+	h.Add(true, 0)
+	est := h.Estimate(0.05)
+	if math.IsNaN(est.Count) || math.IsInf(est.Count, 0) {
+		t.Fatalf("estimate = %v", est.Count)
+	}
+}

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblateDesignersSmall(t *testing.T) {
+	o := Options{Rows: 1500, Trials: 2, Seed: 5, SampleFracs: []float64{0.08}, Dataset: "neighbors"}
+	rep, err := AblateDesigners(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 sizes × 7 algorithms.
+	if len(rep.Rows) != 21 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Within each size, DirSol (exact for H=3) must not be beaten by the
+	// other H=3 designers (they optimize the same objective over subsets of
+	// its search space).
+	byAlgo := map[string]map[string]float64{}
+	for _, row := range rep.Rows {
+		size, algo, vStr := row[1], row[2], row[5]
+		if vStr == "infeasible" {
+			continue
+		}
+		h := row[3]
+		v, err := strconv.ParseFloat(vStr, 64)
+		if err != nil {
+			t.Fatalf("bad V cell %q", vStr)
+		}
+		if byAlgo[size] == nil {
+			byAlgo[size] = map[string]float64{}
+		}
+		byAlgo[size][algo+"/"+h] = v
+	}
+	for size, vs := range byAlgo {
+		dirsol, ok1 := vs["dirsol/3"]
+		logbdr, ok2 := vs["logbdr/3"]
+		if ok1 && ok2 && dirsol > logbdr*1.01+1e-9 {
+			t.Fatalf("%s: DirSol V=%v worse than LogBdr V=%v", size, dirsol, logbdr)
+		}
+	}
+}
+
+func TestAblateLWSSmall(t *testing.T) {
+	o := Options{Rows: 1500, Trials: 3, Seed: 6, SampleFracs: []float64{0.05}, Dataset: "neighbors"}
+	rep, err := AblateLWS(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 frac × 3 sizes × 5 variants.
+	if len(rep.Rows) != 15 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	sawHH := false
+	for _, row := range rep.Rows {
+		if strings.Contains(row[0], "hansen") {
+			sawHH = true
+		}
+	}
+	if !sawHH {
+		t.Fatal("missing hansen-hurwitz variant")
+	}
+}

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Options scale an experiment run. Zero values mean reduced defaults
+// suitable for interactive runs; cmd/lsbench -full switches to paper scale.
+type Options struct {
+	Rows        int       // dataset rows; 0 means 8000 (paper scale: 47000/73000)
+	Trials      int       // trials per distribution; 0 means 30
+	Seed        uint64    // root seed; 0 means 1
+	SampleFracs []float64 // labeling budgets as fraction of N; nil means {0.01, 0.02}
+	Dataset     string    // "sports", "neighbors", or "" (both where applicable)
+}
+
+func (o Options) rows() int {
+	if o.Rows <= 0 {
+		return 8000
+	}
+	return o.Rows
+}
+
+func (o Options) trials() int {
+	if o.Trials <= 0 {
+		return 30
+	}
+	return o.Trials
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) fracs() []float64 {
+	if len(o.SampleFracs) == 0 {
+		return []float64{0.01, 0.02}
+	}
+	return o.SampleFracs
+}
+
+func (o Options) datasets() []string {
+	if o.Dataset != "" {
+		return []string{o.Dataset}
+	}
+	return []string{"neighbors", "sports"}
+}
+
+// buildSuite constructs a workload suite under the options.
+func (o Options) buildSuite(name string) (*workload.Suite, error) {
+	return workload.Build(name, o.rows(), o.seed())
+}
+
+// Dist is the estimate distribution of one method on one instance.
+type Dist struct {
+	Method    string
+	Estimates []float64
+	Truth     int
+	Summary   stats.Summary
+	MeanEvals float64
+}
+
+// RelIQR is the interquartile range normalized by the true count (the
+// comparison statistic used throughout §5).
+func (d *Dist) RelIQR() float64 {
+	if d.Truth == 0 {
+		return d.Summary.IQR
+	}
+	return d.Summary.IQR / float64(d.Truth)
+}
+
+// RelMedianErr is |median − truth| / truth.
+func (d *Dist) RelMedianErr() float64 {
+	if d.Truth == 0 {
+		return math.Abs(d.Summary.Median)
+	}
+	return math.Abs(d.Summary.Median-float64(d.Truth)) / float64(d.Truth)
+}
+
+// RunDist runs trials independent estimations and summarizes the estimate
+// distribution. Each trial draws a fresh sub-stream from the root seed and
+// an independent predicate counter.
+func RunDist(m core.Method, in *workload.Instance, budget, trials int, seed uint64) (*Dist, error) {
+	if budget < 4 {
+		budget = 4
+	}
+	r := xrand.New(seed)
+	ests := make([]float64, 0, trials)
+	var evals int64
+	for t := 0; t < trials; t++ {
+		obj := in.Objects()
+		res, err := m.Estimate(obj, budget, r.Split())
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s trial %d: %w", m.Name(), t, err)
+		}
+		ests = append(ests, res.Estimate)
+		evals += res.Evals
+	}
+	return &Dist{
+		Method:    m.Name(),
+		Estimates: ests,
+		Truth:     in.TrueCount,
+		Summary:   stats.Summarize(ests),
+		MeanEvals: float64(evals) / float64(trials),
+	}, nil
+}
+
+// Classifier constructors used across the figures.
+func forestClf(seed uint64) learn.Classifier { return learn.NewRandomForest(100, seed) }
+func knnClf(uint64) learn.Classifier         { return learn.NewKNN(5) }
+func mlpClf(seed uint64) learn.Classifier    { return learn.NewMLP(seed) }
+func dummyClf(seed uint64) learn.Classifier  { return learn.NewDummy(seed) }
+
+// defaultLSS is the paper's default LSS configuration: RF(100), 25% train
+// split, 4 strata.
+func defaultLSS() *core.LSS {
+	return &core.LSS{NewClassifier: forestClf, TrainFrac: 0.25, Strata: 4}
+}
+
+// defaultLWS mirrors the LSS configuration for weighted sampling.
+func defaultLWS() *core.LWS {
+	return &core.LWS{NewClassifier: forestClf, TrainFrac: 0.25}
+}
+
+// budgetFor converts a sample fraction into a labeling budget.
+func budgetFor(in *workload.Instance, frac float64) int {
+	b := int(math.Round(frac * float64(in.N())))
+	if b < 20 {
+		b = 20
+	}
+	if b > in.N() {
+		b = in.N()
+	}
+	return b
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }

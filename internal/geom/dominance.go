@@ -1,0 +1,106 @@
+package geom
+
+import "sort"
+
+// Point2 is a point in the plane, as used by the skyband workload.
+type Point2 struct {
+	X, Y float64
+}
+
+// DominanceCounts returns, for every point, the number of other points that
+// dominate it under the paper's Example 2 semantics: p dominates o iff
+// p.X ≥ o.X ∧ p.Y ≥ o.Y ∧ (p.X > o.X ∨ p.Y > o.Y). Coordinate-identical
+// points do not dominate each other.
+//
+// The k-skyband of the point set is exactly {o : DominanceCounts[o] < k}.
+// Runs in O(N log N) via a descending-x sweep with a Fenwick tree over
+// y-ranks, versus the O(N²) nested-loop join a generic engine would use.
+func DominanceCounts(pts []Point2) []int {
+	n := len(pts)
+	counts := make([]int, n)
+	if n == 0 {
+		return counts
+	}
+
+	// Rank-compress y values.
+	ys := make([]float64, n)
+	for i, p := range pts {
+		ys[i] = p.Y
+	}
+	sort.Float64s(ys)
+	ys = dedupFloats(ys)
+	yRank := func(y float64) int { return sort.SearchFloat64s(ys, y) }
+
+	// Count coordinate-identical duplicates (each group of size g contributes
+	// g "weak dominators" that are not true dominators, including self).
+	type key struct{ x, y float64 }
+	eq := make(map[key]int, n)
+	for _, p := range pts {
+		eq[key{p.X, p.Y}]++
+	}
+
+	// Sweep points in descending x; process equal-x groups atomically:
+	// insert the whole group, then query, so points with equal x count as
+	// weak dominators of each other.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pts[order[a]].X > pts[order[b]].X })
+
+	bit := NewFenwick(len(ys))
+	for start := 0; start < n; {
+		end := start
+		for end < n && pts[order[end]].X == pts[order[start]].X {
+			end++
+		}
+		for _, i := range order[start:end] {
+			bit.Add(yRank(pts[i].Y), 1)
+		}
+		for _, i := range order[start:end] {
+			p := pts[i]
+			weak := bit.SuffixSum(yRank(p.Y)) // inserted points with y ≥ p.Y
+			counts[i] = weak - eq[key{p.X, p.Y}]
+		}
+		start = end
+	}
+	return counts
+}
+
+// SkybandSize returns |{o : o is dominated by fewer than k points}|.
+func SkybandSize(pts []Point2, k int) int {
+	cnt := 0
+	for _, c := range DominanceCounts(pts) {
+		if c < k {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// DominanceCountsNaive is the O(N²) reference implementation used by tests
+// and by the deliberately slow engine path.
+func DominanceCountsNaive(pts []Point2) []int {
+	counts := make([]int, len(pts))
+	for i, o := range pts {
+		for j, p := range pts {
+			if i == j {
+				continue
+			}
+			if p.X >= o.X && p.Y >= o.Y && (p.X > o.X || p.Y > o.Y) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+func dedupFloats(s []float64) []float64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

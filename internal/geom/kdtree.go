@@ -1,0 +1,248 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// KDTree is a k-dimensional tree over a fixed point set, supporting
+// count-within-radius queries (the "neighbors" predicate of Example 1) and
+// k-nearest-neighbor queries (the kNN classifier).
+type KDTree struct {
+	pts   [][]float64 // original points, indexed by external index
+	dim   int
+	nodes []kdNode
+	root  int
+}
+
+type kdNode struct {
+	idx         int // index into pts
+	axis        int
+	left, right int // node indices, -1 if none
+	size        int // number of points in this subtree
+	// bounding box of the subtree
+	min, max []float64
+}
+
+// NewKDTree builds a balanced k-d tree over pts. All points must share the
+// same dimensionality. Building is O(n log n) expected via median-of-medians
+// style partitioning (we use sort-based median selection per level).
+func NewKDTree(pts [][]float64) *KDTree {
+	t := &KDTree{pts: pts}
+	if len(pts) == 0 {
+		t.root = -1
+		return t
+	}
+	t.dim = len(pts[0])
+	idxs := make([]int, len(pts))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.root = t.build(idxs, 0)
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+func (t *KDTree) build(idxs []int, depth int) int {
+	if len(idxs) == 0 {
+		return -1
+	}
+	axis := depth % t.dim
+	sort.Slice(idxs, func(a, b int) bool {
+		return t.pts[idxs[a]][axis] < t.pts[idxs[b]][axis]
+	})
+	mid := len(idxs) / 2
+	node := kdNode{
+		idx:  idxs[mid],
+		axis: axis,
+		size: len(idxs),
+		min:  make([]float64, t.dim),
+		max:  make([]float64, t.dim),
+	}
+	for d := 0; d < t.dim; d++ {
+		node.min[d] = math.Inf(1)
+		node.max[d] = math.Inf(-1)
+	}
+	for _, i := range idxs {
+		for d := 0; d < t.dim; d++ {
+			if v := t.pts[i][d]; v < node.min[d] {
+				node.min[d] = v
+			}
+			if v := t.pts[i][d]; v > node.max[d] {
+				node.max[d] = v
+			}
+		}
+	}
+	ni := len(t.nodes)
+	t.nodes = append(t.nodes, node)
+	left := t.build(idxs[:mid], depth+1)
+	right := t.build(idxs[mid+1:], depth+1)
+	t.nodes[ni].left = left
+	t.nodes[ni].right = right
+	return ni
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// minSqDistToBox returns the squared distance from q to the node's box.
+func (t *KDTree) minSqDistToBox(q []float64, n *kdNode) float64 {
+	s := 0.0
+	for d := 0; d < t.dim; d++ {
+		switch {
+		case q[d] < n.min[d]:
+			diff := n.min[d] - q[d]
+			s += diff * diff
+		case q[d] > n.max[d]:
+			diff := q[d] - n.max[d]
+			s += diff * diff
+		}
+	}
+	return s
+}
+
+// maxSqDistToBox returns the squared distance from q to the farthest corner
+// of the node's box (for whole-subtree inclusion tests).
+func (t *KDTree) maxSqDistToBox(q []float64, n *kdNode) float64 {
+	s := 0.0
+	for d := 0; d < t.dim; d++ {
+		lo := q[d] - n.min[d]
+		hi := n.max[d] - q[d]
+		m := math.Max(math.Abs(lo), math.Abs(hi))
+		s += m * m
+	}
+	return s
+}
+
+func (t *KDTree) subtreeSize(ni int) int {
+	if ni < 0 {
+		return 0
+	}
+	return t.nodes[ni].size
+}
+
+// CountWithin returns the number of indexed points p with ‖p − q‖ ≤ r
+// (closed ball, Euclidean). The query point itself counts if it is indexed.
+func (t *KDTree) CountWithin(q []float64, r float64) int {
+	if t.root < 0 || r < 0 {
+		return 0
+	}
+	return t.countWithin(t.root, q, r*r)
+}
+
+func (t *KDTree) countWithin(ni int, q []float64, r2 float64) int {
+	n := &t.nodes[ni]
+	if t.minSqDistToBox(q, n) > r2 {
+		return 0
+	}
+	if t.maxSqDistToBox(q, n) <= r2 {
+		return t.subtreeSize(ni)
+	}
+	cnt := 0
+	if sqDist(q, t.pts[n.idx]) <= r2 {
+		cnt++
+	}
+	if n.left >= 0 {
+		cnt += t.countWithin(n.left, q, r2)
+	}
+	if n.right >= 0 {
+		cnt += t.countWithin(n.right, q, r2)
+	}
+	return cnt
+}
+
+// Neighbor is a point index with its squared distance from a query.
+type Neighbor struct {
+	Index int
+	Dist2 float64
+}
+
+// KNearest returns the k nearest indexed points to q, nearest first.
+// If the tree holds fewer than k points, all are returned.
+func (t *KDTree) KNearest(q []float64, k int) []Neighbor {
+	if t.root < 0 || k <= 0 {
+		return nil
+	}
+	h := &nbrHeap{}
+	t.kNearest(t.root, q, k, h)
+	out := make([]Neighbor, len(*h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = h.pop()
+	}
+	return out
+}
+
+func (t *KDTree) kNearest(ni int, q []float64, k int, h *nbrHeap) {
+	n := &t.nodes[ni]
+	if len(*h) == k && t.minSqDistToBox(q, n) > (*h)[0].Dist2 {
+		return
+	}
+	d2 := sqDist(q, t.pts[n.idx])
+	if len(*h) < k {
+		h.push(Neighbor{n.idx, d2})
+	} else if d2 < (*h)[0].Dist2 {
+		h.pop()
+		h.push(Neighbor{n.idx, d2})
+	}
+	// Visit the child on the query's side first for better pruning.
+	first, second := n.left, n.right
+	if q[n.axis] > t.pts[n.idx][n.axis] {
+		first, second = n.right, n.left
+	}
+	if first >= 0 {
+		t.kNearest(first, q, k, h)
+	}
+	if second >= 0 {
+		t.kNearest(second, q, k, h)
+	}
+}
+
+// nbrHeap is a max-heap on Dist2 so the root is the current worst neighbor.
+type nbrHeap []Neighbor
+
+func (h *nbrHeap) push(n Neighbor) {
+	*h = append(*h, n)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].Dist2 >= (*h)[i].Dist2 {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *nbrHeap) pop() Neighbor {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < last && (*h)[l].Dist2 > (*h)[largest].Dist2 {
+			largest = l
+		}
+		if r < last && (*h)[r].Dist2 > (*h)[largest].Dist2 {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+	return top
+}

@@ -1,0 +1,39 @@
+package learn
+
+import "math"
+
+// Dummy is the paper's "Random" classifier (§5.4.4): it ignores the
+// training data and emits an arbitrary pseudo-random score per input —
+// the worst case for LSS, since score-induced ordering carries no signal.
+// Scores are a deterministic hash of the feature vector and seed, so the
+// classifier is a pure function (repeated Score calls agree).
+type Dummy struct {
+	Seed uint64
+}
+
+// NewDummy returns a random-scoring classifier.
+func NewDummy(seed uint64) *Dummy { return &Dummy{Seed: seed} }
+
+// Name implements Classifier.
+func (d *Dummy) Name() string { return "random" }
+
+// Fit is a no-op (the dummy learns nothing).
+func (d *Dummy) Fit(X [][]float64, y []bool) error { return validateFit(X, y) }
+
+// Score hashes the input to a uniform-looking value in [0, 1).
+func (d *Dummy) Score(x []float64) float64 {
+	h := d.Seed ^ 0x9e3779b97f4a7c15
+	for _, v := range x {
+		bits := math.Float64bits(v)
+		h ^= bits
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	// SplitMix64 finalizer for avalanche.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}

@@ -1,0 +1,79 @@
+package learn
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// RandomForest bags MTry-restricted decision trees over bootstrap samples
+// and scores by soft voting (mean of per-tree leaf probabilities), matching
+// the paper's default classifier (random forest, n=100 estimators).
+type RandomForest struct {
+	Trees    int // 0 means the default 100
+	MaxDepth int // per-tree depth cap; 0 means the default 12
+	MinLeaf  int
+	Seed     uint64 // stream seed for bootstraps and feature subsets
+
+	forest []*DecisionTree
+}
+
+// NewRandomForest returns a forest with the given number of trees.
+func NewRandomForest(trees int, seed uint64) *RandomForest {
+	return &RandomForest{Trees: trees, Seed: seed}
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "forest" }
+
+func (f *RandomForest) trees() int {
+	if f.Trees <= 0 {
+		return 100
+	}
+	return f.Trees
+}
+
+// Fit trains the ensemble.
+func (f *RandomForest) Fit(X [][]float64, y []bool) error {
+	if err := validateFit(X, y); err != nil {
+		return err
+	}
+	r := xrand.New(f.Seed)
+	n := len(X)
+	d := len(X[0])
+	mtry := int(math.Ceil(math.Sqrt(float64(d))))
+	f.forest = f.forest[:0]
+	for b := 0; b < f.trees(); b++ {
+		tr := r.Split()
+		bx := make([][]float64, n)
+		by := make([]bool, n)
+		for i := 0; i < n; i++ {
+			j := tr.IntN(n)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		t := &DecisionTree{
+			MaxDepth: f.MaxDepth,
+			MinLeaf:  f.MinLeaf,
+			MTry:     mtry,
+			Rand:     tr,
+		}
+		if err := t.Fit(bx, by); err != nil {
+			return err
+		}
+		f.forest = append(f.forest, t)
+	}
+	return nil
+}
+
+// Score averages the tree probabilities.
+func (f *RandomForest) Score(x []float64) float64 {
+	if len(f.forest) == 0 {
+		return 0.5
+	}
+	s := 0.0
+	for _, t := range f.forest {
+		s += t.Score(x)
+	}
+	return s / float64(len(f.forest))
+}

@@ -1,0 +1,63 @@
+package learn
+
+import (
+	"repro/internal/geom"
+)
+
+// KNN is a k-nearest-neighbor classifier over standardized features. Its
+// score is the positive fraction among the K nearest training points — the
+// classifier behind the paper's Figure 1 heat maps.
+type KNN struct {
+	K      int // number of neighbors; 0 means the default 5
+	scaler Scaler
+	tree   *geom.KDTree
+	labels []bool
+}
+
+// NewKNN returns a KNN classifier with k neighbors.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Name implements Classifier.
+func (c *KNN) Name() string { return "knn" }
+
+func (c *KNN) k() int {
+	if c.K <= 0 {
+		return 5
+	}
+	return c.K
+}
+
+// Fit indexes the training set in a kd-tree.
+func (c *KNN) Fit(X [][]float64, y []bool) error {
+	if err := validateFit(X, y); err != nil {
+		return err
+	}
+	c.scaler = Scaler{}
+	c.scaler.Fit(X)
+	scaled := c.scaler.TransformAll(X)
+	c.tree = geom.NewKDTree(scaled)
+	c.labels = append([]bool(nil), y...)
+	return nil
+}
+
+// Score returns the positive fraction among the k nearest neighbors.
+func (c *KNN) Score(x []float64) float64 {
+	if c.tree == nil || c.tree.Len() == 0 {
+		return 0.5
+	}
+	k := c.k()
+	if k > len(c.labels) {
+		k = len(c.labels)
+	}
+	nbrs := c.tree.KNearest(c.scaler.Transform(x), k)
+	if len(nbrs) == 0 {
+		return 0.5
+	}
+	pos := 0
+	for _, nb := range nbrs {
+		if c.labels[nb.Index] {
+			pos++
+		}
+	}
+	return float64(pos) / float64(len(nbrs))
+}

@@ -1,0 +1,93 @@
+package learn
+
+import (
+	"repro/internal/xrand"
+)
+
+// Logistic is L2-regularized logistic regression trained by SGD over
+// standardized features. It is not in the paper's classifier lineup but
+// serves as a cheap, well-understood extra point on the classifier-quality
+// axis (between Random and the nonlinear models on these workloads, whose
+// decision boundaries are not linear).
+type Logistic struct {
+	Epochs int     // 0 means the default 200
+	LR     float64 // 0 means the default 0.1
+	L2     float64 // 0 means the default 1e-4
+	Seed   uint64
+
+	scaler  Scaler
+	w       []float64
+	b       float64
+	trained bool
+}
+
+// NewLogistic returns a logistic-regression classifier.
+func NewLogistic(seed uint64) *Logistic { return &Logistic{Seed: seed} }
+
+// Name implements Classifier.
+func (c *Logistic) Name() string { return "logistic" }
+
+// Fit trains by SGD.
+func (c *Logistic) Fit(X [][]float64, y []bool) error {
+	if err := validateFit(X, y); err != nil {
+		return err
+	}
+	c.scaler = Scaler{}
+	c.scaler.Fit(X)
+	Xs := c.scaler.TransformAll(X)
+	d := len(X[0])
+	c.w = make([]float64, d)
+	c.b = 0
+	epochs := c.Epochs
+	if epochs <= 0 {
+		epochs = 200
+	}
+	lr := c.LR
+	if lr <= 0 {
+		lr = 0.1
+	}
+	l2 := c.L2
+	if l2 <= 0 {
+		l2 = 1e-4
+	}
+	r := xrand.New(c.Seed)
+	n := len(Xs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for e := 0; e < epochs; e++ {
+		r.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		step := lr / (1 + 0.01*float64(e))
+		for _, i := range order {
+			z := c.b
+			for j, v := range Xs[i] {
+				z += c.w[j] * v
+			}
+			target := 0.0
+			if y[i] {
+				target = 1
+			}
+			err := sigmoid(z) - target
+			for j, v := range Xs[i] {
+				c.w[j] -= step * (err*v + l2*c.w[j])
+			}
+			c.b -= step * err
+		}
+	}
+	c.trained = true
+	return nil
+}
+
+// Score returns the logistic probability.
+func (c *Logistic) Score(x []float64) float64 {
+	if !c.trained {
+		return 0.5
+	}
+	xs := c.scaler.Transform(x)
+	z := c.b
+	for j, v := range xs {
+		z += c.w[j] * v
+	}
+	return sigmoid(z)
+}

@@ -1,0 +1,127 @@
+package learn
+
+import (
+	"math"
+)
+
+// NaiveBayes is a Gaussian naive Bayes classifier: per-class per-feature
+// normal densities with a shared prior. It is not in the paper's lineup but
+// rounds out the classifier-quality axis — fast to train, probabilistically
+// calibrated when features are near-independent, and badly overconfident
+// when they are not (a useful stress case for LWS's ε floor).
+type NaiveBayes struct {
+	// VarSmoothing is added to every variance estimate for numerical
+	// stability; 0 means 1e-9 of the largest feature variance.
+	VarSmoothing float64
+
+	prior           float64 // P(y = 1)
+	meanPos, varPos []float64
+	meanNeg, varNeg []float64
+	trained         bool
+}
+
+// NewNaiveBayes returns a Gaussian naive Bayes classifier.
+func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{} }
+
+// Name implements Classifier.
+func (c *NaiveBayes) Name() string { return "naivebayes" }
+
+// Fit estimates class-conditional means and variances.
+func (c *NaiveBayes) Fit(X [][]float64, y []bool) error {
+	if err := validateFit(X, y); err != nil {
+		return err
+	}
+	d := len(X[0])
+	c.meanPos = make([]float64, d)
+	c.varPos = make([]float64, d)
+	c.meanNeg = make([]float64, d)
+	c.varNeg = make([]float64, d)
+	nPos, nNeg := 0, 0
+	for i, row := range X {
+		if y[i] {
+			nPos++
+			for j, v := range row {
+				c.meanPos[j] += v
+			}
+		} else {
+			nNeg++
+			for j, v := range row {
+				c.meanNeg[j] += v
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		if nPos > 0 {
+			c.meanPos[j] /= float64(nPos)
+		}
+		if nNeg > 0 {
+			c.meanNeg[j] /= float64(nNeg)
+		}
+	}
+	maxVar := 0.0
+	for i, row := range X {
+		for j, v := range row {
+			if y[i] {
+				dv := v - c.meanPos[j]
+				c.varPos[j] += dv * dv
+			} else {
+				dv := v - c.meanNeg[j]
+				c.varNeg[j] += dv * dv
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		if nPos > 1 {
+			c.varPos[j] /= float64(nPos)
+		}
+		if nNeg > 1 {
+			c.varNeg[j] /= float64(nNeg)
+		}
+		if c.varPos[j] > maxVar {
+			maxVar = c.varPos[j]
+		}
+		if c.varNeg[j] > maxVar {
+			maxVar = c.varNeg[j]
+		}
+	}
+	smooth := c.VarSmoothing
+	if smooth <= 0 {
+		smooth = 1e-9 * math.Max(maxVar, 1)
+	}
+	for j := 0; j < d; j++ {
+		c.varPos[j] += smooth
+		c.varNeg[j] += smooth
+	}
+	c.prior = float64(nPos) / float64(len(y))
+	c.trained = true
+	return nil
+}
+
+// Score returns the posterior P(y = 1 | x).
+func (c *NaiveBayes) Score(x []float64) float64 {
+	if !c.trained {
+		return 0.5
+	}
+	if c.prior == 0 {
+		return 0
+	}
+	if c.prior == 1 {
+		return 1
+	}
+	logPos := math.Log(c.prior)
+	logNeg := math.Log(1 - c.prior)
+	for j, v := range x {
+		logPos += logNormal(v, c.meanPos[j], c.varPos[j])
+		logNeg += logNormal(v, c.meanNeg[j], c.varNeg[j])
+	}
+	// Softmax over the two log-joint densities.
+	m := math.Max(logPos, logNeg)
+	pp := math.Exp(logPos - m)
+	pn := math.Exp(logNeg - m)
+	return pp / (pp + pn)
+}
+
+func logNormal(v, mean, variance float64) float64 {
+	d := v - mean
+	return -0.5*math.Log(2*math.Pi*variance) - d*d/(2*variance)
+}

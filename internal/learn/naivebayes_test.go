@@ -1,0 +1,80 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestNaiveBayesSeparatedGaussians(t *testing.T) {
+	r := xrand.New(1)
+	n := 600
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			X[i] = []float64{3 + r.NormFloat64(), 3 + r.NormFloat64()}
+			y[i] = true
+		} else {
+			X[i] = []float64{-3 + r.NormFloat64(), -3 + r.NormFloat64()}
+		}
+	}
+	c := NewNaiveBayes()
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	m := Evaluate(c, X, y)
+	if m.Accuracy < 0.98 {
+		t.Fatalf("accuracy = %v on well-separated Gaussians", m.Accuracy)
+	}
+	if s := c.Score([]float64{3, 3}); s < 0.95 {
+		t.Fatalf("score at positive center = %v", s)
+	}
+	if s := c.Score([]float64{-3, -3}); s > 0.05 {
+		t.Fatalf("score at negative center = %v", s)
+	}
+}
+
+func TestNaiveBayesSingleClass(t *testing.T) {
+	X := [][]float64{{1, 2}, {2, 3}, {3, 4}}
+	c := NewNaiveBayes()
+	if err := c.Fit(X, []bool{true, true, true}); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Score([]float64{2, 3}); s != 1 {
+		t.Fatalf("all-positive prior should give 1, got %v", s)
+	}
+	if err := c.Fit(X, []bool{false, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Score([]float64{2, 3}); s != 0 {
+		t.Fatalf("all-negative prior should give 0, got %v", s)
+	}
+}
+
+func TestNaiveBayesConstantFeature(t *testing.T) {
+	// Zero-variance features must not produce NaN (smoothing kicks in).
+	X := [][]float64{{1, 7}, {2, 7}, {3, 7}, {4, 7}}
+	c := NewNaiveBayes()
+	if err := c.Fit(X, []bool{true, true, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Score([]float64{2.5, 7})
+	if math.IsNaN(s) || s < 0 || s > 1 {
+		t.Fatalf("score = %v", s)
+	}
+}
+
+func TestNaiveBayesUnfitted(t *testing.T) {
+	c := NewNaiveBayes()
+	if s := c.Score([]float64{1}); s != 0.5 {
+		t.Fatalf("unfitted score = %v", s)
+	}
+	if c.Name() != "naivebayes" {
+		t.Fatal("name")
+	}
+	if err := c.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit should error")
+	}
+}

@@ -1,0 +1,207 @@
+package learn
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// DecisionTree is a CART-style binary classification tree with Gini
+// impurity splits. It is both a standalone classifier and the weak learner
+// inside RandomForest.
+type DecisionTree struct {
+	MaxDepth int // 0 means the default 12
+	MinLeaf  int // minimum samples per leaf; 0 means the default 2
+	// MTry, when positive, restricts each split search to MTry random
+	// features (used by RandomForest); requires Rand.
+	MTry int
+	Rand *xrand.Rand
+
+	nodes []treeNode
+}
+
+type treeNode struct {
+	feature     int // -1 for leaf
+	threshold   float64
+	left, right int
+	prob        float64 // positive fraction at this node
+}
+
+// NewDecisionTree returns a tree with the given depth cap.
+func NewDecisionTree(maxDepth int) *DecisionTree {
+	return &DecisionTree{MaxDepth: maxDepth}
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "tree" }
+
+func (t *DecisionTree) maxDepth() int {
+	if t.MaxDepth <= 0 {
+		return 12
+	}
+	return t.MaxDepth
+}
+
+func (t *DecisionTree) minLeaf() int {
+	if t.MinLeaf <= 0 {
+		return 2
+	}
+	return t.MinLeaf
+}
+
+// Fit grows the tree on (X, y).
+func (t *DecisionTree) Fit(X [][]float64, y []bool) error {
+	if err := validateFit(X, y); err != nil {
+		return err
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.nodes = t.nodes[:0]
+	t.grow(X, y, idx, 0)
+	return nil
+}
+
+// grow builds the subtree over idx and returns its node index.
+func (t *DecisionTree) grow(X [][]float64, y []bool, idx []int, depth int) int {
+	pos := 0
+	for _, i := range idx {
+		if y[i] {
+			pos++
+		}
+	}
+	prob := float64(pos) / float64(len(idx))
+	ni := len(t.nodes)
+	t.nodes = append(t.nodes, treeNode{feature: -1, prob: prob})
+	if depth >= t.maxDepth() || pos == 0 || pos == len(idx) || len(idx) < 2*t.minLeaf() {
+		return ni
+	}
+	feat, thresh, ok := t.bestSplit(X, y, idx)
+	if !ok {
+		return ni
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.minLeaf() || len(right) < t.minLeaf() {
+		return ni
+	}
+	l := t.grow(X, y, left, depth+1)
+	r := t.grow(X, y, right, depth+1)
+	t.nodes[ni].feature = feat
+	t.nodes[ni].threshold = thresh
+	t.nodes[ni].left = l
+	t.nodes[ni].right = r
+	return ni
+}
+
+// bestSplit finds the Gini-optimal (feature, threshold) over the candidate
+// feature set.
+func (t *DecisionTree) bestSplit(X [][]float64, y []bool, idx []int) (int, float64, bool) {
+	d := len(X[0])
+	features := make([]int, d)
+	for j := range features {
+		features[j] = j
+	}
+	if t.MTry > 0 && t.MTry < d && t.Rand != nil {
+		t.Rand.Shuffle(d, func(a, b int) { features[a], features[b] = features[b], features[a] })
+		features = features[:t.MTry]
+	}
+	n := len(idx)
+	totalPos := 0
+	for _, i := range idx {
+		if y[i] {
+			totalPos++
+		}
+	}
+	bestGain := 1e-12
+	bestFeat, bestThresh := -1, 0.0
+	parentImp := giniImpurity(totalPos, n)
+	order := make([]int, n)
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		leftPos, leftN := 0, 0
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			leftN++
+			if y[i] {
+				leftPos++
+			}
+			// Can only split between distinct values.
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue
+			}
+			if leftN < t.minLeaf() || n-leftN < t.minLeaf() {
+				continue
+			}
+			rightPos := totalPos - leftPos
+			rightN := n - leftN
+			imp := (float64(leftN)*giniImpurity(leftPos, leftN) +
+				float64(rightN)*giniImpurity(rightPos, rightN)) / float64(n)
+			if gain := parentImp - imp; gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (X[order[k]][f] + X[order[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, false
+	}
+	return bestFeat, bestThresh, true
+}
+
+func giniImpurity(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// Score walks the tree and returns the leaf's positive fraction.
+func (t *DecisionTree) Score(x []float64) float64 {
+	if len(t.nodes) == 0 {
+		return 0.5
+	}
+	ni := 0
+	for {
+		node := &t.nodes[ni]
+		if node.feature < 0 {
+			return node.prob
+		}
+		if node.feature >= len(x) {
+			return node.prob
+		}
+		if x[node.feature] <= node.threshold {
+			ni = node.left
+		} else {
+			ni = node.right
+		}
+	}
+}
+
+// Depth returns the height of the fitted tree (0 for a stump).
+func (t *DecisionTree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var depth func(ni int) int
+	depth = func(ni int) int {
+		n := &t.nodes[ni]
+		if n.feature < 0 {
+			return 0
+		}
+		l, r := depth(n.left), depth(n.right)
+		return 1 + int(math.Max(float64(l), float64(r)))
+	}
+	return depth(0)
+}

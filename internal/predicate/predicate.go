@@ -1,0 +1,220 @@
+// Package predicate defines the expensive Boolean filter q of the paper's
+// problem statement (§2) and its concrete instances: the k-skyband
+// membership test (Example 2), the few-neighbors test (Example 1), an
+// engine-backed EXISTS predicate for arbitrary decomposed SQL, and
+// test doubles. Every predicate counts its evaluations, since "number of
+// q evaluations" is the cost unit all of the paper's methods budget.
+package predicate
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Predicate is the expensive filter q: object index → bool. Implementations
+// count Eval calls; Evals is the labeling cost spent so far.
+type Predicate interface {
+	Eval(i int) bool
+	Evals() int64
+	ResetCount()
+}
+
+// counter implements the counting half of Predicate for embedding.
+type counter struct{ n int64 }
+
+func (c *counter) Evals() int64 { return c.n }
+func (c *counter) ResetCount()  { c.n = 0 }
+
+// Func adapts a plain function to a counting Predicate.
+type Func struct {
+	counter
+	f func(int) bool
+}
+
+// NewFunc wraps f as a Predicate.
+func NewFunc(f func(int) bool) *Func { return &Func{f: f} }
+
+// Eval applies the wrapped function.
+func (p *Func) Eval(i int) bool {
+	p.n++
+	return p.f(i)
+}
+
+// Labels is a zero-cost predicate over precomputed labels, used as ground
+// truth in tests and for oracle baselines.
+type Labels struct {
+	counter
+	labels []bool
+}
+
+// NewLabels wraps a label vector.
+func NewLabels(labels []bool) *Labels { return &Labels{labels: labels} }
+
+// Eval returns the stored label.
+func (p *Labels) Eval(i int) bool {
+	p.n++
+	return p.labels[i]
+}
+
+// Len returns the number of labeled objects.
+func (p *Labels) Len() int { return len(p.labels) }
+
+// Skyband is Example 2's predicate: object i is positive iff fewer than k
+// points dominate it. Each evaluation is a deliberate O(N) scan — the
+// aggregate subquery a generic engine would run per object.
+type Skyband struct {
+	counter
+	xs, ys []float64
+	k      int
+}
+
+// NewSkyband builds the k-skyband membership predicate over points
+// (xs[i], ys[i]).
+func NewSkyband(xs, ys []float64, k int) *Skyband {
+	if len(xs) != len(ys) {
+		panic("predicate: skyband coordinate lengths differ")
+	}
+	return &Skyband{xs: xs, ys: ys, k: k}
+}
+
+// Eval scans all points and counts dominators of point i.
+func (p *Skyband) Eval(i int) bool {
+	p.n++
+	x, y := p.xs[i], p.ys[i]
+	dom := 0
+	for j := range p.xs {
+		if p.xs[j] >= x && p.ys[j] >= y && (p.xs[j] > x || p.ys[j] > y) {
+			dom++
+			if dom >= p.k {
+				return false
+			}
+		}
+	}
+	return dom < p.k
+}
+
+// K returns the skyband depth parameter.
+func (p *Skyband) K() int { return p.k }
+
+// Neighbors is Example 1's predicate: object i is positive iff at most k
+// other points lie within Euclidean distance d. Each evaluation is a
+// deliberate O(N) scan, standing in for the correlated aggregate subquery.
+type Neighbors struct {
+	counter
+	xs, ys []float64
+	d2     float64
+	k      int
+}
+
+// NewNeighbors builds the few-neighbors predicate with distance threshold d
+// and neighbor bound k over points (xs[i], ys[i]).
+func NewNeighbors(xs, ys []float64, d float64, k int) *Neighbors {
+	if len(xs) != len(ys) {
+		panic("predicate: neighbors coordinate lengths differ")
+	}
+	return &Neighbors{xs: xs, ys: ys, d2: d * d, k: k}
+}
+
+// Eval counts points within distance d of point i (excluding i itself).
+func (p *Neighbors) Eval(i int) bool {
+	p.n++
+	x, y := p.xs[i], p.ys[i]
+	cnt := 0
+	for j := range p.xs {
+		if j == i {
+			continue
+		}
+		dx, dy := p.xs[j]-x, p.ys[j]-y
+		if dx*dx+dy*dy <= p.d2 {
+			cnt++
+			if cnt > p.k {
+				return false
+			}
+		}
+	}
+	return cnt <= p.k
+}
+
+// Memo caches the result of an underlying predicate per object, so that
+// ground truth can be computed once and re-read freely. Evals counts only
+// underlying (uncached) evaluations.
+type Memo struct {
+	p      Predicate
+	known  []bool
+	result []bool
+}
+
+// NewMemo wraps p with an n-object cache.
+func NewMemo(p Predicate, n int) *Memo {
+	return &Memo{p: p, known: make([]bool, n), result: make([]bool, n)}
+}
+
+// Eval returns the cached result, evaluating the underlying predicate at
+// most once per object.
+func (m *Memo) Eval(i int) bool {
+	if !m.known[i] {
+		m.result[i] = m.p.Eval(i)
+		m.known[i] = true
+	}
+	return m.result[i]
+}
+
+// Evals reports underlying evaluations.
+func (m *Memo) Evals() int64 { return m.p.Evals() }
+
+// ResetCount resets the underlying counter (the cache is retained).
+func (m *Memo) ResetCount() { m.p.ResetCount() }
+
+// EngineExists evaluates a decomposed SQL predicate (Q3) through the query
+// engine. Construction validates the predicate on the first object so that
+// later evaluations cannot fail for structural reasons; a failure after
+// that indicates a programming error and panics.
+type EngineExists struct {
+	counter
+	eval    func(i int) (bool, error)
+	objects *engine.ResultSet
+}
+
+// NewEngineExists builds an engine-backed predicate for the decomposed
+// query over the materialized object set.
+func NewEngineExists(ev *engine.Evaluator, dec *engine.Decomposed, objects *engine.ResultSet) (*EngineExists, error) {
+	p := &EngineExists{eval: ev.ObjectPredicate(dec, objects), objects: objects}
+	if objects.NumRows() > 0 {
+		if _, err := p.eval(0); err != nil {
+			return nil, fmt.Errorf("predicate: validating decomposed predicate: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Eval runs the EXISTS subquery for object i.
+func (p *EngineExists) Eval(i int) bool {
+	p.n++
+	ok, err := p.eval(i)
+	if err != nil {
+		panic(fmt.Sprintf("predicate: engine predicate failed on object %d: %v", i, err))
+	}
+	return ok
+}
+
+// Count evaluates q over every object (the exact, expensive path) and
+// returns the positive count.
+func Count(p Predicate, n int) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if p.Eval(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// TrueLabels evaluates q over every object and returns the label vector.
+func TrueLabels(p Predicate, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.Eval(i)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestWithReplacementValidation(t *testing.T) {
+	if _, err := NewWithReplacement([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights should error")
+	}
+	if _, err := NewWithReplacement([]float64{1, -1}); err == nil {
+		t.Fatal("negative weight should error")
+	}
+	if _, err := NewWithReplacement([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN should error")
+	}
+}
+
+func TestWithReplacementMarginals(t *testing.T) {
+	weights := []float64{1, 0, 3, 6}
+	w, err := NewWithReplacement(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2)
+	const trials = 80000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[w.Draw(r)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index drawn %d times", counts[1])
+	}
+	for i, wt := range weights {
+		want := float64(trials) * wt / 10
+		if wt > 0 && math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Fatalf("index %d drawn %d, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestWithReplacementProb(t *testing.T) {
+	w, err := NewWithReplacement([]float64{2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := w.Prob(0); math.Abs(p-0.25) > 1e-12 {
+		t.Fatalf("Prob(0) = %v", p)
+	}
+	if p := w.Prob(1); math.Abs(p-0.75) > 1e-12 {
+		t.Fatalf("Prob(1) = %v", p)
+	}
+}
+
+func TestWithReplacementRepeatsAllowed(t *testing.T) {
+	// A single positive-weight object must be drawn repeatedly.
+	w, err := NewWithReplacement([]float64{0, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	for i := 0; i < 100; i++ {
+		if got := w.Draw(r); got != 1 {
+			t.Fatalf("draw %d = %d, want 1", i, got)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestLexerNeverPanicsQuick feeds arbitrary bytes to the lexer: it must
+// return tokens or an error, never panic, and every returned token must
+// reference valid offsets.
+func TestLexerNeverPanicsQuick(t *testing.T) {
+	f := func(input string) bool {
+		toks, err := Lex(input)
+		if err != nil {
+			return true
+		}
+		for _, tok := range toks {
+			if tok.Pos < 0 || tok.Pos > len(input) {
+				return false
+			}
+		}
+		return toks[len(toks)-1].Kind == TokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanicsQuick: arbitrary token soup must parse or error
+// cleanly.
+func TestParserNeverPanicsQuick(t *testing.T) {
+	words := []string{"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+		"AND", "OR", "NOT", "(", ")", ",", "*", "x", "t", "1", "2.5",
+		"COUNT", "=", "<", "+", "-", "EXISTS", "'s'", "ORDER", "LIMIT"}
+	f := func(picks []uint8) bool {
+		if len(picks) > 30 {
+			picks = picks[:30]
+		}
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(words[int(p)%len(words)])
+			sb.WriteByte(' ')
+		}
+		// Must not panic; error or success both fine.
+		_, _ = Parse(sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExprRoundTripQuick: parse → print → parse must be a fixed point for
+// generated expressions.
+func TestExprRoundTripQuick(t *testing.T) {
+	atoms := []string{"x", "o1.y", "3", "2.5", "'str'"}
+	ops := []string{"+", "-", "*", "/", "=", "<", ">=", "AND", "OR"}
+	f := func(aIdx, bIdx, opIdx, cIdx, op2Idx uint8) bool {
+		a := atoms[int(aIdx)%len(atoms)]
+		b := atoms[int(bIdx)%len(atoms)]
+		c := atoms[int(cIdx)%len(atoms)]
+		op := ops[int(opIdx)%len(ops)]
+		op2 := ops[int(op2Idx)%len(ops)]
+		src := "(" + a + " " + op + " " + b + ") " + op2 + " " + c
+		e1, err := ParseExpr(src)
+		if err != nil {
+			return true // some combinations are type-invalid at parse level
+		}
+		printed := e1.String()
+		e2, err := ParseExpr(printed)
+		if err != nil {
+			return false
+		}
+		return e2.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

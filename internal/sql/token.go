@@ -1,0 +1,168 @@
+// Package sql implements a lexer, parser, and AST for the SQL subset used by
+// the paper's query class (§2, queries Q1–Q3): single SELECT blocks with
+// comma joins, arithmetic and boolean predicates, aggregate functions,
+// GROUP BY / HAVING, scalar subqueries, and EXISTS subqueries — enough to
+// express the counting queries of Examples 1 and 2 verbatim.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokOp    // = <> != < <= > >= + - * /
+	TokPunct // ( ) , . ;
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // normalized: keywords upper-cased
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "AND": true, "OR": true,
+	"NOT": true, "EXISTS": true, "AS": true,
+	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+}
+
+// Lex tokenizes input. It returns an error for unterminated strings or
+// characters outside the supported alphabet.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isLetter(c):
+			start := i
+			for i < n && (isLetter(input[i]) || isDigit(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{TokKeyword, upper, start})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start})
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			for i < n && isDigit(input[i]) {
+				i++
+			}
+			if i < n && input[i] == '.' {
+				i++
+				for i < n && isDigit(input[i]) {
+					i++
+				}
+			}
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < n && isDigit(input[j]) {
+					i = j
+					for i < n && isDigit(input[i]) {
+						i++
+					}
+				}
+			}
+			toks = append(toks, Token{TokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, Token{TokOp, input[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
+			}
+		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/':
+			toks = append(toks, Token{TokOp, string(c), i})
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == ';':
+			toks = append(toks, Token{TokPunct, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

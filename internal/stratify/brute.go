@@ -1,0 +1,52 @@
+package stratify
+
+import (
+	"fmt"
+	"math"
+)
+
+// BruteForce exhaustively enumerates every feasible stratification (all cut
+// combinations) and returns the one minimizing the chosen objective. It is
+// the reference optimum used by tests to validate the approximation ratios
+// of Theorems 1–4; its cost is O(N^(H−1)), so it is only usable on tiny
+// inputs.
+func BruteForce(p *Pilot, H, n int, c Constraints, neyman bool) (*Design, error) {
+	c = c.normalized()
+	if err := validateDesignInput(p, H, n, c); err != nil {
+		return nil, err
+	}
+	best := &Design{V: math.Inf(1)}
+	cuts := make([]int, H+1)
+	cuts[0], cuts[H] = 0, p.N
+
+	var rec func(h int)
+	rec = func(h int) {
+		if h == H {
+			if !c.feasible(p, cuts) {
+				return
+			}
+			var v float64
+			if neyman {
+				v = NeymanObjective(p, cuts, n)
+			} else {
+				v = PropObjective(p, cuts, n)
+			}
+			if v < best.V {
+				best.V = v
+				best.Cuts = append([]int(nil), cuts...)
+			}
+			return
+		}
+		// Cut h must leave room for the remaining strata.
+		for b := cuts[h-1] + c.MinStratumSize; b <= p.N-(H-h)*c.MinStratumSize; b++ {
+			cuts[h] = b
+			rec(h + 1)
+		}
+	}
+	rec(1)
+
+	if best.Cuts == nil {
+		return nil, fmt.Errorf("stratify: no feasible %d-stratification exists", H)
+	}
+	return best, nil
+}

@@ -1,0 +1,365 @@
+package stratify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// maxCandidates caps the candidate boundary set size. The paper's B has
+// O(m log N) members; for very large pilots we thin the non-rank candidates
+// to keep the O(H·|B|²) dynamic programs affordable. Rank positions
+// (the ı_k themselves) are always retained.
+const maxCandidates = 1500
+
+// candidateBoundaries builds the ordered boundary set B of §4.2.1's DynPgm
+// with the default power-of-two spacing (ε = 1).
+func candidateBoundaries(p *Pilot) []int { return candidateBoundariesEps(p, 1) }
+
+// candidateBoundariesEps builds B with offsets at powers of (1+ε) from each
+// pilot rank — the paper's refinement trading running time for a tighter
+// approximation ratio: for every pilot rank ı_k, positions ı_k + ⌈(1+ε)^t⌉
+// (up to the next rank) and ı_k − ⌈(1+ε)^t⌉ (down to the previous rank),
+// plus N. Returned positions are cut positions in [1, N].
+func candidateBoundariesEps(p *Pilot, eps float64) []int {
+	if eps <= 0 || eps > 1 {
+		eps = 1
+	}
+	N := p.N
+	m := p.M()
+	set := make(map[int]bool)
+	add := func(b int) {
+		if b >= 1 && b <= N {
+			set[b] = true
+		}
+	}
+	grow := func(step int) int {
+		next := int(math.Ceil(float64(step) * (1 + eps)))
+		if next <= step {
+			next = step + 1
+		}
+		return next
+	}
+	for k := 1; k <= m; k++ {
+		cur := p.Pos[k-1] + 1 // 1-based rank
+		next := N + 1
+		if k < m {
+			next = p.Pos[k] + 1
+		}
+		prev := 0
+		if k > 1 {
+			prev = p.Pos[k-2] + 1
+		}
+		add(cur)
+		for step := 1; cur+step < next; step = grow(step) {
+			add(cur + step)
+		}
+		for step := 1; cur-step > prev; step = grow(step) {
+			add(cur - step)
+		}
+	}
+	add(N)
+	out := make([]int, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	if len(out) > maxCandidates {
+		out = thinCandidates(out, p)
+	}
+	return out
+}
+
+// thinCandidates keeps all rank positions and N, and an even subsample of
+// the rest, bounding |B| near maxCandidates.
+func thinCandidates(b []int, p *Pilot) []int {
+	keep := make(map[int]bool, p.M()+1)
+	for _, pos := range p.Pos {
+		keep[pos+1] = true
+	}
+	keep[p.N] = true
+	var extras []int
+	for _, v := range b {
+		if !keep[v] {
+			extras = append(extras, v)
+		}
+	}
+	budget := maxCandidates - len(keep)
+	if budget < 0 {
+		budget = 0
+	}
+	out := make([]int, 0, maxCandidates)
+	for v := range keep {
+		out = append(out, v)
+	}
+	if budget > 0 && len(extras) > 0 {
+		stride := (len(extras) + budget - 1) / budget
+		for i := 0; i < len(extras); i += stride {
+			out = append(out, extras[i])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DynPgm is the scalable Neyman-allocation designer of §4.2.1 and Appendix
+// C. The objective (5) is not separable because of the auxiliary sum
+// Σ_{h'<h} N_h' s_h'; the algorithm runs one dynamic program per guessed
+// bound t ∈ T = {2^t ≤ mHN} under the constraint N_h s_h ≤ t, and returns
+// the best design found across all t.
+//
+// Theorem 3: assuming N_⊔ ≥ 4n, the result is within 14/3·(10H−9) of the
+// optimum, in O(N log m + H m² log³ N) time.
+func DynPgm(p *Pilot, H, n int, c Constraints) (*Design, error) {
+	return DynPgmEps(p, H, n, c, 1)
+}
+
+// DynPgmEps is DynPgm with the paper's (1+ε) refinement: candidate
+// boundaries at powers of (1+ε) and auxiliary-sum bounds T = {(1+ε)^i},
+// improving the approximation ratio to 7(1+ε)/3·[5(1+ε)(H−1)+1] at
+// O(1/ε³) extra cost. ε must lie in (0, 1]; ε = 1 recovers DynPgm.
+func DynPgmEps(p *Pilot, H, n int, c Constraints, eps float64) (*Design, error) {
+	c = c.normalized()
+	if err := validateDesignInput(p, H, n, c); err != nil {
+		return nil, err
+	}
+	if eps <= 0 || eps > 1 {
+		eps = 1
+	}
+	B := candidateBoundariesEps(p, eps)
+	if len(B) == 0 || B[len(B)-1] != p.N {
+		return nil, fmt.Errorf("stratify: candidate set does not reach N")
+	}
+	pre := precompute(p, B)
+
+	// T: powers of (1+ε). The paper bounds T by mHN, but N_h·s_h never
+	// exceeds N/2 (binary variance caps s at ~0.5), so every t ≥ N/2 yields
+	// the same unconstrained pass — we stop at the first such t.
+	limit := float64(p.N) / 2
+	var best *Design
+	for t := 1.0; ; t *= 1 + eps {
+		d := dynNeymanPass(p, pre, H, n, c, t)
+		if d != nil && (best == nil || d.V < best.V) {
+			best = d
+		}
+		if t >= limit {
+			break
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("stratify: DynPgm found no feasible %d-stratification", H)
+	}
+	return best, nil
+}
+
+// pretables holds per-candidate prefix data shared by the DP passes.
+type pretables struct {
+	B []int // candidate cut positions (1-based), ascending, last = N
+	L []int // L[i] = number of pilot samples at positions ≤ B[i]
+}
+
+func precompute(p *Pilot, B []int) *pretables {
+	L := make([]int, len(B))
+	for i, b := range B {
+		L[i] = p.CountUpTo(b) // samples with 0-based pos < b ⇔ 1-based ≤ b
+	}
+	return &pretables{B: B, L: L}
+}
+
+// stratumS2 returns pilot count and variance for the stratum (B[j], B[i]];
+// j = -1 denotes the sentinel boundary 0.
+func (pt *pretables) stratumS2(p *Pilot, j, i int) (int, float64) {
+	lo := 0
+	if j >= 0 {
+		lo = pt.L[j]
+	}
+	return p.SampleStats(lo, pt.L[i])
+}
+
+func dynNeymanPass(p *Pilot, pt *pretables, H, n int, c Constraints, t float64) *Design {
+	nb := len(pt.B)
+	nf := float64(n)
+	const inf = math.MaxFloat64
+
+	// A[h][i]: best Σ-term value for h strata over the first B[i] objects
+	// under the auxiliary-sum constraint; X[h][i]: its auxiliary sum.
+	A := make([][]float64, H+1)
+	X := make([][]float64, H+1)
+	parent := make([][]int, H+1)
+	for h := 0; h <= H; h++ {
+		A[h] = make([]float64, nb)
+		X[h] = make([]float64, nb)
+		parent[h] = make([]int, nb)
+		for i := range A[h] {
+			A[h][i] = inf
+			parent[h][i] = -2
+		}
+	}
+
+	bPos := func(j int) int {
+		if j < 0 {
+			return 0
+		}
+		return pt.B[j]
+	}
+	lOf := func(j int) int {
+		if j < 0 {
+			return 0
+		}
+		return pt.L[j]
+	}
+
+	for h := 1; h <= H; h++ {
+		for i := 0; i < nb; i++ {
+			// The first stratum must start at the sentinel boundary 0; later
+			// strata start at a previously chosen boundary.
+			lo, hiJ := 0, i
+			if h == 1 {
+				lo, hiJ = -1, 0
+			}
+			for j := lo; j < hiJ; j++ {
+				if h > 1 && A[h-1][j] == inf {
+					continue
+				}
+				size := pt.B[i] - bPos(j)
+				if size < c.MinStratumSize {
+					continue
+				}
+				mh := pt.L[i] - lOf(j)
+				if mh < c.MinPilotPerStratum {
+					continue
+				}
+				_, s2 := p.SampleStats(lOf(j), pt.L[i])
+				Ns := float64(size) * math.Sqrt(s2)
+				if Ns > t {
+					continue
+				}
+				var prevA, prevX float64
+				if h > 1 {
+					prevA, prevX = A[h-1][j], X[h-1][j]
+				}
+				cand := prevA + Ns*Ns/nf - float64(size)*s2 + 2/nf*Ns*prevX
+				if cand < A[h][i] {
+					A[h][i] = cand
+					X[h][i] = prevX + Ns
+					parent[h][i] = j
+				}
+			}
+		}
+	}
+
+	last := nb - 1
+	if A[H][last] == inf {
+		return nil
+	}
+	// Recover cuts.
+	cuts := make([]int, H+1)
+	cuts[H] = p.N
+	i := last
+	for h := H; h >= 1; h-- {
+		j := parent[h][i]
+		if j == -2 {
+			return nil
+		}
+		cuts[h-1] = bPos(j)
+		i = j
+	}
+	d := &Design{Cuts: cuts}
+	d.V = NeymanObjective(p, cuts, n)
+	return d
+}
+
+// DynPgmP is the proportional-allocation designer of §4.2.2 and Appendix D.
+// Objective (6) is separable, so a single dynamic program over the
+// candidate boundary set suffices.
+//
+// Theorem 4: the result is within a factor 2 of the optimal proportional-
+// allocation stratification, in O(N log m + H m² log² N) time.
+func DynPgmP(p *Pilot, H, n int, c Constraints) (*Design, error) {
+	return DynPgmPEps(p, H, n, c, 1)
+}
+
+// DynPgmPEps is DynPgmP with (1+ε)-spaced candidate boundaries, improving
+// the approximation ratio from 2 to (1+ε) at O(1/ε²) extra cost. ε must lie
+// in (0, 1]; ε = 1 recovers DynPgmP.
+func DynPgmPEps(p *Pilot, H, n int, c Constraints, eps float64) (*Design, error) {
+	c = c.normalized()
+	if err := validateDesignInput(p, H, n, c); err != nil {
+		return nil, err
+	}
+	B := candidateBoundariesEps(p, eps)
+	pt := precompute(p, B)
+	nb := len(B)
+	const inf = math.MaxFloat64
+	scale := float64(p.N-n) / float64(n)
+
+	A := make([][]float64, H+1)
+	parent := make([][]int, H+1)
+	for h := 0; h <= H; h++ {
+		A[h] = make([]float64, nb)
+		parent[h] = make([]int, nb)
+		for i := range A[h] {
+			A[h][i] = inf
+			parent[h][i] = -2
+		}
+	}
+	bPos := func(j int) int {
+		if j < 0 {
+			return 0
+		}
+		return pt.B[j]
+	}
+	lOf := func(j int) int {
+		if j < 0 {
+			return 0
+		}
+		return pt.L[j]
+	}
+	for h := 1; h <= H; h++ {
+		for i := 0; i < nb; i++ {
+			lo, hiJ := 0, i
+			if h == 1 {
+				lo, hiJ = -1, 0
+			}
+			for j := lo; j < hiJ; j++ {
+				if h > 1 && A[h-1][j] == inf {
+					continue
+				}
+				size := pt.B[i] - bPos(j)
+				if size < c.MinStratumSize {
+					continue
+				}
+				mh := pt.L[i] - lOf(j)
+				if mh < c.MinPilotPerStratum {
+					continue
+				}
+				_, s2 := p.SampleStats(lOf(j), pt.L[i])
+				var prevA float64
+				if h > 1 {
+					prevA = A[h-1][j]
+				}
+				cand := prevA + scale*float64(size)*s2
+				if cand < A[h][i] {
+					A[h][i] = cand
+					parent[h][i] = j
+				}
+			}
+		}
+	}
+	last := nb - 1
+	if A[H][last] == inf {
+		return nil, fmt.Errorf("stratify: DynPgmP found no feasible %d-stratification", H)
+	}
+	cuts := make([]int, H+1)
+	cuts[H] = p.N
+	i := last
+	for h := H; h >= 1; h-- {
+		j := parent[h][i]
+		if j == -2 {
+			return nil, fmt.Errorf("stratify: DynPgmP parent chain broken")
+		}
+		cuts[h-1] = bPos(j)
+		i = j
+	}
+	return &Design{Cuts: cuts, V: PropObjective(p, cuts, n)}, nil
+}

@@ -1,0 +1,98 @@
+package stratify
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestCandidateBoundariesEpsDensity(t *testing.T) {
+	p, err := NewPilot(10000, []int{999, 4999, 8999}, []bool{false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := candidateBoundariesEps(p, 1)
+	b05 := candidateBoundariesEps(p, 0.5)
+	if len(b05) <= len(b1) {
+		t.Fatalf("ε=0.5 should produce more candidates: %d vs %d", len(b05), len(b1))
+	}
+	// Every power-of-two candidate survives in the denser set's span.
+	has := make(map[int]bool, len(b05))
+	for _, v := range b05 {
+		has[v] = true
+	}
+	// Rank positions always present in both.
+	for _, v := range []int{1000, 5000, 9000, 10000} {
+		if !has[v] {
+			t.Fatalf("ε=0.5 set missing anchor %d", v)
+		}
+	}
+	// Invalid ε falls back to powers of two.
+	bBad := candidateBoundariesEps(p, -3)
+	if len(bBad) != len(b1) {
+		t.Fatalf("invalid ε should behave like ε=1: %d vs %d", len(bBad), len(b1))
+	}
+}
+
+func TestDynPgmEpsAtLeastAsGood(t *testing.T) {
+	r := xrand.New(1)
+	N := 400
+	labels := boundaryLabels(N, 0.45, 0.15, r)
+	p := makePilot(t, labels, 60, 2)
+	c := Constraints{MinStratumSize: 40, MinPilotPerStratum: 4}
+	base, err := DynPgm(p, 4, 10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := DynPgmEps(p, 4, 10, c, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ε-refined candidate set is a superset, so the optimum over it can
+	// only improve (tiny slack for thinning).
+	if refined.V > base.V*1.0001+1e-9 {
+		t.Fatalf("refined V=%v worse than base V=%v", refined.V, base.V)
+	}
+}
+
+func TestDynPgmPEpsWithinFactor(t *testing.T) {
+	r := xrand.New(3)
+	N := 120
+	labels := boundaryLabels(N, 0.5, 0.15, r)
+	p := makePilot(t, labels, 30, 4)
+	c := Constraints{MinStratumSize: 15, MinPilotPerStratum: 3}
+	refined, err := DynPgmPEps(p, 3, 10, c, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := BruteForce(p, 3, 10, c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 4 refined ratio: (1+ε).
+	if refined.V > 1.25*bf.V+1e-9 {
+		t.Fatalf("refined DynPgmP V=%v exceeds (1+ε)×optimal %v", refined.V, bf.V)
+	}
+}
+
+func TestSmoothedStdDev(t *testing.T) {
+	// Pure pilot samples still yield nonzero deviation.
+	if s := SmoothedStdDev(10, 10); s <= 0 {
+		t.Fatalf("pure-positive smoothed s = %v", s)
+	}
+	if s := SmoothedStdDev(10, 0); s <= 0 {
+		t.Fatalf("pure-negative smoothed s = %v", s)
+	}
+	// Balanced samples are near the binomial maximum 0.5.
+	if s := SmoothedStdDev(100, 50); s < 0.45 || s > 0.55 {
+		t.Fatalf("balanced smoothed s = %v", s)
+	}
+	// More pilot evidence shrinks the smoothing effect.
+	if SmoothedStdDev(1000, 1000) >= SmoothedStdDev(5, 5) {
+		t.Fatal("more evidence should shrink the pure-sample deviation")
+	}
+	// Empty stratum: maximal uncertainty (p̃ = 0.5).
+	if s := SmoothedStdDev(0, 0); s != 0.5 {
+		t.Fatalf("empty-stratum smoothed s = %v, want 0.5", s)
+	}
+}

@@ -1,0 +1,101 @@
+package stratify
+
+import "sort"
+
+// EqualCount returns the "fixed height" layout of §5.4.1: H strata with
+// (nearly) identical object counts. Cut positions are in rank space.
+func EqualCount(n, h int) []int {
+	if h < 1 {
+		h = 1
+	}
+	if h > n {
+		h = n
+	}
+	cuts := make([]int, h+1)
+	for i := 0; i <= h; i++ {
+		cuts[i] = i * n / h
+	}
+	return dedupCuts(cuts, n)
+}
+
+// FixedWidth returns the "fixed width" layout of §5.4.1: the score axis is
+// divided into H even increments, and each stratum holds the objects whose
+// scores fall into one increment. scoresSorted must be ascending. Empty
+// strata are merged away, so the result may have fewer than H strata.
+func FixedWidth(scoresSorted []float64, h int) []int {
+	n := len(scoresSorted)
+	if n == 0 {
+		return []int{0, 0}
+	}
+	if h < 1 {
+		h = 1
+	}
+	lo, hi := scoresSorted[0], scoresSorted[n-1]
+	if hi == lo {
+		return []int{0, n}
+	}
+	cuts := make([]int, 0, h+1)
+	cuts = append(cuts, 0)
+	for i := 1; i < h; i++ {
+		threshold := lo + (hi-lo)*float64(i)/float64(h)
+		// First index with score > threshold.
+		cut := sort.Search(n, func(j int) bool { return scoresSorted[j] > threshold })
+		cuts = append(cuts, cut)
+	}
+	cuts = append(cuts, n)
+	return dedupCuts(cuts, n)
+}
+
+// dedupCuts sorts, clamps, and removes zero-width strata.
+func dedupCuts(cuts []int, n int) []int {
+	sort.Ints(cuts)
+	out := cuts[:0]
+	for i, c := range cuts {
+		if c < 0 {
+			c = 0
+		}
+		if c > n {
+			c = n
+		}
+		if i == 0 || c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 1 {
+		out = append(out, n)
+	}
+	// Ensure the frame covers [0, n].
+	if out[0] != 0 {
+		out = append([]int{0}, out...)
+	}
+	if out[len(out)-1] != n {
+		out = append(out, n)
+	}
+	return out
+}
+
+// GridCuts stratifies by attribute values for the SSP baseline (§3.1): it
+// produces per-dimension quantile boundaries splitting a surrogate
+// attribute into k parts. Combined across two attributes this yields the
+// paper's "2-dimensional strata".
+func GridCuts(values []float64, k int) []float64 {
+	if k < 1 {
+		k = 1
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	bounds := make([]float64, 0, k-1)
+	for i := 1; i < k; i++ {
+		idx := i * len(s) / k
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		bounds = append(bounds, s[idx])
+	}
+	return bounds
+}
+
+// GridAssign maps a value to its grid cell given ascending bounds.
+func GridAssign(v float64, bounds []float64) int {
+	return sort.SearchFloat64s(bounds, v)
+}

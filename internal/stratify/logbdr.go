@@ -1,0 +1,97 @@
+package stratify
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogBdr is the any-H designer of §4.2.1 and Appendix B: it enumerates all
+// contiguous partitions of the pilot samples into H groups, and for each of
+// the H−1 inter-group gaps considers candidate boundary positions at
+// power-of-two offsets from the left sample's rank (plus the rightmost
+// position), evaluating eq. (5) for every combination.
+//
+// Theorem 2: assuming N_⊔ > n, the result is within a
+// max{4, 2 + 2·max_h N*_h/(N*_h − n)} factor of the optimum, in
+// O(N log m + H m^{H−1} log^{H−1} N) time. The m^{H−1} term makes this
+// designer practical only for small m or H; DynPgm is the scalable
+// alternative.
+func LogBdr(p *Pilot, H, n int, c Constraints) (*Design, error) {
+	c = c.normalized()
+	if err := validateDesignInput(p, H, n, c); err != nil {
+		return nil, err
+	}
+	m := p.M()
+	N := p.N
+	mq := c.MinPilotPerStratum
+	rank := func(k int) int { return p.Pos[k-1] + 1 } // 1-based
+
+	best := &Design{V: math.Inf(1)}
+	// ends[k] = 1-based index of the last pilot sample in group k+1.
+	ends := make([]int, H-1)
+	cuts := make([]int, H+1)
+	cuts[0], cuts[H] = 0, N
+
+	// candidates returns boundary positions for the gap after sample e:
+	// {ı_e + 2^t} ∩ [ı_e, ı_{e+1}) plus ı_{e+1} − 1.
+	candidates := func(e int) []int {
+		left := rank(e)
+		right := rank(e + 1)
+		out := []int{left}
+		for step := 1; left+step < right; step <<= 1 {
+			out = append(out, left+step)
+		}
+		if last := right - 1; last != out[len(out)-1] {
+			out = append(out, last)
+		}
+		return out
+	}
+
+	var chooseBoundary func(k int)
+	chooseBoundary = func(k int) {
+		if k == H-1 {
+			if c.feasible(p, cuts) {
+				if v := NeymanObjective(p, cuts, n); v < best.V {
+					best.V = v
+					best.Cuts = append([]int(nil), cuts...)
+				}
+			}
+			return
+		}
+		for _, b := range candidates(ends[k]) {
+			if b <= cuts[k] { // strictly increasing cuts
+				continue
+			}
+			cuts[k+1] = b
+			chooseBoundary(k + 1)
+		}
+	}
+
+	var choosePartition func(k, start int)
+	choosePartition = func(k, start int) {
+		if k == H-1 {
+			// Remaining samples (ends[H-2], m] form the last group.
+			if m-ends[H-2] < mq {
+				return
+			}
+			chooseBoundary(0)
+			return
+		}
+		// Group k+1 covers samples (prev, e]; need ≥ mq samples in it and
+		// enough left for the remaining groups.
+		prev := 0
+		if k > 0 {
+			prev = ends[k-1]
+		}
+		for e := prev + mq; e <= m-(H-1-k)*mq; e++ {
+			ends[k] = e
+			choosePartition(k+1, e)
+		}
+	}
+	choosePartition(0, 0)
+
+	if best.Cuts == nil {
+		return nil, fmt.Errorf("stratify: LogBdr found no feasible %d-stratification", H)
+	}
+	return best, nil
+}
