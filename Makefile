@@ -1,0 +1,44 @@
+# Repository verification and benchmarking entry points.
+#
+#   make check        build + vet + race-enabled tests (tier-1 gate and more)
+#   make test         plain test run
+#   make bench-smoke  1-iteration pass over the figure benchmark and the
+#                     perf micro-benchmarks, emitted as BENCH_smoke.json
+#   make bench-full   3-second benchmark pass (slow; for recorded numbers)
+
+GO ?= go
+
+# Benchmarks are piped into benchjson; without pipefail a failed bench run
+# would exit 0 and silently overwrite the snapshot with a partial one.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+.PHONY: check build vet test race bench-smoke bench-full
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The figure benchmark plus the parallel-engine micro-benchmarks
+# (forest fit, batched scoring, scoreRest, RunDist).
+BENCH_PATTERN = ^(BenchmarkFig2|BenchmarkForestFit(Seq|Par)|BenchmarkForestScore.*|BenchmarkScoreRest|BenchmarkOrderByScore|BenchmarkRunDist(Seq|Par))$$
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x ./... \
+		| $(GO) run ./tools/benchjson > BENCH_smoke.json
+	@cat BENCH_smoke.json
+
+bench-full:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 2s ./... \
+		| $(GO) run ./tools/benchjson > BENCH_full.json
+	@cat BENCH_full.json

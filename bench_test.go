@@ -25,6 +25,7 @@ func benchOpts() experiment.Options {
 
 func runExperiment(b *testing.B, id string, o experiment.Options) {
 	b.Helper()
+	var evals int64
 	for i := 0; i < b.N; i++ {
 		rep, err := experiment.Run(id, o)
 		if err != nil {
@@ -33,7 +34,12 @@ func runExperiment(b *testing.B, id string, o experiment.Options) {
 		if err := rep.WriteText(io.Discard); err != nil {
 			b.Fatal(err)
 		}
+		evals += rep.Evals
 	}
+	// Predicate evaluations are the paper's cost unit; reporting them per
+	// op proves a perf win came from faster execution, not from doing less
+	// sampling work.
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
 }
 
 // BenchmarkTable1 regenerates Table 1 (result-set sizes per regime).

@@ -30,6 +30,7 @@ func main() {
 		fracs   = flag.String("fracs", "", "comma-separated sample fractions (default 0.01,0.02)")
 		csvOut  = flag.String("csv", "", "also write results as CSV to this file (one block per experiment)")
 		full    = flag.Bool("full", false, "paper scale: full dataset sizes and 100 trials")
+		para    = flag.Int("p", 0, "concurrent trials per distribution (0 = all cores, 1 = sequential); results are identical at any value")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lsbench [flags] <experiment>...|all\n")
@@ -43,10 +44,11 @@ func main() {
 	}
 
 	opts := experiment.Options{
-		Rows:    *rows,
-		Trials:  *trials,
-		Seed:    *seed,
-		Dataset: *dataset,
+		Rows:        *rows,
+		Trials:      *trials,
+		Seed:        *seed,
+		Dataset:     *dataset,
+		Parallelism: *para,
 	}
 	if *full {
 		opts.Rows = paperRows(*dataset)

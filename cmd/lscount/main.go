@@ -30,6 +30,7 @@ func main() {
 		clfName   = flag.String("classifier", "rf", "classifier for learned methods: rf knn nn random")
 		strata    = flag.Int("strata", 4, "strata for stratified methods")
 		expensive = flag.Bool("expensive", false, "use the real O(N)-per-eval predicate instead of cached labels")
+		para      = flag.Int("p", 0, "parallelism for forest training and batch scoring (0 = all cores, 1 = sequential); the estimate is identical at any value")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 	var newClf core.NewClassifierFunc
 	switch *clfName {
 	case "rf":
-		newClf = core.DefaultForest
+		newClf = core.ForestClassifier(*para)
 	case "knn":
 		newClf = func(uint64) learn.Classifier { return learn.NewKNN(5) }
 	case "nn":

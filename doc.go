@@ -29,11 +29,27 @@
 //	internal/stats       descriptive stats, normal/t quantiles, intervals
 //	internal/workload    calibrated instances for the paper's six regimes
 //	internal/experiment  drivers regenerating Table 1 and Figures 1–8
+//	internal/par         bounded worker pools for deterministic parallelism
 //	internal/xrand       deterministic xoshiro256** randomness
+//
+// # Deterministic parallelism
+//
+// Experiment trials (experiment.RunDistP), random-forest training, and
+// batched forest scoring fan out across a bounded worker pool
+// (internal/par). Every unit of work receives its own xrand sub-stream,
+// split from the parent stream in a fixed order before anything is
+// dispatched, and writes only its own output slot — so a given seed
+// produces bit-identical estimates at any parallelism degree and any
+// GOMAXPROCS. The -p flag on both binaries (and Options.Parallelism /
+// RandomForest.Parallelism in code) bounds the worker count; 0 means all
+// cores, 1 forces sequential execution. EXPERIMENTS.md describes the model
+// and records measured speedups.
 //
 // Binaries: cmd/lscount (single estimation) and cmd/lsbench (regenerate any
 // paper table/figure). Runnable walkthroughs live under examples/.
 //
 // The benchmarks in bench_test.go regenerate each table and figure at
-// reduced scale; see EXPERIMENTS.md for paper-versus-measured results.
+// reduced scale and report predicate evaluations per op; `make check`
+// builds, vets, and runs the race-enabled test suite, and
+// `make bench-smoke` snapshots the benchmark set to BENCH_smoke.json.
 package repro

@@ -92,9 +92,22 @@ type Method interface {
 // independent yet reproducible.
 type NewClassifierFunc func(seed uint64) learn.Classifier
 
+// ForestClassifier returns a constructor for the paper's default
+// classifier — a random forest with 100 trees — with the given internal
+// parallelism (0 = all cores, 1 = sequential). Callers that already
+// parallelize at an outer level (e.g. concurrent experiment trials) should
+// pass 1 so nested pools don't oversubscribe the machine.
+func ForestClassifier(parallelism int) NewClassifierFunc {
+	return func(seed uint64) learn.Classifier {
+		f := learn.NewRandomForest(100, seed)
+		f.Parallelism = parallelism
+		return f
+	}
+}
+
 // DefaultForest is the paper's default classifier: a random forest with 100
-// trees.
-func DefaultForest(seed uint64) learn.Classifier { return learn.NewRandomForest(100, seed) }
+// trees, training and scoring on all cores.
+func DefaultForest(seed uint64) learn.Classifier { return ForestClassifier(0)(seed) }
 
 // timedPred wraps a predicate, accumulating the wall time spent inside q so
 // Timing can separate labeling cost from overhead.

@@ -84,43 +84,56 @@ func runLearnPhase(obj *ObjectSet, pred predicate.Predicate, nLearn int,
 }
 
 // scoreRest scores every object outside the labeled set and returns the
-// remaining object indices with their scores.
+// remaining object indices with their scores. Membership uses a []bool
+// bitmap (indices are dense in [0, N)), and scoring goes through the
+// classifier's batch path when it has one — for the default random forest
+// that means one cache-friendly, parallel pass instead of N interface
+// calls.
 func scoreRest(obj *ObjectSet, clf learn.Classifier, labeled []int) (restIdx []int, scores []float64) {
-	inSL := make(map[int]bool, len(labeled))
+	inSL := make([]bool, obj.N())
 	for _, i := range labeled {
 		inSL[i] = true
 	}
 	restIdx = make([]int, 0, obj.N()-len(labeled))
-	scores = make([]float64, 0, obj.N()-len(labeled))
 	for i := 0; i < obj.N(); i++ {
-		if inSL[i] {
-			continue
+		if !inSL[i] {
+			restIdx = append(restIdx, i)
 		}
-		restIdx = append(restIdx, i)
-		scores = append(scores, clf.Score(obj.Features[i]))
 	}
-	return restIdx, scores
+	restX := make([][]float64, len(restIdx))
+	for j, i := range restIdx {
+		restX[j] = obj.Features[i]
+	}
+	return restIdx, learn.ScoreAll(clf, restX)
+}
+
+// byScoreThenIndex sorts restIdx and scores together, ascending by score
+// with index tie-breaking. The (score, index) key is a strict total order,
+// so the unstable sort.Sort is fully deterministic.
+type byScoreThenIndex struct {
+	idx    []int
+	scores []float64
+}
+
+func (s byScoreThenIndex) Len() int { return len(s.idx) }
+
+func (s byScoreThenIndex) Less(a, b int) bool {
+	if s.scores[a] != s.scores[b] {
+		return s.scores[a] < s.scores[b]
+	}
+	return s.idx[a] < s.idx[b]
+}
+
+func (s byScoreThenIndex) Swap(a, b int) {
+	s.idx[a], s.idx[b] = s.idx[b], s.idx[a]
+	s.scores[a], s.scores[b] = s.scores[b], s.scores[a]
 }
 
 // orderByScore sorts rest indices (and scores) ascending by score, with
-// index tie-breaking for determinism.
+// index tie-breaking for determinism. Sorting the two slices in place
+// through a concrete sort.Interface avoids the permutation buffer, the two
+// scratch slices, and the per-comparison closure dispatch of the previous
+// sort.SliceStable implementation.
 func orderByScore(restIdx []int, scores []float64) {
-	order := make([]int, len(restIdx))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		if scores[order[a]] != scores[order[b]] {
-			return scores[order[a]] < scores[order[b]]
-		}
-		return restIdx[order[a]] < restIdx[order[b]]
-	})
-	ni := make([]int, len(restIdx))
-	ns := make([]float64, len(scores))
-	for p, o := range order {
-		ni[p] = restIdx[o]
-		ns[p] = scores[o]
-	}
-	copy(restIdx, ni)
-	copy(scores, ns)
+	sort.Sort(byScoreThenIndex{idx: restIdx, scores: scores})
 }

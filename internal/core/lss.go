@@ -307,8 +307,9 @@ func (m *LSS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, erro
 		mh, pos := pilot.StratumCounts(cuts[h], cuts[h+1])
 		Sh[h] = stratify.SmoothedStdDev(mh, pos)
 	}
-	// Second-stage pools exclude pilot positions.
-	inPilot := make(map[int]bool, len(pilotPos))
+	// Second-stage pools exclude pilot positions; positions are dense in
+	// [0, M), so a bitmap beats a hash set in this O(M) loop.
+	inPilot := make([]bool, M)
 	for _, p := range pilotPos {
 		inPilot[p] = true
 	}

@@ -110,6 +110,7 @@ func AblateDesigners(o Options) (*Report, error) {
 			v := stratify.NeymanObjective(pilot, d.Cuts, nII)
 			rep.AddRow(name, sz.String(), a.label, a.h, pilot.M(), v, float64(dur.Microseconds())/1000)
 		}
+		rep.Evals += obj.Pred.Evals()
 	}
 	return rep, nil
 }
@@ -146,7 +147,7 @@ func AblateLWS(o Options) (*Report, error) {
 			in := suite.Instances[sz]
 			budget := budgetFor(in, frac)
 			for _, v := range variants {
-				d, err := RunDist(v.m, in, budget, o.trials(), o.seed()+uint64(sz)*61)
+				d, err := o.distFor(rep, v.m, in, budget, o.seed()+uint64(sz)*61)
 				if err != nil {
 					return nil, err
 				}

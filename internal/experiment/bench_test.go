@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func benchInstance(b *testing.B) *workload.Instance {
+	b.Helper()
+	suite, err := workload.Build("neighbors", 3000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return suite.Instances[workload.S]
+}
+
+func benchRunDist(b *testing.B, parallelism int) {
+	in := benchInstance(b)
+	// Sequential forest inside each trial: the trial pool is the axis
+	// under measurement.
+	m := &core.LSS{NewClassifier: core.ForestClassifier(1), TrainFrac: 0.25, Strata: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := RunDistP(m, in, 120, 10, 1, parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(d.TotalEvals), "evals/op")
+	}
+}
+
+// BenchmarkRunDistSeq runs 10 LSS trials strictly sequentially.
+func BenchmarkRunDistSeq(b *testing.B) { benchRunDist(b, 1) }
+
+// BenchmarkRunDistPar fans the same 10 trials across all cores; estimates
+// are bit-identical to the sequential run.
+func BenchmarkRunDistPar(b *testing.B) { benchRunDist(b, 0) }

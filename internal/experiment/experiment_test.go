@@ -75,8 +75,8 @@ func TestRunDist(t *testing.T) {
 	if len(d.Estimates) != 8 {
 		t.Fatalf("estimates = %d", len(d.Estimates))
 	}
-	if d.MeanEvals != 150 {
-		t.Fatalf("MeanEvals = %v", d.MeanEvals)
+	if d.MeanEvals() != 150 {
+		t.Fatalf("MeanEvals = %v", d.MeanEvals())
 	}
 	if d.RelIQR() < 0 {
 		t.Fatal("RelIQR negative")

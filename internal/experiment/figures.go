@@ -102,6 +102,7 @@ func Fig1(o Options) (*Report, error) {
 		m = evalClf(clf)
 		rep.AddRow(stepNo, len(idx), m.Accuracy, m.AUC, m.TPR, m.FPR)
 	}
+	rep.Evals += obj.Pred.Evals()
 	return rep, nil
 }
 
@@ -139,7 +140,7 @@ func Fig2(o Options) (*Report, error) {
 					defaultLSS(),
 				}
 				for _, m := range methods {
-					d, err := RunDist(m, in, budget, o.trials(), o.seed()+uint64(sz)*31+uint64(frac*1000))
+					d, err := o.distFor(rep, m, in, budget, o.seed()+uint64(sz)*31+uint64(frac*1000))
 					if err != nil {
 						return nil, err
 					}
@@ -191,6 +192,7 @@ func Fig3(o Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			rep.Evals += res.Evals
 			tm := res.Timing
 			predD += tm.Predicate
 			totalD += tm.Total()
@@ -234,7 +236,7 @@ func Fig4Layout(o Options) (*Report, error) {
 				for _, lay := range layouts {
 					m := defaultLSS()
 					m.Layout = lay
-					d, err := RunDist(m, in, budget, o.trials(), o.seed()+uint64(sz)*37+uint64(lay))
+					d, err := o.distFor(rep, m, in, budget, o.seed()+uint64(sz)*37+uint64(lay))
 					if err != nil {
 						return nil, err
 					}
@@ -273,7 +275,7 @@ func Fig4Strata(o Options) (*Report, error) {
 						&core.SSP{Strata: h},
 						&core.LSS{NewClassifier: forestClf, TrainFrac: 0.25, Strata: h},
 					} {
-						d, err := RunDist(m, in, budget, o.trials(), o.seed()+uint64(sz)*41+uint64(h))
+						d, err := o.distFor(rep, m, in, budget, o.seed()+uint64(sz)*41+uint64(h))
 						if err != nil {
 							return nil, err
 						}
@@ -308,7 +310,7 @@ func Fig5(o Options) (*Report, error) {
 				for _, split := range splits {
 					m := defaultLSS()
 					m.TrainFrac = split
-					d, err := RunDist(m, in, budget, o.trials(), o.seed()+uint64(sz)*43+uint64(split*100))
+					d, err := o.distFor(rep, m, in, budget, o.seed()+uint64(sz)*43+uint64(split*100))
 					if err != nil {
 						return nil, err
 					}
@@ -358,7 +360,7 @@ func Fig6(o Options) (*Report, error) {
 				for _, clf := range classifierLineup() {
 					m := defaultLSS()
 					m.NewClassifier = clf.newC
-					d, err := RunDist(m, in, budget, o.trials(), o.seed()+uint64(sz)*47)
+					d, err := o.distFor(rep, m, in, budget, o.seed()+uint64(sz)*47)
 					if err != nil {
 						return nil, err
 					}
@@ -395,7 +397,7 @@ func Fig7(o Options) (*Report, error) {
 						&core.QLCC{NewClassifier: clf.newC},
 						&core.LSS{NewClassifier: clf.newC, TrainFrac: 0.25, Strata: 4},
 					} {
-						d, err := RunDist(m, in, budget, o.trials(), o.seed()+uint64(sz)*53)
+						d, err := o.distFor(rep, m, in, budget, o.seed()+uint64(sz)*53)
 						if err != nil {
 							return nil, err
 						}
@@ -436,7 +438,7 @@ func Fig8(o Options) (*Report, error) {
 					{"ac+aug", &core.QLAC{NewClassifier: forestClf, Augment: true}},
 				}
 				for _, v := range variants {
-					d, err := RunDist(v.m, in, budget, o.trials(), o.seed()+uint64(sz)*59)
+					d, err := o.distFor(rep, v.m, in, budget, o.seed()+uint64(sz)*59)
 					if err != nil {
 						return nil, err
 					}

@@ -18,6 +18,10 @@ type Report struct {
 	Notes  []string
 	Header []string
 	Rows   [][]string
+	// Evals is the total number of predicate evaluations the experiment
+	// spent (the paper's cost unit). Benchmarks report it alongside ns/op
+	// so speedups are provably execution-side, not reduced sampling work.
+	Evals int64
 }
 
 // AddRow appends a row, stringifying each cell.

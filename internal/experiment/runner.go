@@ -3,9 +3,11 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/learn"
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -19,6 +21,10 @@ type Options struct {
 	Seed        uint64    // root seed; 0 means 1
 	SampleFracs []float64 // labeling budgets as fraction of N; nil means {0.01, 0.02}
 	Dataset     string    // "sports", "neighbors", or "" (both where applicable)
+	// Parallelism bounds the concurrent trials per distribution: 0 means
+	// GOMAXPROCS, 1 forces sequential execution. Results are bit-identical
+	// at any value (see RunDistP).
+	Parallelism int
 }
 
 func (o Options) rows() int {
@@ -63,11 +69,19 @@ func (o Options) buildSuite(name string) (*workload.Suite, error) {
 
 // Dist is the estimate distribution of one method on one instance.
 type Dist struct {
-	Method    string
-	Estimates []float64
-	Truth     int
-	Summary   stats.Summary
-	MeanEvals float64
+	Method     string
+	Estimates  []float64
+	Truth      int
+	Summary    stats.Summary
+	TotalEvals int64 // predicate evaluations summed over all trials
+}
+
+// MeanEvals is the average number of predicate evaluations per trial.
+func (d *Dist) MeanEvals() float64 {
+	if len(d.Estimates) == 0 {
+		return 0
+	}
+	return float64(d.TotalEvals) / float64(len(d.Estimates))
 }
 
 // RelIQR is the interquartile range normalized by the true count (the
@@ -88,35 +102,87 @@ func (d *Dist) RelMedianErr() float64 {
 }
 
 // RunDist runs trials independent estimations and summarizes the estimate
-// distribution. Each trial draws a fresh sub-stream from the root seed and
-// an independent predicate counter.
+// distribution, fanning trials across all cores. Each trial draws a fresh
+// sub-stream from the root seed and an independent predicate counter.
 func RunDist(m core.Method, in *workload.Instance, budget, trials int, seed uint64) (*Dist, error) {
+	return RunDistP(m, in, budget, trials, seed, 0)
+}
+
+// RunDistP is RunDist with an explicit parallelism degree (0 means
+// GOMAXPROCS, 1 forces sequential execution).
+//
+// Determinism: every per-trial randomness stream is split from the root
+// seed in trial order before any trial is dispatched, each trial gets its
+// own ObjectSet (hence its own predicate counter), and each trial writes
+// only its own result slot. Estimates are therefore bit-identical to the
+// sequential run for any parallelism and any GOMAXPROCS.
+func RunDistP(m core.Method, in *workload.Instance, budget, trials int, seed uint64, parallelism int) (*Dist, error) {
 	if budget < 4 {
 		budget = 4
 	}
+	if trials < 1 {
+		trials = 1
+	}
 	r := xrand.New(seed)
-	ests := make([]float64, 0, trials)
-	var evals int64
-	for t := 0; t < trials; t++ {
-		obj := in.Objects()
-		res, err := m.Estimate(obj, budget, r.Split())
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %s trial %d: %w", m.Name(), t, err)
+	streams := make([]*xrand.Rand, trials)
+	for t := range streams {
+		streams[t] = r.Split()
+	}
+	ests := make([]float64, trials)
+	evals := make([]int64, trials)
+	errs := make([]error, trials)
+	var failed atomic.Bool
+	par.ForEach(par.Workers(parallelism), trials, func(t int) {
+		if failed.Load() {
+			return // a trial already failed; skip the remaining expensive work
 		}
-		ests = append(ests, res.Estimate)
-		evals += res.Evals
+		obj := in.Objects()
+		res, err := m.Estimate(obj, budget, streams[t])
+		if err != nil {
+			errs[t] = fmt.Errorf("experiment: %s trial %d: %w", m.Name(), t, err)
+			failed.Store(true)
+			return
+		}
+		ests[t] = res.Estimate
+		evals[t] = res.Evals
+	})
+	// Report the lowest-indexed recorded error (the only error in a
+	// sequential run; best-effort under early abort, where which later
+	// trials were skipped depends on scheduling).
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var total int64
+	for _, e := range evals {
+		total += e
 	}
 	return &Dist{
-		Method:    m.Name(),
-		Estimates: ests,
-		Truth:     in.TrueCount,
-		Summary:   stats.Summarize(ests),
-		MeanEvals: float64(evals) / float64(trials),
+		Method:     m.Name(),
+		Estimates:  ests,
+		Truth:      in.TrueCount,
+		Summary:    stats.Summarize(ests),
+		TotalEvals: total,
 	}, nil
 }
 
-// Classifier constructors used across the figures.
-func forestClf(seed uint64) learn.Classifier { return learn.NewRandomForest(100, seed) }
+// distFor runs one distribution under the options' trial count and
+// parallelism, charging its predicate evaluations to the report.
+func (o Options) distFor(rep *Report, m core.Method, in *workload.Instance, budget int, seed uint64) (*Dist, error) {
+	d, err := RunDistP(m, in, budget, o.trials(), seed, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	rep.Evals += d.TotalEvals
+	return d, nil
+}
+
+// Classifier constructors used across the figures. The forest runs
+// sequentially inside each trial: trials are the outer parallel axis, and
+// nesting a per-forest pool under P concurrent trials would spawn
+// P × GOMAXPROCS CPU-bound workers.
+func forestClf(seed uint64) learn.Classifier { return core.ForestClassifier(1)(seed) }
 func knnClf(uint64) learn.Classifier         { return learn.NewKNN(5) }
 func mlpClf(seed uint64) learn.Classifier    { return learn.NewMLP(seed) }
 func dummyClf(seed uint64) learn.Classifier  { return learn.NewDummy(seed) }

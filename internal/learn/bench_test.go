@@ -1,0 +1,72 @@
+package learn
+
+import (
+	"testing"
+)
+
+// benchProblem sizes roughly match one LSS learn phase at paper scale:
+// a few hundred labeled rows to fit on, tens of thousands to score.
+func benchProblem(b *testing.B) (trainX [][]float64, trainY []bool, scoreX [][]float64) {
+	b.Helper()
+	trainX, trainY = synthRows(400, 3)
+	scoreX, _ = synthRows(20000, 5)
+	return
+}
+
+func benchForestFit(b *testing.B, parallelism int) {
+	trainX, trainY, _ := benchProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewRandomForest(100, 7)
+		f.Parallelism = parallelism
+		if err := f.Fit(trainX, trainY); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestFitSeq grows 100 trees on one worker.
+func BenchmarkForestFitSeq(b *testing.B) { benchForestFit(b, 1) }
+
+// BenchmarkForestFitPar grows 100 trees on all cores.
+func BenchmarkForestFitPar(b *testing.B) { benchForestFit(b, 0) }
+
+// BenchmarkForestScorePerObject is the pre-batching path: one Score call
+// per object, results collected into a fresh slice as scoreRest used to.
+func BenchmarkForestScorePerObject(b *testing.B) {
+	trainX, trainY, scoreX := benchProblem(b)
+	f := NewRandomForest(100, 7)
+	f.Parallelism = 1
+	if err := f.Fit(trainX, trainY); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := make([]float64, len(scoreX))
+		for j, x := range scoreX {
+			out[j] = f.Score(x)
+		}
+		_ = out
+	}
+}
+
+func benchForestScoreBatch(b *testing.B, parallelism int) {
+	trainX, trainY, scoreX := benchProblem(b)
+	f := NewRandomForest(100, 7)
+	f.Parallelism = parallelism
+	if err := f.Fit(trainX, trainY); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.ScoreBatch(scoreX)
+	}
+}
+
+// BenchmarkForestScoreBatchSeq is the compiled object-major walk, one
+// worker (no chunk dispatch).
+func BenchmarkForestScoreBatchSeq(b *testing.B) { benchForestScoreBatch(b, 1) }
+
+// BenchmarkForestScoreBatchPar is the compiled object-major walk, object
+// chunks fanned across all cores.
+func BenchmarkForestScoreBatchPar(b *testing.B) { benchForestScoreBatch(b, 0) }

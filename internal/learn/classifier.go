@@ -28,6 +28,27 @@ type Classifier interface {
 	Score(x []float64) float64
 }
 
+// BatchScorer is implemented by classifiers that can score many rows at
+// once, amortizing per-call dispatch and enabling cache-friendly layouts
+// and internal parallelism. ScoreBatch must return exactly one score per
+// row, bit-equal to calling Score on that row.
+type BatchScorer interface {
+	ScoreBatch(X [][]float64) []float64
+}
+
+// ScoreAll scores every row of X, using the classifier's batch path when it
+// has one and falling back to per-row Score calls otherwise.
+func ScoreAll(c Classifier, X [][]float64) []float64 {
+	if bs, ok := c.(BatchScorer); ok {
+		return bs.ScoreBatch(X)
+	}
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = c.Score(x)
+	}
+	return out
+}
+
 // Predict thresholds a classifier score at 0.5.
 func Predict(c Classifier, x []float64) bool { return c.Score(x) >= 0.5 }
 

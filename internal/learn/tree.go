@@ -10,6 +10,11 @@ import (
 // DecisionTree is a CART-style binary classification tree with Gini
 // impurity splits. It is both a standalone classifier and the weak learner
 // inside RandomForest.
+//
+// Fitted nodes are stored in a flat struct-of-arrays layout — parallel
+// feature/threshold/left/right/leaf-probability slices indexed by node id —
+// so scoring walks contiguous memory instead of chasing per-node pointers.
+// Node 0 is the root; children always carry higher ids than their parent.
 type DecisionTree struct {
 	MaxDepth int // 0 means the default 12
 	MinLeaf  int // minimum samples per leaf; 0 means the default 2
@@ -18,14 +23,12 @@ type DecisionTree struct {
 	MTry int
 	Rand *xrand.Rand
 
-	nodes []treeNode
-}
-
-type treeNode struct {
-	feature     int // -1 for leaf
-	threshold   float64
-	left, right int
-	prob        float64 // positive fraction at this node
+	// Struct-of-arrays node storage (see type comment).
+	feature   []int32 // split feature, or -1 for a leaf
+	threshold []float64
+	left      []int32
+	right     []int32
+	prob      []float64 // positive fraction at the node
 }
 
 // NewDecisionTree returns a tree with the given depth cap.
@@ -50,6 +53,9 @@ func (t *DecisionTree) minLeaf() int {
 	return t.MinLeaf
 }
 
+// numNodes returns the fitted node count (0 before Fit).
+func (t *DecisionTree) numNodes() int { return len(t.feature) }
+
 // Fit grows the tree on (X, y).
 func (t *DecisionTree) Fit(X [][]float64, y []bool) error {
 	if err := validateFit(X, y); err != nil {
@@ -59,9 +65,23 @@ func (t *DecisionTree) Fit(X [][]float64, y []bool) error {
 	for i := range idx {
 		idx[i] = i
 	}
-	t.nodes = t.nodes[:0]
+	t.feature = t.feature[:0]
+	t.threshold = t.threshold[:0]
+	t.left = t.left[:0]
+	t.right = t.right[:0]
+	t.prob = t.prob[:0]
 	t.grow(X, y, idx, 0)
 	return nil
+}
+
+// appendLeaf adds a node with no split yet and returns its id.
+func (t *DecisionTree) appendLeaf(prob float64) int {
+	t.feature = append(t.feature, -1)
+	t.threshold = append(t.threshold, 0)
+	t.left = append(t.left, 0)
+	t.right = append(t.right, 0)
+	t.prob = append(t.prob, prob)
+	return len(t.feature) - 1
 }
 
 // grow builds the subtree over idx and returns its node index.
@@ -73,8 +93,7 @@ func (t *DecisionTree) grow(X [][]float64, y []bool, idx []int, depth int) int {
 		}
 	}
 	prob := float64(pos) / float64(len(idx))
-	ni := len(t.nodes)
-	t.nodes = append(t.nodes, treeNode{feature: -1, prob: prob})
+	ni := t.appendLeaf(prob)
 	if depth >= t.maxDepth() || pos == 0 || pos == len(idx) || len(idx) < 2*t.minLeaf() {
 		return ni
 	}
@@ -93,12 +112,15 @@ func (t *DecisionTree) grow(X [][]float64, y []bool, idx []int, depth int) int {
 	if len(left) < t.minLeaf() || len(right) < t.minLeaf() {
 		return ni
 	}
+	// The left subtree is appended immediately after its parent, so the
+	// left child id is always ni+1 — compileForest's packed layout relies
+	// on this to keep child links implicit.
 	l := t.grow(X, y, left, depth+1)
 	r := t.grow(X, y, right, depth+1)
-	t.nodes[ni].feature = feat
-	t.nodes[ni].threshold = thresh
-	t.nodes[ni].left = l
-	t.nodes[ni].right = r
+	t.feature[ni] = int32(feat)
+	t.threshold[ni] = thresh
+	t.left[ni] = int32(l)
+	t.right[ni] = int32(r)
 	return ni
 }
 
@@ -169,38 +191,34 @@ func giniImpurity(pos, n int) float64 {
 
 // Score walks the tree and returns the leaf's positive fraction.
 func (t *DecisionTree) Score(x []float64) float64 {
-	if len(t.nodes) == 0 {
+	if len(t.feature) == 0 {
 		return 0.5
 	}
-	ni := 0
+	ni := int32(0)
 	for {
-		node := &t.nodes[ni]
-		if node.feature < 0 {
-			return node.prob
+		f := t.feature[ni]
+		if f < 0 || int(f) >= len(x) {
+			return t.prob[ni]
 		}
-		if node.feature >= len(x) {
-			return node.prob
-		}
-		if x[node.feature] <= node.threshold {
-			ni = node.left
+		if x[f] <= t.threshold[ni] {
+			ni = t.left[ni]
 		} else {
-			ni = node.right
+			ni = t.right[ni]
 		}
 	}
 }
 
 // Depth returns the height of the fitted tree (0 for a stump).
 func (t *DecisionTree) Depth() int {
-	if len(t.nodes) == 0 {
+	if len(t.feature) == 0 {
 		return 0
 	}
-	var depth func(ni int) int
-	depth = func(ni int) int {
-		n := &t.nodes[ni]
-		if n.feature < 0 {
+	var depth func(ni int32) int
+	depth = func(ni int32) int {
+		if t.feature[ni] < 0 {
 			return 0
 		}
-		l, r := depth(n.left), depth(n.right)
+		l, r := depth(t.left[ni]), depth(t.right[ni])
 		return 1 + int(math.Max(float64(l), float64(r)))
 	}
 	return depth(0)
