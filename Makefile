@@ -13,7 +13,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check build vet test race bench-smoke bench-full
+.PHONY: check build vet test race bench-smoke bench-full serve-smoke
 
 check: build vet race
 
@@ -42,3 +42,10 @@ bench-full:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 2s ./... \
 		| $(GO) run ./tools/benchjson > BENCH_full.json
 	@cat BENCH_full.json
+
+# One pass over the counting-service benchmark (cold vs warm cache),
+# emitted as BENCH_serve.json.
+serve-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkServeCount$$' -benchtime 1x ./internal/service/ \
+		| $(GO) run ./tools/benchjson > BENCH_serve.json
+	@cat BENCH_serve.json

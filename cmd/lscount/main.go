@@ -1,9 +1,17 @@
-// Command lscount runs one count estimation on a calibrated workload and
-// prints the estimate, confidence interval, true count, and cost breakdown.
+// Command lscount runs one count estimation and prints the estimate,
+// confidence interval, true count, and cost breakdown.
 //
-// Usage:
+// Calibrated-workload mode (the paper's benchmarks):
 //
 //	lscount -dataset neighbors -size S -method lss -budget 0.02
+//
+// Ad-hoc SQL mode (your own data): give a counting query and a CSV file;
+// the query is decomposed per §2, features are selected automatically from
+// the columns the predicate reads, and the count is estimated within the
+// budget. The CSV is registered under the first table name in FROM.
+//
+//	lscount -sql 'SELECT o1.id FROM D o1, D o2 WHERE ... GROUP BY o1.id HAVING COUNT(*) < k' \
+//	        -csv points.csv -schema id:int,x:float,y:float -param k=25 -method lss -budget 0.05
 package main
 
 import (
@@ -11,10 +19,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/learn"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/service"
+	"repro/internal/sql"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -31,8 +43,20 @@ func main() {
 		strata    = flag.Int("strata", 4, "strata for stratified methods")
 		expensive = flag.Bool("expensive", false, "use the real O(N)-per-eval predicate instead of cached labels")
 		para      = flag.Int("p", 0, "parallelism for forest training and batch scoring (0 = all cores, 1 = sequential); the estimate is identical at any value")
+
+		sqlQuery  = flag.String("sql", "", "ad-hoc mode: counting query to estimate (requires -csv and -schema)")
+		csvPath   = flag.String("csv", "", "ad-hoc mode: CSV file with a header row")
+		schemaStr = flag.String("schema", "", "ad-hoc mode: CSV schema, e.g. id:int,x:float,y:float")
+		exact     = flag.Bool("exact", false, "ad-hoc mode: also compute the true count (evaluates q on every object)")
 	)
+	var params paramFlags
+	flag.Var(&params, "param", "ad-hoc mode: query parameter as name=value; numeric values bind as numbers, 'quoted' values as strings (repeatable)")
 	flag.Parse()
+
+	if *sqlQuery != "" {
+		runSQL(*sqlQuery, *csvPath, *schemaStr, params, *method, *clfName, *strata, *budget, *seed, *para, *exact)
+		return
+	}
 
 	sz, err := workload.ParseSize(*sizeStr)
 	if err != nil {
@@ -44,39 +68,13 @@ func main() {
 	}
 	in := suite.Instances[sz]
 
-	var newClf core.NewClassifierFunc
-	switch *clfName {
-	case "rf":
-		newClf = core.ForestClassifier(*para)
-	case "knn":
-		newClf = func(uint64) learn.Classifier { return learn.NewKNN(5) }
-	case "nn":
-		newClf = func(s uint64) learn.Classifier { return learn.NewMLP(s) }
-	case "random":
-		newClf = func(s uint64) learn.Classifier { return learn.NewDummy(s) }
-	default:
+	newClf, err := service.BuildClassifier(*clfName, *para)
+	if err != nil {
 		fatalf("unknown classifier %q", *clfName)
 	}
 
-	var m core.Method
-	switch *method {
-	case "srs":
-		m = &core.SRS{}
-	case "ssp":
-		m = &core.SSP{Strata: *strata}
-	case "ssn":
-		m = &core.SSN{Strata: *strata}
-	case "lws":
-		m = &core.LWS{NewClassifier: newClf}
-	case "lss":
-		m = &core.LSS{NewClassifier: newClf, Strata: *strata}
-	case "qlcc":
-		m = &core.QLCC{NewClassifier: newClf}
-	case "qlac":
-		m = &core.QLAC{NewClassifier: newClf}
-	case "oracle":
-		m = core.Oracle{}
-	default:
+	m, err := service.BuildMethod(*method, newClf, *strata)
+	if err != nil {
 		fatalf("unknown method %q", *method)
 	}
 
@@ -113,6 +111,116 @@ func main() {
 		tm.Learn.Round(time.Microsecond), tm.Design.Round(time.Microsecond),
 		tm.Sample.Round(time.Microsecond), tm.Predicate.Round(time.Microsecond),
 		tm.Overhead().Round(time.Microsecond))
+}
+
+// paramFlags collects repeated -param name=value flags.
+type paramFlags map[string]any
+
+func (p *paramFlags) String() string { return fmt.Sprint(map[string]any(*p)) }
+
+func (p *paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	if *p == nil {
+		*p = make(map[string]any)
+	}
+	switch {
+	case len(val) >= 2 && val[0] == '\'' && val[len(val)-1] == '\'':
+		// 'quoted' forces a string even when the content looks numeric
+		// (e.g. -param "tag='123'" for a string column comparison).
+		(*p)[name] = val[1 : len(val)-1]
+	default:
+		if f, err := strconv.ParseFloat(val, 64); err == nil {
+			(*p)[name] = f
+		} else {
+			(*p)[name] = val
+		}
+	}
+	return nil
+}
+
+// runSQL is the ad-hoc mode: estimate a counting query over a CSV file
+// through the service pipeline (no HTTP involved). The -expensive flag has
+// no meaning here: the ad-hoc predicate always runs through the engine.
+func runSQL(query, csvPath, schemaStr string, params map[string]any, method, clfName string, strata int, budget float64, seed uint64, para int, exact bool) {
+	if csvPath == "" || schemaStr == "" {
+		fatalf("-sql requires -csv and -schema")
+	}
+	schema, err := service.ParseSchema(schemaStr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		fatalf("parse: %v", err)
+	}
+	// The COUNT(*)-wrapped form puts the real query in a FROM subquery;
+	// register the CSV under the table the inner query reads.
+	inner := engine.ExtractInner(stmt)
+	if len(inner.From) == 0 {
+		fatalf("query has no FROM clause")
+	}
+	if inner.From[0].Subquery != nil {
+		fatalf("FROM subqueries are not supported in ad-hoc mode")
+	}
+	tableName := inner.From[0].Name
+	if para == 0 {
+		para = -1 // service semantics: 0 = default (1); the flag promises all cores
+	}
+
+	f, err := os.Open(csvPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tb, err := dataset.ReadCSV(tableName, schema, f)
+	f.Close()
+	if err != nil {
+		fatalf("reading %s: %v", csvPath, err)
+	}
+
+	reg := service.NewRegistry()
+	reg.Register(tb)
+	svc := service.New(reg, service.Options{
+		DefaultMethod: method,
+		Parallelism:   para,
+	})
+	res, err := svc.Count(&service.CountRequest{
+		SQL:        query,
+		Params:     params,
+		Method:     method,
+		Budget:     budget,
+		Classifier: clfName,
+		Strata:     strata,
+		Seed:       seed,
+		Exact:      exact,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("dataset     %s (%d rows from %s)\n", tableName, tb.NumRows(), csvPath)
+	fmt.Printf("query       %s\n", stmt.String())
+	fmt.Printf("fingerprint %s\n", res.Fingerprint)
+	fmt.Printf("objects     %d\n", res.Objects)
+	fmt.Printf("features    %s (auto-selected from the predicate)\n", strings.Join(res.FeatureCols, ", "))
+	fmt.Printf("method      %s\n", res.Method)
+	fmt.Printf("budget      %d q-evaluations\n", res.Budget)
+	fmt.Printf("estimate    %.1f\n", res.Estimate)
+	if res.HasCI {
+		fmt.Printf("95%% CI      [%.1f, %.1f]\n", res.CILo, res.CIHi)
+	} else {
+		fmt.Printf("95%% CI      (none: quantification learning gives no interval)\n")
+	}
+	if res.TrueCount != nil {
+		tc := *res.TrueCount
+		rel := math.Abs(res.Estimate-float64(tc)) / math.Max(1, float64(tc))
+		fmt.Printf("true count  %d\n", tc)
+		fmt.Printf("rel. error  %.2f%%\n", rel*100)
+	}
+	fmt.Printf("evals used  %d\n", res.Evals)
+	fmt.Printf("duration    %.1fms\n", res.DurationMS)
 }
 
 func describe(in *workload.Instance) string {

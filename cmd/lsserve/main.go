@@ -1,0 +1,122 @@
+// Command lsserve runs the counting service: an HTTP server that estimates
+// counts for SQL queries over registered datasets using the paper's learned
+// sampling methods.
+//
+// Usage:
+//
+//	lsserve -addr :8080 -preload sports:8000,neighbors:8000
+//
+// Endpoints (see internal/service):
+//
+//	POST /v1/count     {"sql": "...", "params": {"k": 25}, "method": "lss"}
+//	GET  /v1/datasets  list registered datasets
+//	POST /v1/datasets  upload CSV (?name=D&schema=id:int,x:float)
+//	GET  /v1/stats     metrics: cache hits, admissions, predicate evals
+//	GET  /healthz      liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		preload   = flag.String("preload", "", "builtin datasets to register, e.g. sports:8000,neighbors:8000")
+		seed      = flag.Uint64("seed", 1, "seed for preloaded synthetic datasets")
+		inflight  = flag.Int("max-inflight", 4, "concurrent estimations admitted")
+		queueWait = flag.Duration("queue-timeout", 2*time.Second, "max wait for admission before 503")
+		cacheSize = flag.Int("cache-size", 256, "result cache entries (-1 disables)")
+		cacheTTL  = flag.Duration("cache-ttl", 10*time.Minute, "result cache max age (-1ns disables expiry)")
+		para      = flag.Int("p", 1, "classifier parallelism per request (requests already run concurrently)")
+		budget    = flag.Float64("budget", 0.02, "default labeling budget fraction")
+		method    = flag.String("method", "lss", "default estimation method")
+	)
+	flag.Parse()
+
+	reg := service.NewRegistry()
+	if err := preloadDatasets(reg, *preload, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "lsserve: %v\n", err)
+		os.Exit(2)
+	}
+	svc := service.New(reg, service.Options{
+		MaxInFlight:   *inflight,
+		QueueTimeout:  *queueWait,
+		CacheSize:     *cacheSize,
+		CacheTTL:      *cacheTTL,
+		DefaultMethod: *method,
+		DefaultBudget: *budget,
+		Parallelism:   *para,
+	})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Bound header reads and idle keep-alives so stalled clients
+		// cannot pin connections forever; body reads stay unbounded
+		// because CSV uploads may legitimately be slow (the service
+		// caps their size instead).
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("lsserve: listening on %s (%d datasets)\n", *addr, len(reg.List()))
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "lsserve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Println("lsserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "lsserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// preloadDatasets registers builtin synthetic datasets from a
+// "name:rows,name:rows" spec.
+func preloadDatasets(reg *service.Registry, spec string, seed uint64) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, rowsStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return fmt.Errorf("preload entry %q is not name:rows", part)
+		}
+		rows, err := strconv.Atoi(rowsStr)
+		if err != nil || rows <= 0 {
+			return fmt.Errorf("preload entry %q: bad row count", part)
+		}
+		switch name {
+		case "sports":
+			reg.Register(dataset.Sports(rows, seed))
+		case "neighbors":
+			reg.Register(dataset.Neighbors(rows, seed))
+		default:
+			return fmt.Errorf("unknown builtin dataset %q (want sports or neighbors)", name)
+		}
+	}
+	return nil
+}

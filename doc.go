@@ -29,6 +29,7 @@
 //	internal/stats       descriptive stats, normal/t quantiles, intervals
 //	internal/workload    calibrated instances for the paper's six regimes
 //	internal/experiment  drivers regenerating Table 1 and Figures 1–8
+//	internal/service     the serving layer: registry, pipeline, cache, HTTP API
 //	internal/par         bounded worker pools for deterministic parallelism
 //	internal/xrand       deterministic xoshiro256** randomness
 //
@@ -45,8 +46,22 @@
 // cores, 1 forces sequential execution. EXPERIMENTS.md describes the model
 // and records measured speedups.
 //
-// Binaries: cmd/lscount (single estimation) and cmd/lsbench (regenerate any
-// paper table/figure). Runnable walkthroughs live under examples/.
+// # Counting as a service
+//
+// internal/service turns the pipeline into a server: a thread-safe dataset
+// registry (builtin generators or uploaded CSVs), an end-to-end path from a
+// SQL counting query to an estimate (parse, §2 decomposition, automatic
+// feature selection from the columns the predicate reads, estimation by any
+// method), a result cache keyed by dataset version and canonical query
+// fingerprint (sql.Fingerprint), and admission control that bounds
+// concurrent estimations. Estimates are deterministic in (data, query,
+// method, budget, seed), so caching is lossless and concurrent clients with
+// the same seed receive bit-identical answers. See the SERVICE section of
+// EXPERIMENTS.md for the HTTP API.
+//
+// Binaries: cmd/lscount (single estimation, calibrated or ad-hoc SQL over
+// CSV), cmd/lsbench (regenerate any paper table/figure), and cmd/lsserve
+// (the HTTP counting service). Runnable walkthroughs live under examples/.
 //
 // The benchmarks in bench_test.go regenerate each table and figure at
 // reduced scale and report predicate evaluations per op; `make check`

@@ -105,11 +105,21 @@ func main() {
 		}
 		return b
 	})
+	// Feature selection is automatic: the columns the predicate reads
+	// through the object's alias (here x and y), per the paper's heuristic.
+	featCols, err := engine.NumericFeatureColumns(tb, dec.FeatureCols, map[string]bool{"k": true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfeatures: %v (auto-selected from the predicate)\n", featCols)
+	allFeat, err := tb.Features(featCols...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	features := make([][]float64, objects.NumRows())
-	xi, yi := tb.ColIndex("x"), tb.ColIndex("y")
 	for i := range features {
 		id := int(objects.Value(i, 0).I)
-		features[i] = []float64{tb.Float(id, xi), tb.Float(id, yi)}
+		features[i] = allFeat[id]
 	}
 	obj, err := core.NewObjectSet(features, q)
 	if err != nil {

@@ -27,6 +27,13 @@ type Decomposed struct {
 	Objects   *sql.SelectStmt // Q2
 	Predicate sql.Expr        // Q3, referencing ObjectAlias
 	GroupCols []string        // output column names of Q2, aligned with GROUP BY
+
+	// FeatureCols are the candidate classifier features per the paper's
+	// heuristic: columns referenced through an L alias (or unqualified,
+	// when FROM is entirely L) in the original WHERE and HAVING. Names
+	// that are really free parameters or non-numeric columns survive
+	// here; narrow with NumericFeatureColumns against the object table.
+	FeatureCols []string
 }
 
 // Decompose rewrites a Q1-shaped statement. The statement must have a
@@ -132,10 +139,24 @@ func Decompose(stmt *sql.SelectStmt) (*Decomposed, error) {
 	for i, g := range gls {
 		cols[i] = g.name
 	}
+
+	// Candidate features: what the original predicate reads of the object,
+	// i.e. WHERE and HAVING references through L aliases. With a pure-L
+	// FROM, unqualified names can only be object columns or parameters.
+	featAliases := make([]string, 0, len(lAliases)+1)
+	for a := range lAliases {
+		featAliases = append(featAliases, a)
+	}
+	if len(stmt.From) == len(lRefs) {
+		featAliases = append(featAliases, "")
+	}
+	featSrc := sql.Conjoin(append(sql.SplitConjuncts(stmt.Where), sql.SplitConjuncts(stmt.Having)...))
+
 	return &Decomposed{
-		Objects:   q2,
-		Predicate: &sql.SubqueryExpr{Exists: true, Query: q3},
-		GroupCols: cols,
+		Objects:     q2,
+		Predicate:   &sql.SubqueryExpr{Exists: true, Query: q3},
+		GroupCols:   cols,
+		FeatureCols: FeatureColumns(featSrc, featAliases...),
 	}, nil
 }
 

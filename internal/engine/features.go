@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/sql"
+)
+
+// FeatureColumns returns the column names referenced through any of the
+// given aliases anywhere in e, including inside subquery bodies,
+// deduplicated in first-reference order. Passing "" as one of the aliases
+// also collects unqualified references (useful when the whole FROM clause
+// is the object table, so bare names can only mean object attributes — or
+// free query parameters, which callers filter out afterwards).
+//
+// Applied to a counting query's predicate with the object-side aliases,
+// this is the paper's feature-selection heuristic: the classifier learns
+// over exactly the object attributes the expensive predicate reads.
+//
+// Scoping: qualified references are collected at any depth — a predicate's
+// cost usually lives in a correlated aggregate subquery, and the object
+// columns it correlates on (o.x, o.y) appear only inside that body (which
+// is why sql.WalkExpr, stopping at subquery boundaries, is not used for
+// them). Unqualified references, by contrast, are collected only OUTSIDE
+// subquery bodies: inside one, a bare name resolves to the subquery's own
+// FROM first, so it cannot be assumed to name an object attribute.
+func FeatureColumns(e sql.Expr, aliases ...string) []string {
+	want := make(map[string]bool, len(aliases))
+	for _, a := range aliases {
+		want[a] = true
+	}
+	var out []string
+	seen := make(map[string]bool)
+	collect := func(c *sql.ColumnRef, topLevel bool) {
+		if c.Qualifier == "" && !topLevel {
+			return
+		}
+		if want[c.Qualifier] && !seen[c.Name] {
+			seen[c.Name] = true
+			out = append(out, c.Name)
+		}
+	}
+	var walkExpr func(x sql.Expr, topLevel bool)
+	walkExpr = func(x sql.Expr, topLevel bool) {
+		switch v := x.(type) {
+		case nil:
+		case *sql.ColumnRef:
+			collect(v, topLevel)
+		case *sql.BinaryExpr:
+			walkExpr(v.L, topLevel)
+			walkExpr(v.R, topLevel)
+		case *sql.UnaryExpr:
+			walkExpr(v.X, topLevel)
+		case *sql.FuncCall:
+			for _, a := range v.Args {
+				walkExpr(a, topLevel)
+			}
+		case *sql.SubqueryExpr:
+			// Everything below is inside another scope: qualified refs
+			// still matter (correlation), unqualified ones do not.
+			sql.WalkStmtDeep(v.Query, func(se sql.Expr) {
+				if c, ok := se.(*sql.ColumnRef); ok {
+					collect(c, false)
+				}
+			}, nil)
+		}
+	}
+	walkExpr(e, true)
+	return out
+}
+
+// NumericFeatureColumns narrows candidate feature columns to the ones that
+// can feed a classifier over table t. Resolution mirrors the evaluator's:
+// a name that is a column of t is always a column (params never shadow
+// columns in Scope.resolve), so skip — typically the query's free
+// parameters — only excuses names that are NOT columns; string-typed
+// columns are dropped; and a name that is neither a column nor skippable
+// is an error. An empty result is also an error — a learned method with a
+// zero-width feature matrix would silently degenerate to random sampling,
+// which callers should decide about explicitly.
+func NumericFeatureColumns(t *dataset.Table, candidates []string, skip map[string]bool) ([]string, error) {
+	var cols []string
+	for _, name := range candidates {
+		i := t.ColIndex(name)
+		if i < 0 {
+			if skip[name] {
+				continue
+			}
+			return nil, fmt.Errorf("engine: predicate references %q, which is neither a column of %q nor a bound parameter", name, t.Name)
+		}
+		if t.Schema()[i].Kind != dataset.String {
+			cols = append(cols, name)
+		}
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: predicate references no numeric columns of %q", t.Name)
+	}
+	return cols, nil
+}

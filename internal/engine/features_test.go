@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sql"
+)
+
+func TestFeatureColumnsDescendsIntoSubqueries(t *testing.T) {
+	// Example 2's decomposed predicate: all _o references live inside the
+	// correlated aggregate subquery body.
+	e, err := sql.ParseExpr(
+		"(SELECT COUNT(*) FROM D WHERE x >= _o.x AND y >= _o.y AND (x > _o.x OR y > _o.y)) < k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FeatureColumns(e, ObjectAlias)
+	if want := []string{"x", "y"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("FeatureColumns = %v, want %v", got, want)
+	}
+}
+
+func TestFeatureColumnsOrderDedupAndAliasFilter(t *testing.T) {
+	e, err := sql.ParseExpr("_o.b > 1 AND other.a > _o.b AND _o.a < 2 AND EXISTS (SELECT id FROM D WHERE z = _o.c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FeatureColumns(e, ObjectAlias)
+	if want := []string{"b", "a", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("FeatureColumns = %v, want %v", got, want)
+	}
+}
+
+func TestFeatureColumnsUnqualified(t *testing.T) {
+	e := mustExpr(t, "x > 3 AND o.y < k AND z = 'a'")
+	got := FeatureColumns(e, "o", "")
+	if want := []string{"x", "y", "k", "z"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("FeatureColumns = %v, want %v", got, want)
+	}
+	// Without "", unqualified names are ignored.
+	if got := FeatureColumns(e, "o"); !reflect.DeepEqual(got, []string{"y"}) {
+		t.Errorf("FeatureColumns qualified-only = %v, want [y]", got)
+	}
+}
+
+func TestFeatureColumnsUnqualifiedNotCollectedInSubqueries(t *testing.T) {
+	// Inside a subquery, a bare name binds to the subquery's own FROM (w
+	// is a column of E, not an object attribute); only qualified
+	// correlation refs may be collected there.
+	e := mustExpr(t, "EXISTS (SELECT w FROM E WHERE w > _o.x) AND y > 0")
+	got := FeatureColumns(e, ObjectAlias, "")
+	if want := []string{"x", "y"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("FeatureColumns = %v, want %v (w must not leak out of the subquery scope)", got, want)
+	}
+}
+
+func TestDecomposeFeatureCols(t *testing.T) {
+	// Example 2: object attributes are what the WHERE reads through the
+	// grouped alias o1 — x and y, not the group key id.
+	stmt, err := sql.Parse(`SELECT o1.id FROM D o1, D o2
+		WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+		GROUP BY o1.id HAVING COUNT(*) < k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompose(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"x", "y"}; !reflect.DeepEqual(dec.FeatureCols, want) {
+		t.Errorf("FeatureCols = %v, want %v", dec.FeatureCols, want)
+	}
+}
+
+func TestDecomposeFeatureColsUnqualifiedAndParams(t *testing.T) {
+	// Single-table FROM: unqualified WHERE references are candidate
+	// features; the free parameter k survives as a candidate and is
+	// dropped by NumericFeatureColumns via skip.
+	stmt, err := sql.Parse("SELECT id FROM D WHERE x > k AND tag = 'a' GROUP BY id HAVING COUNT(*) > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompose(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"x", "k", "tag"}; !reflect.DeepEqual(dec.FeatureCols, want) {
+		t.Errorf("FeatureCols = %v, want %v", dec.FeatureCols, want)
+	}
+
+	tb := dataset.New("D", dataset.Schema{
+		{Name: "id", Kind: dataset.Int},
+		{Name: "x", Kind: dataset.Float},
+		{Name: "tag", Kind: dataset.String},
+	})
+	tb.MustAppendRow(int64(0), 1.5, "a")
+	cols, err := NumericFeatureColumns(tb, dec.FeatureCols, map[string]bool{"k": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"x"}; !reflect.DeepEqual(cols, want) {
+		t.Errorf("NumericFeatureColumns = %v, want %v", cols, want)
+	}
+}
+
+func TestNumericFeatureColumnsColumnsWinOverParams(t *testing.T) {
+	// Scope.resolve prefers columns over parameters, so a parameter named
+	// like a referenced column must not drop that column from the
+	// features.
+	tb := dataset.New("D", dataset.Schema{
+		{Name: "x", Kind: dataset.Float},
+		{Name: "y", Kind: dataset.Float},
+	})
+	tb.MustAppendRow(1.0, 2.0)
+	cols, err := NumericFeatureColumns(tb, []string{"x", "y"}, map[string]bool{"x": true, "k": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"x", "y"}; !reflect.DeepEqual(cols, want) {
+		t.Errorf("NumericFeatureColumns = %v, want %v (param must not shadow column)", cols, want)
+	}
+}
+
+func TestNumericFeatureColumnsErrors(t *testing.T) {
+	tb := dataset.New("D", dataset.Schema{
+		{Name: "x", Kind: dataset.Float},
+		{Name: "tag", Kind: dataset.String},
+	})
+	tb.MustAppendRow(1.5, "a")
+
+	if _, err := NumericFeatureColumns(tb, []string{"tag"}, nil); err == nil {
+		t.Error("want error when only string columns are referenced")
+	}
+	if _, err := NumericFeatureColumns(tb, []string{"missing", "x"}, nil); err == nil {
+		t.Error("want error for unknown column")
+	}
+	if _, err := NumericFeatureColumns(tb, nil, nil); err == nil {
+		t.Error("want error for empty candidate list")
+	}
+}
+
+func mustExpr(t *testing.T, s string) sql.Expr {
+	t.Helper()
+	e, err := sql.ParseExpr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

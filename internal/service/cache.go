@@ -1,0 +1,86 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// resultCache is a bounded LRU with per-entry TTL. Estimation results are
+// deterministic in (dataset versions, fingerprint, method, budget, seed),
+// so caching is semantically lossless; the TTL only bounds staleness of
+// wall-clock fields like timing.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ttl time.Duration
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+	now func() time.Time // injectable for tests
+}
+
+type cacheEntry struct {
+	key string
+	val *CountResult
+	at  time.Time
+}
+
+func newResultCache(capacity int, ttl time.Duration) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ttl: ttl,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element),
+		now: time.Now,
+	}
+}
+
+// get returns the cached result for key, if present and fresh.
+func (c *resultCache) get(key string) (*CountResult, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.ttl > 0 && c.now().Sub(e.at) > c.ttl {
+		c.ll.Remove(el)
+		delete(c.m, key)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.val, true
+}
+
+// put stores val under key, evicting the least-recently-used entry when
+// over capacity.
+func (c *resultCache) put(key string, val *CountResult) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.val, e.at = val, c.now()
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, at: c.now()})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries (fresh or not).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

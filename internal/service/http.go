@@ -1,0 +1,142 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/count     JSON CountRequest -> CountResult
+//	GET  /v1/datasets  list registered datasets
+//	POST /v1/datasets  upload a CSV dataset (?name=D&schema=id:int,x:float)
+//	GET  /v1/stats     metrics snapshot
+//	GET  /healthz      liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/count", s.handleCount)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Service) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req CountRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, clientErr("invalid JSON body", err))
+		return
+	}
+	res, err := s.CountCtx(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Registry.List())
+}
+
+func (s *Service) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, badf("missing ?name="))
+		return
+	}
+	schema, err := ParseSchema(r.URL.Query().Get("schema"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	t, err := dataset.ReadCSV(name, schema, http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
+	if err != nil {
+		writeError(w, clientErr("reading CSV", err))
+		return
+	}
+	v := s.Registry.Register(t)
+	writeJSON(w, http.StatusOK, DatasetInfo{
+		Name: name, Rows: t.NumRows(), Cols: t.NumCols(), Version: v,
+	})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Metrics     MetricsSnapshot `json:"metrics"`
+		CachedItems int             `json:"cached_items"`
+		Datasets    []DatasetInfo   `json:"datasets"`
+	}{s.Metrics.Snapshot(), s.cache.len(), s.Registry.List()})
+}
+
+// ParseSchema parses the compact "name:kind,name:kind" schema syntax used
+// by the upload endpoint and the lscount -schema flag. Kinds: int, float,
+// string.
+func ParseSchema(spec string) (dataset.Schema, error) {
+	if spec == "" {
+		return nil, badf("missing schema (want name:kind,name:kind with kinds int|float|string)")
+	}
+	var schema dataset.Schema
+	for _, part := range strings.Split(spec, ",") {
+		name, kind, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || name == "" {
+			return nil, badf("schema entry %q is not name:kind", part)
+		}
+		var k dataset.Kind
+		switch kind {
+		case "int":
+			k = dataset.Int
+		case "float":
+			k = dataset.Float
+		case "string":
+			k = dataset.String
+		default:
+			return nil, badf("schema entry %q: unknown kind %q", part, kind)
+		}
+		schema = append(schema, dataset.Column{Name: name, Kind: k})
+	}
+	return schema, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a failed write
+}
+
+// clientErr marks a body-processing failure as a bad request, except for
+// size-limit violations, which must keep their type so writeError can map
+// them to 413.
+func clientErr(context string, err error) error {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return err
+	}
+	return badf("%s: %v", context, err)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	status := http.StatusInternalServerError
+	switch {
+	case errors.As(err, &tooBig):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrBusy):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": fmt.Sprint(err)})
+}

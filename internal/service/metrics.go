@@ -1,0 +1,44 @@
+package service
+
+import "sync/atomic"
+
+// Metrics holds the service's monotonic counters. All fields are updated
+// atomically; Snapshot returns a consistent-enough copy for reporting
+// (counters may be mid-flight relative to each other, which is fine for
+// monitoring).
+type Metrics struct {
+	Requests       atomic.Int64 // count requests received
+	CacheHits      atomic.Int64 // served from the result cache
+	CacheMisses    atomic.Int64 // required a fresh estimation
+	Rejected       atomic.Int64 // 503s from admission control
+	Errors         atomic.Int64 // failed requests (bad input or internal)
+	EstimatesRun   atomic.Int64 // estimations actually executed
+	PredicateEvals atomic.Int64 // expensive-predicate evaluations spent
+	EstimateNanos  atomic.Int64 // wall time spent inside estimation
+}
+
+// MetricsSnapshot is the JSON form of Metrics.
+type MetricsSnapshot struct {
+	Requests       int64   `json:"requests"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	Rejected       int64   `json:"rejected"`
+	Errors         int64   `json:"errors"`
+	EstimatesRun   int64   `json:"estimates_run"`
+	PredicateEvals int64   `json:"predicate_evals"`
+	EstimateMS     float64 `json:"estimate_ms"`
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:       m.Requests.Load(),
+		CacheHits:      m.CacheHits.Load(),
+		CacheMisses:    m.CacheMisses.Load(),
+		Rejected:       m.Rejected.Load(),
+		Errors:         m.Errors.Load(),
+		EstimatesRun:   m.EstimatesRun.Load(),
+		PredicateEvals: m.PredicateEvals.Load(),
+		EstimateMS:     float64(m.EstimateNanos.Load()) / 1e6,
+	}
+}

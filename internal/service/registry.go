@@ -1,0 +1,97 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+)
+
+// Registry is the shared, thread-safe dataset catalog. Tables are immutable
+// once registered (the engine only reads them); replacing a table under the
+// same name bumps a monotonic version, which cache keys incorporate so
+// stale results can never be served after a reload.
+type Registry struct {
+	mu      sync.RWMutex
+	tables  map[string]*tableEntry
+	counter atomic.Uint64
+}
+
+type tableEntry struct {
+	t       *dataset.Table
+	version uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tables: make(map[string]*tableEntry)}
+}
+
+// Register adds or replaces the table under t.Name, returning the assigned
+// version. The caller must not mutate t afterwards.
+func (r *Registry) Register(t *dataset.Table) uint64 {
+	v := r.counter.Add(1)
+	r.mu.Lock()
+	r.tables[t.Name] = &tableEntry{t: t, version: v}
+	r.mu.Unlock()
+	return v
+}
+
+// Get returns the named table and its registration version.
+func (r *Registry) Get(name string) (*dataset.Table, uint64, bool) {
+	r.mu.RLock()
+	e, ok := r.tables[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, 0, false
+	}
+	return e.t, e.version, true
+}
+
+// DatasetInfo describes one registered table.
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	Rows    int    `json:"rows"`
+	Cols    int    `json:"cols"`
+	Version uint64 `json:"version"`
+}
+
+// List returns all registered tables, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	out := make([]DatasetInfo, 0, len(r.tables))
+	for name, e := range r.tables {
+		out = append(out, DatasetInfo{
+			Name:    name,
+			Rows:    e.t.NumRows(),
+			Cols:    e.t.NumCols(),
+			Version: e.version,
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Resolve looks up every named table, returning an engine-ready catalog and
+// a canonical "name@version,…" string for cache keys.
+func (r *Registry) Resolve(names []string) (map[string]*dataset.Table, string, error) {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	cat := make(map[string]*dataset.Table, len(sorted))
+	ver := ""
+	for i, name := range sorted {
+		t, v, ok := r.Get(name)
+		if !ok {
+			return nil, "", fmt.Errorf("%w: unknown dataset %q", ErrBadRequest, name)
+		}
+		if i > 0 {
+			ver += ","
+		}
+		ver += fmt.Sprintf("%s@%d", name, v)
+		cat[name] = t
+	}
+	return cat, ver, nil
+}

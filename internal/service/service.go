@@ -1,0 +1,653 @@
+// Package service is the serving layer over the paper's estimators: a
+// thread-safe dataset registry, an end-to-end pipeline from a SQL counting
+// query to an estimate with a confidence interval, a fingerprint-keyed
+// result cache, and admission control for concurrent requests. The HTTP
+// front end lives in http.go and is exposed by cmd/lsserve.
+//
+// The pipeline per request: parse the query (internal/sql), rewrite it into
+// the §2 object/predicate form (engine.Decompose), enumerate objects with
+// the cheap Q2, derive classifier features automatically from the columns
+// the predicate reads (Decomposed.FeatureCols), wrap the expensive Q3 as an
+// engine-backed predicate, and hand the resulting core.ObjectSet to any of
+// the paper's methods. Results are deterministic in (dataset versions,
+// query fingerprint, method, budget, seed), which makes the cache
+// semantically lossless and lets concurrent clients verify bit-identical
+// answers.
+//
+// Concurrency model: registered tables are immutable, each request builds
+// its own evaluator/predicate/object set, and a bounded semaphore admits at
+// most MaxInFlight estimations at once — a request that cannot start within
+// QueueTimeout fails fast with ErrBusy instead of piling up.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/learn"
+	"repro/internal/predicate"
+	"repro/internal/sql"
+	"repro/internal/xrand"
+)
+
+// ErrBadRequest marks client errors (unparseable SQL, unknown datasets,
+// invalid knobs); the HTTP layer maps it to 400.
+var ErrBadRequest = errors.New("service: bad request")
+
+// ErrBusy is returned when admission control cannot start the estimation
+// within the queue timeout; the HTTP layer maps it to 503.
+var ErrBusy = errors.New("service: too many estimations in flight")
+
+// Options configures a Service. Zero values select the documented defaults.
+type Options struct {
+	MaxInFlight    int           // concurrent estimations admitted (default 4)
+	QueueTimeout   time.Duration // max wait for admission (default 2s)
+	CacheSize      int           // result-cache entries; 0 default 256, <0 disables
+	CacheTTL       time.Duration // result max age; 0 default 10m, <0 no expiry
+	DefaultMethod  string        // method when the request omits one (default "lss")
+	DefaultBudget  float64       // budget fraction when omitted (default 0.02)
+	Parallelism    int           // per-request classifier parallelism (0 default 1, <0 all cores)
+	MaxUploadBytes int64         // CSV upload limit (0 default 64 MiB)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 2 * time.Second
+	}
+	switch {
+	case o.CacheSize == 0:
+		o.CacheSize = 256
+	case o.CacheSize < 0:
+		o.CacheSize = 0
+	}
+	switch {
+	case o.CacheTTL == 0:
+		o.CacheTTL = 10 * time.Minute
+	case o.CacheTTL < 0:
+		o.CacheTTL = 0
+	}
+	if o.DefaultMethod == "" {
+		o.DefaultMethod = "lss"
+	}
+	if o.DefaultBudget <= 0 {
+		o.DefaultBudget = 0.02
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = 1
+	}
+	if o.MaxUploadBytes == 0 {
+		o.MaxUploadBytes = 64 << 20
+	}
+	return o
+}
+
+// Service wires the registry, cache, metrics, and admission control around
+// the estimation pipeline.
+type Service struct {
+	Registry *Registry
+	Metrics  *Metrics
+	opts     Options
+	cache    *resultCache
+	sem      chan struct{}
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	memoMu sync.Mutex
+	memos  map[*dataset.Table]map[string]*tableMemo
+}
+
+// tableMemo caches the per-table-snapshot artifacts that every uncached
+// request over the same table would otherwise rebuild: the O(N) group-key
+// index and the full feature matrix. The outer map is keyed by the table
+// pointer itself — registered tables are immutable, and keying (and thus
+// retaining) the pointer means a freed table's address can never be reused
+// by a new table while its memo exists.
+type tableMemo struct {
+	index map[int64]int
+	feats [][]float64
+}
+
+// flight is one in-progress estimation that concurrent identical requests
+// wait on instead of re-running it (results are deterministic in the cache
+// key, so sharing is always correct).
+type flight struct {
+	done chan struct{}
+	res  *CountResult
+	err  error
+}
+
+// New returns a Service over reg with the given options.
+func New(reg *Registry, opts Options) *Service {
+	o := opts.withDefaults()
+	return &Service{
+		Registry: reg,
+		Metrics:  &Metrics{},
+		opts:     o,
+		cache:    newResultCache(o.CacheSize, o.CacheTTL),
+		sem:      make(chan struct{}, o.MaxInFlight),
+		flights:  make(map[string]*flight),
+		memos:    make(map[*dataset.Table]map[string]*tableMemo),
+	}
+}
+
+// CountRequest is one estimation request.
+type CountRequest struct {
+	SQL        string         `json:"sql"`
+	Params     map[string]any `json:"params,omitempty"`     // free identifiers: numbers or strings
+	Method     string         `json:"method,omitempty"`     // srs ssp ssn lws lss qlcc qlac oracle
+	Budget     float64        `json:"budget,omitempty"`     // fraction of |O| to label, (0,1]
+	Classifier string         `json:"classifier,omitempty"` // rf knn nn random (default rf)
+	Strata     int            `json:"strata,omitempty"`     // strata for stratified methods (default 4)
+	Seed       uint64         `json:"seed,omitempty"`
+	Exact      bool           `json:"exact,omitempty"`    // also compute the true count (slow)
+	NoCache    bool           `json:"no_cache,omitempty"` // bypass the result cache
+}
+
+// CountResult is the outcome of one estimation request.
+type CountResult struct {
+	Fingerprint string   `json:"fingerprint"`
+	Method      string   `json:"method"`
+	Objects     int      `json:"objects"` // |O| enumerated by Q2
+	Budget      int      `json:"budget"`  // predicate evaluations allowed
+	Estimate    float64  `json:"estimate"`
+	CILo        float64  `json:"ci_lo"` // meaningful only when has_ci (no omitempty: 0 is a valid bound)
+	CIHi        float64  `json:"ci_hi"`
+	HasCI       bool     `json:"has_ci"`
+	Evals       int64    `json:"evals"` // predicate evaluations spent
+	TrueCount   *int     `json:"true_count,omitempty"`
+	FeatureCols []string `json:"feature_cols,omitempty"`
+	Seed        uint64   `json:"seed"`
+	DurationMS  float64  `json:"duration_ms"`
+	Cached      bool     `json:"cached"`
+}
+
+// badf wraps a client error.
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// Count runs one estimation request end to end.
+func (s *Service) Count(req *CountRequest) (*CountResult, error) {
+	return s.CountCtx(context.Background(), req)
+}
+
+// CountCtx is Count with cancellation: ctx aborts waiting — for admission
+// or for a coalesced in-flight estimation — when the caller goes away. An
+// estimation that has already been admitted runs to completion (the paper's
+// methods have no cancellation points); its result still lands in the cache
+// for the next asker.
+func (s *Service) CountCtx(ctx context.Context, req *CountRequest) (*CountResult, error) {
+	s.Metrics.Requests.Add(1)
+	res, err := func() (r *CountResult, e error) {
+		// A data-dependent evaluation failure deep inside an estimation
+		// (e.g. EngineExists panics on an object the construction-time
+		// validation did not reach) must become a 500, not kill the
+		// request goroutine.
+		defer func() {
+			if p := recover(); p != nil {
+				log.Printf("service: panic serving count request: %v\n%s", p, debug.Stack())
+				r, e = nil, fmt.Errorf("service: internal error: %v", p)
+			}
+		}()
+		return s.count(ctx, req)
+	}()
+	if err != nil {
+		if errors.Is(err, ErrBusy) {
+			s.Metrics.Rejected.Add(1)
+		} else {
+			s.Metrics.Errors.Add(1)
+		}
+	}
+	return res, err
+}
+
+func (s *Service) count(ctx context.Context, req *CountRequest) (*CountResult, error) {
+	if req.SQL == "" {
+		return nil, badf("missing sql")
+	}
+	method := req.Method
+	if method == "" {
+		method = s.opts.DefaultMethod
+	}
+	budgetFrac := req.Budget
+	if budgetFrac == 0 {
+		budgetFrac = s.opts.DefaultBudget
+	}
+	if !(budgetFrac > 0 && budgetFrac <= 1) { // NaN fails both comparisons
+		return nil, badf("budget %v outside (0, 1]", budgetFrac)
+	}
+
+	// Normalize the knobs that have defaults, so a request spelling them
+	// out shares a cache entry with one that omits them — and reject
+	// unknown names before any per-object work.
+	clfName := req.Classifier
+	if clfName == "" {
+		clfName = "rf"
+	}
+	strata := req.Strata
+	if strata <= 0 {
+		strata = 4
+	}
+	newClf, err := BuildClassifier(clfName, s.opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	m, err := BuildMethod(method, newClf, strata)
+	if err != nil {
+		return nil, err
+	}
+
+	stmt, err := sql.Parse(req.SQL)
+	if err != nil {
+		return nil, badf("parse: %v", err)
+	}
+	inner := engine.ExtractInner(stmt)
+
+	params, paramStrs, err := convertParams(req.Params)
+	if err != nil {
+		return nil, err
+	}
+	fp := sql.Fingerprint(inner, paramStrs)
+
+	for _, tr := range inner.From {
+		if tr.Subquery != nil {
+			return nil, badf("FROM subqueries are not supported in served queries")
+		}
+	}
+	// Resolve every table the query touches, including ones referenced
+	// only inside predicate subqueries — they must be in the evaluator's
+	// catalog, and their versions must invalidate cached results.
+	tableNames := sql.Tables(inner)
+	if len(tableNames) == 0 {
+		return nil, badf("query has no FROM clause")
+	}
+	cat, versions, err := s.Registry.Resolve(tableNames)
+	if err != nil {
+		return nil, err
+	}
+
+	key := fmt.Sprintf("%s|%s|%s|%s|%d|%g|%d|%t",
+		versions, fp, method, clfName, strata, budgetFrac, req.Seed, req.Exact)
+	// Every admission attempt this request makes — as leader now or after
+	// retrying a failed leader — draws from one QueueTimeout budget, so
+	// coalescing can neither reject a request before its own window ends
+	// nor let retries stack into multiples of it.
+	admitDeadline := time.Now().Add(s.opts.QueueTimeout)
+
+	var fl *flight
+	if !req.NoCache {
+		if v, ok := s.cache.get(key); ok {
+			s.Metrics.CacheHits.Add(1)
+			out := *v // shallow copy; cached fields are read-only
+			out.Cached = true
+			return &out, nil
+		}
+		// Coalesce concurrent identical requests onto one estimation: a
+		// cold cache plus many clients must not run the same work
+		// MaxInFlight times and 503 the rest.
+		for fl == nil {
+			s.flightMu.Lock()
+			if other, ok := s.flights[key]; ok {
+				s.flightMu.Unlock()
+				select {
+				case <-other.done:
+				case <-ctx.Done():
+					return nil, fmt.Errorf("service: %w", ctx.Err())
+				}
+				if other.err != nil {
+					// The leader's failure to start — its client went
+					// away, or its admission window (which began before
+					// ours) expired — says nothing about this request:
+					// take our own turn, bounded by admitDeadline.
+					if errors.Is(other.err, ErrBusy) ||
+						errors.Is(other.err, context.Canceled) ||
+						errors.Is(other.err, context.DeadlineExceeded) {
+						continue
+					}
+					return nil, other.err
+				}
+				s.Metrics.CacheHits.Add(1)
+				out := *other.res
+				out.Cached = true
+				return &out, nil
+			}
+			// Re-check the cache before becoming leader: a flight that
+			// finished between our miss and here puts its result before
+			// deregistering, so a miss under flightMu is authoritative.
+			if v, ok := s.cache.get(key); ok {
+				s.flightMu.Unlock()
+				s.Metrics.CacheHits.Add(1)
+				out := *v
+				out.Cached = true
+				return &out, nil
+			}
+			fl = &flight{done: make(chan struct{})}
+			s.flights[key] = fl
+			s.flightMu.Unlock()
+		}
+		s.Metrics.CacheMisses.Add(1)
+		defer func() {
+			if fl.res == nil && fl.err == nil {
+				// Reached only if the estimation panicked; don't strand
+				// the waiters with a nil result.
+				fl.err = fmt.Errorf("service: internal error during shared estimation")
+			}
+			s.flightMu.Lock()
+			delete(s.flights, key)
+			s.flightMu.Unlock()
+			close(fl.done)
+		}()
+	}
+
+	res, err := func() (*CountResult, error) {
+		// Admission: at most MaxInFlight estimations run concurrently.
+		wait := time.Until(admitDeadline)
+		if wait <= 0 {
+			return nil, ErrBusy
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-time.After(wait):
+			return nil, ErrBusy
+		case <-ctx.Done():
+			return nil, fmt.Errorf("service: %w", ctx.Err())
+		}
+
+		t0 := time.Now()
+		res, err := s.estimate(inner, cat, params, paramStrs, m, method, budgetFrac, req)
+		if err != nil {
+			return nil, err
+		}
+		res.Fingerprint = fp
+		res.DurationMS = float64(time.Since(t0)) / 1e6
+		s.Metrics.EstimatesRun.Add(1)
+		s.Metrics.EstimateNanos.Add(int64(time.Since(t0)))
+		s.Metrics.PredicateEvals.Add(res.Evals)
+		if !req.NoCache {
+			s.cache.put(key, res)
+		}
+		return res, nil
+	}()
+	if fl != nil {
+		fl.res, fl.err = res, err
+	}
+	return res, err
+}
+
+// estimate is the uncached pipeline: decompose, enumerate, featurize,
+// estimate.
+func (s *Service) estimate(inner *sql.SelectStmt, cat map[string]*dataset.Table,
+	params map[string]engine.Value, paramStrs map[string]string,
+	m core.Method, method string, budgetFrac float64, req *CountRequest) (*CountResult, error) {
+
+	dec, err := engine.Decompose(inner)
+	if err != nil {
+		return nil, badf("decompose: %v", err)
+	}
+	ev := engine.NewEvaluator(engine.Catalog(cat))
+	for name, v := range params {
+		ev.SetParam(name, v)
+	}
+	objects, err := ev.Run(dec.Objects, nil)
+	if err != nil {
+		return nil, badf("enumerating objects: %v", err)
+	}
+	out := &CountResult{Method: method, Objects: objects.NumRows(), Seed: req.Seed}
+	if objects.NumRows() == 0 {
+		out.HasCI = true
+		if req.Exact {
+			zero := 0
+			out.TrueCount = &zero
+		}
+		return out, nil
+	}
+
+	// Feature-free methods (plain random sampling, the exact oracle) skip
+	// feature derivation entirely — and with it the single-unique-integer
+	// group-key restriction it needs.
+	var featCols []string
+	features := make([][]float64, objects.NumRows())
+	if methodNeedsFeatures(method) {
+		ltab := cat[dec.Objects.From[0].Name]
+		skip := make(map[string]bool, len(paramStrs))
+		for name := range paramStrs {
+			skip[name] = true
+		}
+		featCols, err = engine.NumericFeatureColumns(ltab, dec.FeatureCols, skip)
+		if err != nil {
+			return nil, badf("%v", err)
+		}
+		keyCol, err := objectKeyColumn(dec, ltab)
+		if err != nil {
+			return nil, err
+		}
+		memo, err := s.tableData(ltab, keyCol, featCols)
+		if err != nil {
+			return nil, err
+		}
+		for i := range features {
+			v := objects.Value(i, 0)
+			if v.Kind != engine.KInt {
+				return nil, badf("object key is not an integer")
+			}
+			r, ok := memo.index[v.I]
+			if !ok {
+				return nil, badf("object key %d not found in %q", v.I, ltab.Name)
+			}
+			features[i] = memo.feats[r]
+		}
+	}
+
+	pred, err := predicate.NewEngineExists(ev, dec, objects)
+	if err != nil {
+		return nil, badf("%v", err)
+	}
+	obj, err := core.NewObjectSet(features, pred)
+	if err != nil {
+		return nil, badf("%v", err)
+	}
+
+	budget := int(math.Round(budgetFrac * float64(obj.N())))
+	if budget < 10 {
+		budget = 10
+	}
+	if budget > obj.N() {
+		budget = obj.N()
+	}
+	res, err := m.Estimate(obj, budget, xrand.New(req.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("service: estimation failed: %w", err)
+	}
+
+	out.Budget = budget
+	out.Estimate = res.Estimate
+	out.HasCI = res.HasCI
+	if res.HasCI {
+		out.CILo, out.CIHi = res.CI.Lo, res.CI.Hi
+	}
+	out.Evals = res.Evals
+	out.FeatureCols = featCols
+	if req.Exact {
+		tc := predicate.Count(pred, obj.N())
+		out.TrueCount = &tc
+		// The exact pass spends real predicate evaluations too; report
+		// the predicate's full counter, not just the estimation's share.
+		out.Evals = pred.Evals()
+	}
+	return out, nil
+}
+
+// objectKeyColumn validates the decomposition's group key for feature
+// derivation and returns its base-column name. Queries needing features
+// must group by a single integer column that is unique in L (e.g. an id
+// column) — the shape of both of the paper's workloads.
+func objectKeyColumn(dec *engine.Decomposed, ltab *dataset.Table) (string, error) {
+	if len(dec.GroupCols) != 1 {
+		return "", badf("served queries must GROUP BY a single key column; got %d", len(dec.GroupCols))
+	}
+	cr, ok := dec.Objects.Select[0].Expr.(*sql.ColumnRef)
+	if !ok {
+		return "", badf("group key is not a column reference")
+	}
+	ci := ltab.ColIndex(cr.Name)
+	if ci < 0 {
+		return "", badf("table %q has no column %q", ltab.Name, cr.Name)
+	}
+	if ltab.Schema()[ci].Kind != dataset.Int {
+		return "", badf("group key %q must be an integer column", cr.Name)
+	}
+	return cr.Name, nil
+}
+
+// tableData returns the memoized key index and feature matrix for a table
+// snapshot, building them on first use. Both depend only on (table
+// identity, key column, feature columns); tables are immutable once
+// registered, so entries never go stale — a re-registered table is a new
+// pointer and misses naturally.
+func (s *Service) tableData(ltab *dataset.Table, keyCol string, featCols []string) (*tableMemo, error) {
+	memoKey := keyCol + "|" + strings.Join(featCols, ",")
+	s.memoMu.Lock()
+	memo, ok := s.memos[ltab][memoKey]
+	s.memoMu.Unlock()
+	if ok {
+		return memo, nil
+	}
+
+	ci := ltab.ColIndex(keyCol)
+	index := make(map[int64]int, ltab.NumRows())
+	for r := 0; r < ltab.NumRows(); r++ {
+		k := ltab.Int(r, ci)
+		if _, dup := index[k]; dup {
+			return nil, badf("group key %q is not unique in %q (value %d repeats); cannot derive per-object features", keyCol, ltab.Name, k)
+		}
+		index[k] = r
+	}
+	feats, err := ltab.Features(featCols...)
+	if err != nil {
+		return nil, badf("features: %v", err)
+	}
+	memo = &tableMemo{index: index, feats: feats}
+
+	s.memoMu.Lock()
+	// Drop memos pinning table snapshots the registry has since replaced,
+	// so re-uploads don't accumulate stale feature matrices.
+	for t := range s.memos {
+		if cur, _, ok := s.Registry.Get(t.Name); !ok || cur != t {
+			delete(s.memos, t)
+		}
+	}
+	total := 0
+	for _, m := range s.memos {
+		total += len(m)
+	}
+	if total >= 64 { // crude bound; entries are per (table, query shape)
+		clear(s.memos)
+	}
+	if s.memos[ltab] == nil {
+		s.memos[ltab] = make(map[string]*tableMemo)
+	}
+	s.memos[ltab][memoKey] = memo
+	s.memoMu.Unlock()
+	return memo, nil
+}
+
+// convertParams turns JSON parameter values into engine values plus their
+// canonical string form for fingerprinting.
+func convertParams(in map[string]any) (map[string]engine.Value, map[string]string, error) {
+	vals := make(map[string]engine.Value, len(in))
+	strs := make(map[string]string, len(in))
+	for name, raw := range in {
+		switch v := raw.(type) {
+		case float64:
+			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+				vals[name] = engine.IntVal(int64(v))
+				strs[name] = strconv.FormatInt(int64(v), 10)
+			} else {
+				vals[name] = engine.FloatVal(v)
+				strs[name] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		case int:
+			vals[name] = engine.IntVal(int64(v))
+			strs[name] = strconv.Itoa(v)
+		case int64:
+			vals[name] = engine.IntVal(v)
+			strs[name] = strconv.FormatInt(v, 10)
+		case string:
+			vals[name] = engine.StringVal(v)
+			strs[name] = "'" + v + "'"
+		case bool:
+			return nil, nil, badf("parameter %q: booleans are not supported", name)
+		default:
+			return nil, nil, badf("parameter %q has unsupported type %T", name, raw)
+		}
+	}
+	return vals, strs, nil
+}
+
+// methodNeedsFeatures reports whether a method reads ObjectSet.Features:
+// everything except plain random sampling and the exact oracle (grid
+// stratification stratifies on attributes; learned and quantification
+// methods train on them).
+func methodNeedsFeatures(name string) bool {
+	return name != "srs" && name != "oracle"
+}
+
+// BuildClassifier constructs a named classifier factory. The empty name
+// selects the paper's default random forest. parallelism applies to forest
+// training/scoring: <= 0 means all cores, 1 sequential.
+func BuildClassifier(name string, parallelism int) (core.NewClassifierFunc, error) {
+	switch name {
+	case "", "rf":
+		return core.ForestClassifier(parallelism), nil
+	case "knn":
+		return func(uint64) learn.Classifier { return learn.NewKNN(5) }, nil
+	case "nn":
+		return func(seed uint64) learn.Classifier { return learn.NewMLP(seed) }, nil
+	case "random":
+		return func(seed uint64) learn.Classifier { return learn.NewDummy(seed) }, nil
+	}
+	return nil, badf("unknown classifier %q", name)
+}
+
+// BuildMethod constructs a named estimation method. strata <= 0 selects the
+// paper's default of 4 for stratified methods.
+func BuildMethod(name string, newClf core.NewClassifierFunc, strata int) (core.Method, error) {
+	if strata <= 0 {
+		strata = 4
+	}
+	switch name {
+	case "srs":
+		return &core.SRS{}, nil
+	case "ssp":
+		return &core.SSP{Strata: strata}, nil
+	case "ssn":
+		return &core.SSN{Strata: strata}, nil
+	case "lws":
+		return &core.LWS{NewClassifier: newClf}, nil
+	case "lss":
+		return &core.LSS{NewClassifier: newClf, Strata: strata}, nil
+	case "qlcc":
+		return &core.QLCC{NewClassifier: newClf}, nil
+	case "qlac":
+		return &core.QLAC{NewClassifier: newClf}, nil
+	case "oracle":
+		return core.Oracle{}, nil
+	}
+	return nil, badf("unknown method %q", name)
+}

@@ -258,6 +258,86 @@ func Qualifiers(e Expr) map[string]bool {
 	return qs
 }
 
+// WalkExprDeep calls exprFn on e and every sub-expression in pre-order,
+// descending into subquery bodies (every clause of every nested statement),
+// unlike WalkExpr, which stops at subquery boundaries. A nil exprFn or
+// stmtFn is skipped; stmtFn is called on each nested statement before its
+// clauses are walked.
+func WalkExprDeep(e Expr, exprFn func(Expr), stmtFn func(*SelectStmt)) {
+	walkExprDeep(e, exprFn, stmtFn)
+}
+
+// WalkStmtDeep walks every expression and nested statement of s the way
+// WalkExprDeep does, starting from a statement.
+func WalkStmtDeep(s *SelectStmt, exprFn func(Expr), stmtFn func(*SelectStmt)) {
+	walkStmtDeep(s, exprFn, stmtFn)
+}
+
+func walkExprDeep(e Expr, exprFn func(Expr), stmtFn func(*SelectStmt)) {
+	if e == nil {
+		return
+	}
+	if exprFn != nil {
+		exprFn(e)
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		walkExprDeep(x.L, exprFn, stmtFn)
+		walkExprDeep(x.R, exprFn, stmtFn)
+	case *UnaryExpr:
+		walkExprDeep(x.X, exprFn, stmtFn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkExprDeep(a, exprFn, stmtFn)
+		}
+	case *SubqueryExpr:
+		walkStmtDeep(x.Query, exprFn, stmtFn)
+	}
+}
+
+func walkStmtDeep(s *SelectStmt, exprFn func(Expr), stmtFn func(*SelectStmt)) {
+	if s == nil {
+		return
+	}
+	if stmtFn != nil {
+		stmtFn(s)
+	}
+	for _, tr := range s.From {
+		walkStmtDeep(tr.Subquery, exprFn, stmtFn)
+	}
+	for _, it := range s.Select {
+		if !it.Star {
+			walkExprDeep(it.Expr, exprFn, stmtFn)
+		}
+	}
+	walkExprDeep(s.Where, exprFn, stmtFn)
+	for _, g := range s.GroupBy {
+		walkExprDeep(g, exprFn, stmtFn)
+	}
+	walkExprDeep(s.Having, exprFn, stmtFn)
+	for _, o := range s.OrderBy {
+		walkExprDeep(o.Expr, exprFn, stmtFn)
+	}
+}
+
+// Tables returns the base-table names referenced anywhere in stmt — the
+// FROM clauses of the statement itself, of derived tables, and of
+// subqueries inside any expression — deduplicated in first-reference
+// order.
+func Tables(stmt *SelectStmt) []string {
+	var out []string
+	seen := make(map[string]bool)
+	WalkStmtDeep(stmt, nil, func(s *SelectStmt) {
+		for _, tr := range s.From {
+			if tr.Subquery == nil && !seen[tr.Name] {
+				seen[tr.Name] = true
+				out = append(out, tr.Name)
+			}
+		}
+	})
+	return out
+}
+
 // SplitConjuncts flattens a tree of ANDs into a list of conjuncts.
 func SplitConjuncts(e Expr) []Expr {
 	if e == nil {

@@ -1,0 +1,38 @@
+package sql
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Fingerprint returns a stable 64-bit identifier for a parsed statement plus
+// its bound parameter values, rendered as a fixed-width hex string.
+//
+// The statement is rendered through its canonical String() form, so two query
+// texts that parse to the same tree — differing only in whitespace, keyword
+// case, or redundant formatting — share a fingerprint, while any structural
+// change (an extra conjunct, a different literal, a reordered FROM list)
+// produces a different one. Parameters are folded in sorted by name so map
+// iteration order cannot perturb the result. Identifier case is significant,
+// matching the engine's case-sensitive catalog.
+//
+// The fingerprint is a cache key, not a cryptographic commitment: FNV-1a is
+// cheap and stable across runs, which is exactly what result caches and log
+// correlation need.
+func Fingerprint(stmt *SelectStmt, params map[string]string) string {
+	h := fnv.New64a()
+	h.Write([]byte(stmt.String()))
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		// Length-prefix both fields: concatenation with bare separators
+		// would let crafted names containing the separator bytes collide
+		// with a different (name, value) split.
+		fmt.Fprintf(h, "\x00%d:%s=%d:%s", len(name), name, len(params[name]), params[name])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

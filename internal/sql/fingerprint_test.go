@@ -1,0 +1,99 @@
+package sql
+
+import "testing"
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestFingerprintNormalizesFormatting(t *testing.T) {
+	a := mustParse(t, "SELECT id FROM D WHERE x > 3 GROUP BY id HAVING COUNT(*) < k")
+	b := mustParse(t, "select   id\n from D\twhere x>3 group by id having count(*)<k")
+	fa, fb := Fingerprint(a, nil), Fingerprint(b, nil)
+	if fa != fb {
+		t.Errorf("formatting changed fingerprint: %s vs %s", fa, fb)
+	}
+	if len(fa) != 16 {
+		t.Errorf("fingerprint %q is not 16 hex chars", fa)
+	}
+}
+
+func TestFingerprintStructuralSensitivity(t *testing.T) {
+	base := mustParse(t, "SELECT id FROM D WHERE x > 3")
+	variants := []string{
+		"SELECT id FROM D WHERE x > 4",
+		"SELECT id FROM D WHERE x >= 3",
+		"SELECT id FROM D WHERE x > 3 AND y > 0",
+		"SELECT id FROM E WHERE x > 3",
+		"SELECT y FROM D WHERE x > 3",
+	}
+	f0 := Fingerprint(base, nil)
+	for _, q := range variants {
+		if f := Fingerprint(mustParse(t, q), nil); f == f0 {
+			t.Errorf("variant %q collides with base fingerprint %s", q, f0)
+		}
+	}
+}
+
+func TestFingerprintParams(t *testing.T) {
+	stmt := mustParse(t, "SELECT id FROM D WHERE x > k")
+	f1 := Fingerprint(stmt, map[string]string{"k": "3"})
+	f2 := Fingerprint(stmt, map[string]string{"k": "4"})
+	if f1 == f2 {
+		t.Error("different parameter values share a fingerprint")
+	}
+	f3 := Fingerprint(stmt, map[string]string{"k": "3"})
+	if f1 != f3 {
+		t.Error("fingerprint with identical params is not stable")
+	}
+	// Multiple params must not depend on map iteration order; run a few
+	// times to give a randomized-order bug a chance to show.
+	m := map[string]string{"a": "1", "b": "2", "c": "3", "d": "4"}
+	ref := Fingerprint(stmt, m)
+	for i := 0; i < 20; i++ {
+		if f := Fingerprint(stmt, m); f != ref {
+			t.Fatalf("param order perturbed fingerprint: %s vs %s", f, ref)
+		}
+	}
+}
+
+func TestFingerprintParamEncodingUnambiguous(t *testing.T) {
+	// A crafted single parameter must not hash to the same bytes as two
+	// separate parameters (separator injection into the name/value).
+	stmt := mustParse(t, "SELECT id FROM D")
+	two := Fingerprint(stmt, map[string]string{"a": "x", "b": "y"})
+	one := Fingerprint(stmt, map[string]string{"a": "x\x00b=y"})
+	if two == one {
+		t.Error("separator-injected parameter collides with a two-parameter map")
+	}
+}
+
+func TestFingerprintIdentifierCaseSignificant(t *testing.T) {
+	a := mustParse(t, "SELECT id FROM D")
+	b := mustParse(t, "SELECT id FROM d")
+	if Fingerprint(a, nil) == Fingerprint(b, nil) {
+		t.Error("table identifier case should be significant")
+	}
+}
+
+func TestTables(t *testing.T) {
+	stmt := mustParse(t, `SELECT o1.id FROM D o1, D o2
+		WHERE EXISTS (SELECT id FROM E WHERE id = o1.id)
+		  AND o1.x > (SELECT MAX(x) FROM (SELECT x FROM F) )
+		GROUP BY o1.id HAVING COUNT(*) < k`)
+	got := Tables(stmt)
+	want := []string{"D", "E", "F"}
+	if len(got) != len(want) {
+		t.Fatalf("Tables = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tables = %v, want %v", got, want)
+		}
+	}
+}
