@@ -13,9 +13,14 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check build vet test race bench-smoke bench-full serve-smoke
+.PHONY: check build vet test race api-check bench-smoke bench-full serve-smoke
 
-check: build vet race
+check: build vet api-check race
+
+# Fail if internal/ packages leak into the public SDK's exported
+# signatures (repro/lsample is the compatibility surface).
+api-check:
+	$(GO) run ./tools/apicheck lsample
 
 build:
 	$(GO) build ./...

@@ -1,5 +1,6 @@
-// Command lscount runs one count estimation and prints the estimate,
-// confidence interval, true count, and cost breakdown.
+// Command lscount runs one count estimation through the public repro/lsample
+// SDK and prints the estimate, confidence interval, true count, and cost
+// breakdown. Ctrl-C cancels an in-flight estimation mid-run.
 //
 // Calibrated-workload mode (the paper's benchmarks):
 //
@@ -15,20 +16,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/dataset"
-	"repro/internal/engine"
-	"repro/internal/service"
-	"repro/internal/sql"
 	"repro/internal/workload"
-	"repro/internal/xrand"
+	"repro/lsample"
 )
 
 func main() {
@@ -41,6 +41,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		clfName   = flag.String("classifier", "rf", "classifier for learned methods: rf knn nn random")
 		strata    = flag.Int("strata", 4, "strata for stratified methods")
+		interval  = flag.String("interval", "wald", "confidence interval: wald or wilson (srs)")
 		expensive = flag.Bool("expensive", false, "use the real O(N)-per-eval predicate instead of cached labels")
 		para      = flag.Int("p", 0, "parallelism for forest training and batch scoring (0 = all cores, 1 = sequential); the estimate is identical at any value")
 
@@ -53,8 +54,25 @@ func main() {
 	flag.Var(&params, "param", "ad-hoc mode: query parameter as name=value; numeric values bind as numbers, 'quoted' values as strings (repeatable)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	iv, err := lsample.ParseInterval(*interval)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := []lsample.Option{
+		lsample.WithMethod(*method),
+		lsample.WithClassifier(*clfName),
+		lsample.WithStrata(*strata),
+		lsample.WithBudget(*budget),
+		lsample.WithSeed(*seed),
+		lsample.WithParallelism(*para),
+		lsample.WithInterval(iv),
+	}
+
 	if *sqlQuery != "" {
-		runSQL(*sqlQuery, *csvPath, *schemaStr, params, *method, *clfName, *strata, *budget, *seed, *para, *exact)
+		runSQL(ctx, *sqlQuery, *csvPath, *schemaStr, params, *exact, opts)
 		return
 	}
 
@@ -68,25 +86,15 @@ func main() {
 	}
 	in := suite.Instances[sz]
 
-	newClf, err := service.BuildClassifier(*clfName, *para)
+	est, err := lsample.NewEstimator(opts...)
 	if err != nil {
-		fatalf("unknown classifier %q", *clfName)
+		fatalf("%v", err)
 	}
-
-	m, err := service.BuildMethod(*method, newClf, *strata)
-	if err != nil {
-		fatalf("unknown method %q", *method)
-	}
-
-	obj := in.Objects()
+	pred := in.LabelFunc()
 	if *expensive {
-		obj = in.ExpensiveObjects()
+		pred = in.ExpensiveFunc()
 	}
-	b := int(math.Round(*budget * float64(in.N())))
-	if b < 10 {
-		b = 10
-	}
-	res, err := m.Estimate(obj, b, xrand.New(*seed))
+	res, err := est.Estimate(ctx, in.Features(), pred)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -95,22 +103,26 @@ func main() {
 	fmt.Printf("query       %s\n", describe(in))
 	fmt.Printf("regime      %s (target %.0f%%, actual %.1f%%)\n", sz, in.Target*100, in.Selectivity*100)
 	fmt.Printf("method      %s\n", res.Method)
-	fmt.Printf("budget      %d q-evaluations (%.2f%% of N)\n", b, 100*float64(b)/float64(in.N()))
-	fmt.Printf("estimate    %.1f\n", res.Estimate)
-	if res.HasCI {
-		fmt.Printf("95%% CI      [%.1f, %.1f]\n", res.CI.Lo, res.CI.Hi)
-	} else {
-		fmt.Printf("95%% CI      (none: quantification learning gives no interval)\n")
-	}
+	fmt.Printf("budget      %d q-evaluations (%.2f%% of N)\n", res.Budget, 100*float64(res.Budget)/float64(in.N()))
+	fmt.Printf("estimate    %.1f\n", res.Count)
+	printCI(res)
 	fmt.Printf("true count  %d\n", in.TrueCount)
-	rel := math.Abs(res.Estimate-float64(in.TrueCount)) / math.Max(1, float64(in.TrueCount))
+	rel := math.Abs(res.Count-float64(in.TrueCount)) / math.Max(1, float64(in.TrueCount))
 	fmt.Printf("rel. error  %.2f%%\n", rel*100)
-	fmt.Printf("evals used  %d\n", res.Evals)
-	tm := res.Timing
+	fmt.Printf("evals used  %d\n", res.SamplesUsed)
+	tm := res.Timings
 	fmt.Printf("timing      learn=%v design=%v sample=%v predicate=%v overhead=%v\n",
 		tm.Learn.Round(time.Microsecond), tm.Design.Round(time.Microsecond),
 		tm.Sample.Round(time.Microsecond), tm.Predicate.Round(time.Microsecond),
 		tm.Overhead().Round(time.Microsecond))
+}
+
+func printCI(res *lsample.Estimate) {
+	if res.CI != nil {
+		fmt.Printf("%.0f%% CI      [%.1f, %.1f]\n", res.CI.Level*100, res.CI.Lo, res.CI.Hi)
+	} else {
+		fmt.Printf("95%% CI      (none: quantification learning gives no interval)\n")
+	}
 }
 
 // paramFlags collects repeated -param name=value flags.
@@ -142,85 +154,53 @@ func (p *paramFlags) Set(s string) error {
 }
 
 // runSQL is the ad-hoc mode: estimate a counting query over a CSV file
-// through the service pipeline (no HTTP involved). The -expensive flag has
-// no meaning here: the ad-hoc predicate always runs through the engine.
-func runSQL(query, csvPath, schemaStr string, params map[string]any, method, clfName string, strata int, budget float64, seed uint64, para int, exact bool) {
+// entirely through the SDK — load the CSV as the query's first table,
+// prepare once, execute once. The -expensive flag has no meaning here: the
+// ad-hoc predicate always runs through the engine.
+func runSQL(ctx context.Context, query, csvPath, schemaStr string, params map[string]any, exact bool, opts []lsample.Option) {
 	if csvPath == "" || schemaStr == "" {
 		fatalf("-sql requires -csv and -schema")
 	}
-	schema, err := service.ParseSchema(schemaStr)
+	_, tables, err := lsample.QueryShape(query)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		fatalf("parse: %v", err)
-	}
-	// The COUNT(*)-wrapped form puts the real query in a FROM subquery;
-	// register the CSV under the table the inner query reads.
-	inner := engine.ExtractInner(stmt)
-	if len(inner.From) == 0 {
-		fatalf("query has no FROM clause")
-	}
-	if inner.From[0].Subquery != nil {
-		fatalf("FROM subqueries are not supported in ad-hoc mode")
-	}
-	tableName := inner.From[0].Name
-	if para == 0 {
-		para = -1 // service semantics: 0 = default (1); the flag promises all cores
-	}
-
-	f, err := os.Open(csvPath)
+	tb, err := lsample.OpenCSV(tables[0], schemaStr, csvPath)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	tb, err := dataset.ReadCSV(tableName, schema, f)
-	f.Close()
-	if err != nil {
-		fatalf("reading %s: %v", csvPath, err)
-	}
-
-	reg := service.NewRegistry()
-	reg.Register(tb)
-	svc := service.New(reg, service.Options{
-		DefaultMethod: method,
-		Parallelism:   para,
-	})
-	res, err := svc.Count(&service.CountRequest{
-		SQL:        query,
-		Params:     params,
-		Method:     method,
-		Budget:     budget,
-		Classifier: clfName,
-		Strata:     strata,
-		Seed:       seed,
-		Exact:      exact,
-	})
+	sess, err := lsample.NewSession(lsample.NewMemorySource(tb), opts...)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	q, err := sess.Prepare(query)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	t0 := time.Now()
+	res, err := q.Execute(ctx, params, lsample.WithExact(exact))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	dur := time.Since(t0)
 
-	fmt.Printf("dataset     %s (%d rows from %s)\n", tableName, tb.NumRows(), csvPath)
-	fmt.Printf("query       %s\n", stmt.String())
+	fmt.Printf("dataset     %s (%d rows from %s)\n", tb.Name(), tb.NumRows(), csvPath)
+	fmt.Printf("query       %s\n", q.SQL())
 	fmt.Printf("fingerprint %s\n", res.Fingerprint)
 	fmt.Printf("objects     %d\n", res.Objects)
-	fmt.Printf("features    %s (auto-selected from the predicate)\n", strings.Join(res.FeatureCols, ", "))
+	fmt.Printf("features    %s (auto-selected from the predicate)\n", strings.Join(res.FeatureColumns, ", "))
 	fmt.Printf("method      %s\n", res.Method)
 	fmt.Printf("budget      %d q-evaluations\n", res.Budget)
-	fmt.Printf("estimate    %.1f\n", res.Estimate)
-	if res.HasCI {
-		fmt.Printf("95%% CI      [%.1f, %.1f]\n", res.CILo, res.CIHi)
-	} else {
-		fmt.Printf("95%% CI      (none: quantification learning gives no interval)\n")
-	}
+	fmt.Printf("estimate    %.1f\n", res.Count)
+	printCI(res)
 	if res.TrueCount != nil {
 		tc := *res.TrueCount
-		rel := math.Abs(res.Estimate-float64(tc)) / math.Max(1, float64(tc))
+		rel := math.Abs(res.Count-float64(tc)) / math.Max(1, float64(tc))
 		fmt.Printf("true count  %d\n", tc)
 		fmt.Printf("rel. error  %.2f%%\n", rel*100)
 	}
-	fmt.Printf("evals used  %d\n", res.Evals)
-	fmt.Printf("duration    %.1fms\n", res.DurationMS)
+	fmt.Printf("evals used  %d\n", res.SamplesUsed)
+	fmt.Printf("duration    %.1fms\n", float64(dur)/1e6)
 }
 
 func describe(in *workload.Instance) string {

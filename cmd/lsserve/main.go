@@ -8,7 +8,7 @@
 //
 // Endpoints (see internal/service):
 //
-//	POST /v1/count     {"sql": "...", "params": {"k": 25}, "method": "lss"}
+//	POST /v1/count     {"sql": "...", "params": {"k": 25}, "method": "lss", "interval": "wilson"}
 //	GET  /v1/datasets  list registered datasets
 //	POST /v1/datasets  upload CSV (?name=D&schema=id:int,x:float)
 //	GET  /v1/stats     metrics: cache hits, admissions, predicate evals
@@ -28,8 +28,8 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/dataset"
 	"repro/internal/service"
+	"repro/lsample"
 )
 
 func main() {
@@ -109,14 +109,11 @@ func preloadDatasets(reg *service.Registry, spec string, seed uint64) error {
 		if err != nil || rows <= 0 {
 			return fmt.Errorf("preload entry %q: bad row count", part)
 		}
-		switch name {
-		case "sports":
-			reg.Register(dataset.Sports(rows, seed))
-		case "neighbors":
-			reg.Register(dataset.Neighbors(rows, seed))
-		default:
-			return fmt.Errorf("unknown builtin dataset %q (want sports or neighbors)", name)
+		t, err := lsample.SyntheticTable(name, rows, seed)
+		if err != nil {
+			return err
 		}
+		reg.Register(t)
 	}
 	return nil
 }

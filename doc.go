@@ -3,7 +3,7 @@
 //	Walenz, Sintos, Roy, Yang. "Learning to Sample: Counting with Complex
 //	Queries." PVLDB 12, 2019 (arXiv:1906.09335).
 //
-// The library estimates the count of objects satisfying an expensive
+// The system estimates the count of objects satisfying an expensive
 // predicate — correlated aggregate subqueries, join conditions, or
 // user-defined functions — by training a cheap classifier on a labeled
 // sample and using its scores to design a sampling scheme: Learned Weighted
@@ -12,8 +12,46 @@
 // allocation). Estimates stay unbiased with valid confidence intervals even
 // when the classifier is poor.
 //
-// Package layout (all implementation under internal/):
+// # The public SDK: repro/lsample
 //
+// All estimation goes through the public, embeddable repro/lsample package:
+// the CLIs, the HTTP service, and every example construct estimators
+// exclusively through it (some examples and CLIs also use internal packages
+// for workload scaffolding — calibrated instances, classifier demos — but
+// never to build methods). examples/embed and examples/quickstart are
+// pure-SDK: lsample plus the standard library only. The implementation
+// stays under internal/; `make api-check` (tools/apicheck) fails the build
+// if an internal type ever leaks into a public signature.
+//
+// Counting over your own objects:
+//
+//	est, _ := lsample.NewEstimator(
+//		lsample.WithMethod("lss"), lsample.WithBudget(0.02), lsample.WithSeed(42))
+//	res, err := est.Estimate(ctx, features, func(i int) bool { return expensiveCheck(i) })
+//	// res.Count, res.CI, res.SamplesUsed, res.Timings
+//
+// Counting over SQL, with the per-query analysis done once and executed
+// many times with bound parameters:
+//
+//	sess, _ := lsample.NewSession(lsample.NewMemorySource(table))
+//	q, _ := sess.Prepare(`SELECT o1.id FROM D o1, D o2 WHERE ... GROUP BY o1.id HAVING COUNT(*) < k`)
+//	res, err := q.Execute(ctx, map[string]any{"k": 25})
+//
+// Options (accepted everywhere, later layers override earlier ones):
+// WithMethod, WithClassifier, WithStrata, WithBudget, WithAlpha,
+// WithParallelism, WithSeed, WithInterval (Wald or Wilson), WithExact.
+// Data is served through the DataSource interface; MemorySource, CSVSource,
+// and WorkloadSource ship with the SDK. See the lsample package
+// documentation for the full contract.
+//
+// Estimations are context-aware: cancellation is observed cooperatively at
+// labeling-loop granularity in every method, so callers (and the HTTP
+// layer) can abort mid-run and receive a wrapped context.Canceled.
+//
+// # Package layout
+//
+//	lsample              the public SDK: Session, PreparedQuery, Estimator,
+//	                     DataSource, functional options
 //	internal/core        the paper's methods: SRS, SSP, SSN, QLCC, QLAC, LWS, LSS
 //	internal/stratify    stratification designers: DirSol, LogBdr, DynPgm, DynPgmP
 //	internal/estimate    proportion/stratified/Des Raj estimators, allocations
@@ -29,7 +67,7 @@
 //	internal/stats       descriptive stats, normal/t quantiles, intervals
 //	internal/workload    calibrated instances for the paper's six regimes
 //	internal/experiment  drivers regenerating Table 1 and Figures 1–8
-//	internal/service     the serving layer: registry, pipeline, cache, HTTP API
+//	internal/service     the serving layer: registry, caches, admission, HTTP
 //	internal/par         bounded worker pools for deterministic parallelism
 //	internal/xrand       deterministic xoshiro256** randomness
 //
@@ -41,30 +79,31 @@
 // split from the parent stream in a fixed order before anything is
 // dispatched, and writes only its own output slot — so a given seed
 // produces bit-identical estimates at any parallelism degree and any
-// GOMAXPROCS. The -p flag on both binaries (and Options.Parallelism /
-// RandomForest.Parallelism in code) bounds the worker count; 0 means all
-// cores, 1 forces sequential execution. EXPERIMENTS.md describes the model
+// GOMAXPROCS. WithParallelism (and the -p flag on the binaries) bounds the
+// worker count; the context checks added for cancellation consume no
+// randomness, preserving this property. EXPERIMENTS.md describes the model
 // and records measured speedups.
 //
 // # Counting as a service
 //
-// internal/service turns the pipeline into a server: a thread-safe dataset
-// registry (builtin generators or uploaded CSVs), an end-to-end path from a
-// SQL counting query to an estimate (parse, §2 decomposition, automatic
-// feature selection from the columns the predicate reads, estimation by any
-// method), a result cache keyed by dataset version and canonical query
-// fingerprint (sql.Fingerprint), and admission control that bounds
-// concurrent estimations. Estimates are deterministic in (data, query,
-// method, budget, seed), so caching is lossless and concurrent clients with
-// the same seed receive bit-identical answers. See the SERVICE section of
-// EXPERIMENTS.md for the HTTP API.
+// internal/service turns the SDK into a server: a versioned dataset
+// registry (builtin generators or uploaded CSVs), a prepared-query cache
+// keyed on (dataset versions, query shape), a result cache keyed on the
+// full request identity, singleflight coalescing of identical requests, and
+// admission control that bounds concurrent estimations. Every error
+// response uses the JSON envelope {"error": {"code", "message"}}. Estimates
+// are deterministic in (data, query, knobs, seed), so caching is lossless
+// and concurrent clients with the same seed receive bit-identical answers.
+// See the SERVICE section of EXPERIMENTS.md for the HTTP API.
 //
 // Binaries: cmd/lscount (single estimation, calibrated or ad-hoc SQL over
 // CSV), cmd/lsbench (regenerate any paper table/figure), and cmd/lsserve
-// (the HTTP counting service). Runnable walkthroughs live under examples/.
+// (the HTTP counting service). Runnable walkthroughs live under examples/;
+// examples/embed is the minimal SDK embedding.
 //
 // The benchmarks in bench_test.go regenerate each table and figure at
 // reduced scale and report predicate evaluations per op; `make check`
-// builds, vets, and runs the race-enabled test suite, and
-// `make bench-smoke` snapshots the benchmark set to BENCH_smoke.json.
+// builds, vets, checks the public API surface, and runs the race-enabled
+// test suite; `make bench-smoke` snapshots the benchmark set to
+// BENCH_smoke.json. CI (.github/workflows/ci.yml) runs the same gates.
 package repro

@@ -1,12 +1,15 @@
 // Activelearning: reproduce the paper's Figure 1 — a kNN classifier on the
 // neighbors workload, sharpened by two uncertainty-sampling augmentation
-// steps of 100 objects each. Prints classifier quality per step and writes
-// the score heat-map grids (the figure's panels) as CSV files.
+// steps of 100 objects each. Prints classifier quality per step, writes the
+// score heat-map grids (the figure's panels) as CSV files, and finishes
+// with a count estimate through the public repro/lsample SDK using the same
+// kNN classifier.
 //
 // Run: go run ./examples/activelearning [outdir]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -17,6 +20,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/workload"
 	"repro/internal/xrand"
+	"repro/lsample"
 )
 
 func main() {
@@ -29,7 +33,8 @@ func main() {
 		log.Fatal(err)
 	}
 	in := suite.Instances[workload.S]
-	obj := in.Objects()
+	features := in.Features()
+	pred := in.LabelFunc()
 	r := xrand.New(31)
 
 	// Initial training set: 5% of O, as in Figure 1.
@@ -41,13 +46,13 @@ func main() {
 	labels := make([]bool, len(idx))
 	labeled := make(map[int]bool, len(idx))
 	for j, i := range idx {
-		labels[j] = obj.Pred.Eval(i)
+		labels[j] = pred(i)
 		labeled[i] = true
 	}
 	fit := func() learn.Classifier {
 		X := make([][]float64, len(idx))
 		for j, i := range idx {
-			X[j] = obj.Features[i]
+			X[j] = features[i]
 		}
 		c := factory()
 		if err := c.Fit(X, labels); err != nil {
@@ -61,23 +66,23 @@ func main() {
 	report := func(stepNo int) {
 		scores := make([]float64, in.N())
 		for i := range scores {
-			scores[i] = clf.Score(obj.Features[i])
+			scores[i] = clf.Score(features[i])
 		}
 		m := learn.EvaluateScores(scores, in.Labels)
 		fmt.Printf("%-5d %-11d %-9.4f %-7.4f\n", stepNo, len(idx), m.Accuracy, m.AUC)
 		path := filepath.Join(outdir, fmt.Sprintf("heatmap_step%d.csv", stepNo))
-		if err := writeHeatmap(path, clf, obj.Features); err != nil {
+		if err := writeHeatmap(path, clf, features); err != nil {
 			log.Fatal(err)
 		}
 	}
 	report(0)
 
 	for stepNo := 1; stepNo <= 2; stepNo++ {
-		sel := active.SelectUncertain(clf, obj.Features, labeled, step, 0, r)
+		sel := active.SelectUncertain(clf, features, labeled, step, 0, r)
 		for _, i := range sel {
 			labeled[i] = true
 			idx = append(idx, i)
-			labels = append(labels, obj.Pred.Eval(i))
+			labels = append(labels, pred(i))
 		}
 		clf = fit()
 		report(stepNo)
@@ -85,6 +90,24 @@ func main() {
 	fmt.Printf("\nheat-map grids written to %s/heatmap_step{0,1,2}.csv\n", outdir)
 	fmt.Println("(cells are classifier scores over a 60x60 grid of the feature plane;")
 	fmt.Println(" red≈0, blue≈1, yellow≈0.5 in the paper's rendering)")
+
+	// The same classifier family drives a learned count estimate through
+	// the SDK: LSS with kNN, 2% budget.
+	est, err := lsample.NewEstimator(
+		lsample.WithMethod("lss"),
+		lsample.WithClassifier("knn"),
+		lsample.WithBudget(0.02),
+		lsample.WithSeed(31),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := est.Estimate(context.Background(), features, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLSS+kNN count estimate: %.0f [%.0f, %.0f], true %d (%d evaluations)\n",
+		res.Count, res.CI.Lo, res.CI.Hi, in.TrueCount, res.SamplesUsed)
 }
 
 // writeHeatmap evaluates the scoring function over a 60×60 grid spanning

@@ -1,17 +1,18 @@
 // Neighbors: the paper's Example 1 on the KDD-style workload — count
 // network-connection records with at most k other records within distance d
-// (outlier counting), comparing every estimator in the paper at one budget.
+// (outlier counting), comparing every estimator in the paper at one budget
+// through the public repro/lsample SDK.
 //
 // Run: go run ./examples/neighbors
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/workload"
-	"repro/internal/xrand"
+	"repro/lsample"
 )
 
 func main() {
@@ -31,31 +32,28 @@ func main() {
 	fmt.Printf("dataset: %d connection records, d=%.3f, k=%d\n", in.N(), in.D, in.K)
 	fmt.Printf("true count: %d (%.1f%%)\n\n", in.TrueCount, in.Selectivity*100)
 
-	budget := in.N() / 50 // 2%
-	methods := []core.Method{
-		&core.SRS{},
-		&core.SSP{Strata: 4},
-		&core.SSN{Strata: 4},
-		&core.QLCC{},
-		&core.QLAC{},
-		&core.LWS{},
-		&core.LSS{},
-	}
 	fmt.Printf("%-6s  %9s  %24s  %8s\n", "method", "estimate", "95% CI", "rel.err")
-	for _, m := range methods {
-		obj := in.Objects()
-		res, err := m.Estimate(obj, budget, xrand.New(2024))
+	for _, method := range []string{"srs", "ssp", "ssn", "qlcc", "qlac", "lws", "lss"} {
+		est, err := lsample.NewEstimator(
+			lsample.WithMethod(method),
+			lsample.WithBudget(0.02),
+			lsample.WithSeed(2024),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := est.Estimate(context.Background(), in.Features(), in.LabelFunc())
 		if err != nil {
 			log.Fatal(err)
 		}
 		ci := "          (no interval)"
-		if res.HasCI {
+		if res.CI != nil {
 			ci = fmt.Sprintf("[%9.1f, %9.1f]", res.CI.Lo, res.CI.Hi)
 		}
-		rel := 100 * abs(res.Estimate-float64(in.TrueCount)) / float64(in.TrueCount)
-		fmt.Printf("%-6s  %9.1f  %24s  %7.2f%%\n", res.Method, res.Estimate, ci, rel)
+		rel := 100 * abs(res.Count-float64(in.TrueCount)) / float64(in.TrueCount)
+		fmt.Printf("%-6s  %9.1f  %24s  %7.2f%%\n", res.Method, res.Count, ci, rel)
 	}
-	fmt.Printf("\nall methods spent the same labeling budget: %d evaluations (2%% of N)\n", budget)
+	fmt.Printf("\nall methods spent the same labeling budget: %d evaluations (2%% of N)\n", in.N()/50)
 }
 
 func abs(v float64) float64 {

@@ -1,18 +1,18 @@
 // Quickstart: estimate the count of objects satisfying an expensive
-// predicate using Learned Stratified Sampling, against plain random
-// sampling, on a synthetic population.
+// predicate with the public repro/lsample SDK — Learned Weighted and
+// Learned Stratified Sampling against plain random sampling, on a synthetic
+// population. Everything here goes through lsample; no internal packages.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/learn"
-	"repro/internal/predicate"
-	"repro/internal/xrand"
+	"repro/lsample"
 )
 
 func main() {
@@ -20,48 +20,45 @@ func main() {
 	// predicate accepts objects inside an ellipse — imagine a correlated
 	// subquery or UDF costing milliseconds per call.
 	const n = 20000
-	r := xrand.New(7)
+	r := rand.New(rand.NewSource(7))
 	features := make([][]float64, n)
 	for i := range features {
 		features[i] = []float64{r.Float64()*4 - 2, r.Float64()*4 - 2}
 	}
-	q := predicate.NewFunc(func(i int) bool {
+	pred := func(i int) bool {
 		x, y := features[i][0], features[i][1]
 		return x*x/2.2+y*y/0.7 <= 1
-	})
-	obj, err := core.NewObjectSet(features, q)
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	truth := 0
 	for i := 0; i < n; i++ {
-		if q.Eval(i) {
+		if pred(i) {
 			truth++
 		}
 	}
-	q.ResetCount()
 	fmt.Printf("population N = %d, true count = %d (%.1f%%)\n\n", n, truth, 100*float64(truth)/n)
 
-	// Budget: label only 2% of the population.
-	budget := n / 50
-	methods := []core.Method{
-		&core.SRS{},
-		&core.LWS{NewClassifier: func(s uint64) learn.Classifier { return learn.NewRandomForest(50, s) }},
-		&core.LSS{NewClassifier: func(s uint64) learn.Classifier { return learn.NewRandomForest(50, s) }},
-	}
+	// Budget: label only 2% of the population. The same seed makes every
+	// run byte-identical.
 	fmt.Printf("%-6s  %10s  %22s  %8s\n", "method", "estimate", "95% CI", "error")
-	for _, m := range methods {
-		res, err := m.Estimate(obj, budget, xrand.New(42))
+	for _, method := range []string{"srs", "lws", "lss"} {
+		est, err := lsample.NewEstimator(
+			lsample.WithMethod(method),
+			lsample.WithBudget(0.02),
+			lsample.WithSeed(42),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		errPct := 100 * abs(res.Estimate-float64(truth)) / float64(truth)
+		res, err := est.Estimate(context.Background(), features, pred)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 100 * abs(res.Count-float64(truth)) / float64(truth)
 		fmt.Printf("%-6s  %10.1f  [%8.1f, %8.1f]  %7.2f%%\n",
-			res.Method, res.Estimate, res.CI.Lo, res.CI.Hi, errPct)
+			res.Method, res.Count, res.CI.Lo, res.CI.Hi, errPct)
 	}
-	fmt.Printf("\neach method spent exactly %d predicate evaluations (%.1f%% of N)\n",
-		budget, 100*float64(budget)/n)
+	fmt.Printf("\neach method spent the same labeling budget: %d predicate evaluations (2%% of N)\n", n/50)
 }
 
 func abs(v float64) float64 {

@@ -1,18 +1,18 @@
 // Skyband: the paper's Example 2 on the sports workload — estimate the
 // size of the k-skyband (players dominated by fewer than k others on
 // strikeouts and wins) without evaluating the aggregate subquery for every
-// player.
+// player, through the public repro/lsample SDK.
 //
 // Run: go run ./examples/skyband
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/workload"
-	"repro/internal/xrand"
+	"repro/lsample"
 )
 
 func main() {
@@ -32,17 +32,23 @@ func main() {
 		"regime", "k", "truth", "method", "estimate", "95% CI", "rel.err")
 	for _, sz := range []workload.Size{workload.XS, workload.S, workload.L, workload.XXL} {
 		in := suite.Instances[sz]
-		// The expensive predicate: a full O(N) dominance scan per player.
-		obj := in.ExpensiveObjects()
-		budget := in.N() / 50 // 2%
-		for _, m := range []core.Method{&core.SRS{}, &core.LSS{}} {
-			res, err := m.Estimate(obj, budget, xrand.New(uint64(sz)+99))
+		for _, method := range []string{"srs", "lss"} {
+			est, err := lsample.NewEstimator(
+				lsample.WithMethod(method),
+				lsample.WithBudget(0.02),
+				lsample.WithSeed(uint64(sz)+99),
+			)
 			if err != nil {
 				log.Fatal(err)
 			}
-			rel := 100 * abs(res.Estimate-float64(in.TrueCount)) / float64(in.TrueCount)
+			// The expensive predicate: a full O(N) dominance scan per player.
+			res, err := est.Estimate(context.Background(), in.Features(), in.ExpensiveFunc())
+			if err != nil {
+				log.Fatal(err)
+			}
+			rel := 100 * abs(res.Count-float64(in.TrueCount)) / float64(in.TrueCount)
 			fmt.Printf("%-6s %-8d %-8d %-12s %-10.0f [%9.1f, %9.1f]  %6.2f%%\n",
-				sz, in.K, in.TrueCount, res.Method, res.Estimate, res.CI.Lo, res.CI.Hi, rel)
+				sz, in.K, in.TrueCount, res.Method, res.Count, res.CI.Lo, res.CI.Hi, rel)
 		}
 	}
 	fmt.Println("\nLSS trains a random forest on 25% of the budget, orders players by")

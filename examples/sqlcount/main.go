@@ -1,8 +1,9 @@
-// Sqlcount: the full SQL pipeline of §2 — parse a counting query, decompose
-// it into an object-enumeration query (Q2) and a per-object predicate (Q3),
-// and estimate the count by Learned Stratified Sampling with the predicate
+// Sqlcount: the full SQL pipeline of §2 through the public repro/lsample
+// SDK — prepare a counting query (parse, decompose into an
+// object-enumeration query Q2 and a per-object predicate Q3, auto-select
+// classifier features), then estimate the count with the predicate
 // evaluated through the query engine. Compares against exact (slow)
-// evaluation.
+// evaluation via WithExact.
 //
 // The demo follows the paper's Example 2 exactly: the self-join/GROUP
 // BY/HAVING form is decomposed mechanically, and the per-object test is
@@ -18,17 +19,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/engine"
-	"repro/internal/learn"
-	"repro/internal/predicate"
-	"repro/internal/sql"
-	"repro/internal/xrand"
+	"repro/lsample"
 )
 
 const joinQuery = `
@@ -36,130 +33,61 @@ const joinQuery = `
 	WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
 	GROUP BY o1.id HAVING COUNT(*) < k`
 
-const predicateQuery = `
-	SELECT COUNT(*) FROM D o WHERE
-	  (SELECT COUNT(*) FROM D WHERE x >= o.x AND y >= o.y AND (x > o.x OR y > o.y)) < k`
-
-const objectPredicate = `
-	(SELECT COUNT(*) FROM D WHERE x >= _o.x AND y >= _o.y AND (x > _o.x OR y > _o.y)) < k`
-
 func main() {
-	// Build the table D(id, x, y).
-	const n = 2000
+	// Build the table D(id, x, y). The predicate runs through the naive
+	// interpreted engine (a full join rescan per evaluation), so the demo
+	// stays small; the SDK's cost model is identical at any scale.
+	const n = 300
 	const k = 25
-	r := xrand.New(17)
-	tb := dataset.New("D", dataset.Schema{
-		{Name: "id", Kind: dataset.Int},
-		{Name: "x", Kind: dataset.Float},
-		{Name: "y", Kind: dataset.Float},
-	})
-	for i := 0; i < n; i++ {
-		tb.MustAppendRow(int64(i), r.Float64()*100, r.Float64()*100)
-	}
-
-	// 1. Parse the self-join counting query and decompose it per §2.
-	stmt, err := sql.Parse(joinQuery)
+	r := rand.New(rand.NewSource(17))
+	tb, err := lsample.NewTable("D", "id:int,x:float,y:float")
 	if err != nil {
 		log.Fatal(err)
 	}
-	dec, err := engine.Decompose(stmt)
+	for i := 0; i < n; i++ {
+		if err := tb.AppendRow(int64(i), r.Float64()*100, r.Float64()*100); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 1. Prepare: parse the self-join counting query and decompose it per
+	// §2. Feature selection is automatic: the columns the predicate reads
+	// through the object's alias (here x and y), per the paper's heuristic.
+	sess, err := lsample.NewSession(lsample.NewMemorySource(tb))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := sess.Prepare(joinQuery,
+		lsample.WithMethod("lss"),
+		lsample.WithStrata(3),
+		lsample.WithBudget(0.1),
+		lsample.WithSeed(4),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("counting query (Example 2, self-join form):")
-	fmt.Println(" ", stmt.String())
+	fmt.Println(" ", q.SQL())
 	fmt.Println("\ndecomposition (§2):")
-	fmt.Println("  Q2 (objects):  ", dec.Objects.String())
-	fmt.Println("  Q3 (predicate):", dec.Predicate.String())
+	fmt.Println("  Q2 (objects):  ", q.ObjectsSQL())
+	fmt.Println("  Q3 (predicate):", q.PredicateSQL())
 
-	ev := engine.NewEvaluator(engine.Catalog{"D": tb})
-	ev.SetParam("k", engine.IntVal(k))
-
-	// 2. Enumerate O cheaply via Q2.
-	objects, err := ev.Run(dec.Objects, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\n|O| = %d objects enumerated by Q2\n", objects.NumRows())
-
-	// 3. The per-object predicate: Example 2's correlated aggregate
-	// subquery (one scan of D per evaluation — this is the expensive q).
-	predExpr, err := sql.ParseExpr(objectPredicate)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// Q2 exposes only the group key (id); bind the object alias to the
-	// matching base-table row so the predicate can read o.x and o.y.
-	dRel := engine.NewTableRelation(tb)
-	q := predicate.NewFunc(func(i int) bool {
-		id := int(objects.Value(i, 0).I)
-		sc := engine.NewScope(nil)
-		sc.BindRow(engine.ObjectAlias, dRel, id)
-		v, err := ev.Eval(predExpr, sc)
-		if err != nil {
-			log.Fatal(err)
-		}
-		b, err := v.AsBool()
-		if err != nil {
-			log.Fatal(err)
-		}
-		return b
-	})
-	// Feature selection is automatic: the columns the predicate reads
-	// through the object's alias (here x and y), per the paper's heuristic.
-	featCols, err := engine.NumericFeatureColumns(tb, dec.FeatureCols, map[string]bool{"k": true})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nfeatures: %v (auto-selected from the predicate)\n", featCols)
-	allFeat, err := tb.Features(featCols...)
-	if err != nil {
-		log.Fatal(err)
-	}
-	features := make([][]float64, objects.NumRows())
-	for i := range features {
-		id := int(objects.Value(i, 0).I)
-		features[i] = allFeat[id]
-	}
-	obj, err := core.NewObjectSet(features, q)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 4. Exact answer via the engine's predicate-form query (still O(N²)).
-	exactStmt, err := sql.Parse(predicateQuery)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// 2. Estimate with a 10% budget of engine-evaluated q, and — for the
+	// comparison this demo is about — also compute the exact count, which
+	// evaluates q for every object.
 	t0 := time.Now()
-	exactRes, err := ev.Run(exactStmt, nil)
+	res, err := q.Execute(context.Background(), map[string]any{"k": k}, lsample.WithExact(true))
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact, err := exactRes.ScalarInt()
-	if err != nil {
-		log.Fatal(err)
-	}
-	exactDur := time.Since(t0)
+	total := time.Since(t0)
 
-	// 5. Estimated answer: LSS with a 10% budget of engine-evaluated q.
-	budget := objects.NumRows() / 10
-	m := &core.LSS{
-		NewClassifier: func(s uint64) learn.Classifier { return learn.NewRandomForest(30, s) },
-		Strata:        3,
-	}
-	t1 := time.Now()
-	res, err := m.Estimate(obj, budget, xrand.New(4))
-	if err != nil {
-		log.Fatal(err)
-	}
-	estDur := time.Since(t1)
-
-	fmt.Printf("\nexact count      %d     (full evaluation of q for every object, %v)\n",
-		exact, exactDur.Round(time.Millisecond))
-	fmt.Printf("LSS estimate     %.1f  [%.1f, %.1f]\n", res.Estimate, res.CI.Lo, res.CI.Hi)
-	fmt.Printf("                 %d q-evaluations (10%% of |O|), %v total\n",
-		res.Evals, estDur.Round(time.Millisecond))
-	speedup := float64(exactDur) / float64(estDur)
-	fmt.Printf("speedup          %.1fx\n", speedup)
+	fmt.Printf("\n|O| = %d objects enumerated by Q2\n", res.Objects)
+	fmt.Printf("features: %v (auto-selected from the predicate)\n", res.FeatureColumns)
+	fmt.Printf("\nexact count      %d     (full evaluation of q for every object)\n", *res.TrueCount)
+	fmt.Printf("LSS estimate     %.1f  [%.1f, %.1f]\n", res.Count, res.CI.Lo, res.CI.Hi)
+	fmt.Printf("                 %d q-evaluations total (estimate + exact pass), %v\n",
+		res.SamplesUsed, total.Round(time.Millisecond))
+	fmt.Printf("estimation spent %d evaluations (10%% of |O|) vs %d for the exact pass\n",
+		res.Budget, res.Objects)
 }

@@ -6,6 +6,7 @@ package repro
 // against every method.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -75,7 +76,7 @@ func TestSQLToEstimatePipeline(t *testing.T) {
 		NewClassifier: func(s uint64) learn.Classifier { return learn.NewKNN(5) },
 		Strata:        3,
 	}
-	res, err := m.Estimate(obj, n/4, xrand.New(9))
+	res, err := m.Estimate(context.Background(), obj, n/4, xrand.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestWorkloadsAcrossMethods(t *testing.T) {
 		}
 		for _, m := range methods {
 			obj := in.Objects()
-			res, err := m.Estimate(obj, budget, xrand.New(11))
+			res, err := m.Estimate(context.Background(), obj, budget, xrand.New(11))
 			if err != nil {
 				t.Fatalf("%s/%s: %v", ds, m.Name(), err)
 			}
@@ -142,7 +143,7 @@ func TestLWSWithReplacementUnbiased(t *testing.T) {
 	ests := make([]float64, trials)
 	for i := range ests {
 		obj := in.Objects()
-		res, err := m.Estimate(obj, 300, r.Split())
+		res, err := m.Estimate(context.Background(), obj, 300, r.Split())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +172,7 @@ func TestCIsScaleWithBudget(t *testing.T) {
 		const reps = 5
 		for i := 0; i < reps; i++ {
 			obj := in.Objects()
-			res, err := (&core.SRS{}).Estimate(obj, budget, r.Split())
+			res, err := (&core.SRS{}).Estimate(context.Background(), obj, budget, r.Split())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -5,6 +5,7 @@
 package active
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -77,10 +78,14 @@ type Config struct {
 // Train labels initialIdx, fits a classifier, then runs cfg.Rounds
 // augmentation steps of augmentPer objects each. It returns the final
 // classifier plus all labeled indices and their labels (the training set S
-// = S0 ∪ S1 ∪ …).
-func Train(cfg Config, features [][]float64, pred predicate.Predicate,
+// = S0 ∪ S1 ∪ …). Cancellation of ctx is checked before every label; a nil
+// ctx means context.Background().
+func Train(ctx context.Context, cfg Config, features [][]float64, pred predicate.Predicate,
 	initialIdx []int, augmentPer int, r *xrand.Rand) (learn.Classifier, []int, []bool, error) {
 
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Factory == nil {
 		return nil, nil, nil, fmt.Errorf("active: nil classifier factory")
 	}
@@ -90,17 +95,23 @@ func Train(cfg Config, features [][]float64, pred predicate.Predicate,
 	labeledSet := make(map[int]bool, len(initialIdx))
 	var idx []int
 	var labels []bool
-	addLabeled := func(objs []int) {
+	addLabeled := func(objs []int) error {
 		for _, i := range objs {
 			if labeledSet[i] {
 				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("active: training canceled: %w", err)
 			}
 			labeledSet[i] = true
 			idx = append(idx, i)
 			labels = append(labels, pred.Eval(i))
 		}
+		return nil
 	}
-	addLabeled(initialIdx)
+	if err := addLabeled(initialIdx); err != nil {
+		return nil, nil, nil, err
+	}
 
 	fit := func() (learn.Classifier, error) {
 		X := make([][]float64, len(idx))
@@ -122,7 +133,9 @@ func Train(cfg Config, features [][]float64, pred predicate.Predicate,
 		if len(sel) == 0 {
 			break
 		}
-		addLabeled(sel)
+		if err := addLabeled(sel); err != nil {
+			return nil, nil, nil, err
+		}
 		if clf, err = fit(); err != nil {
 			return nil, nil, nil, err
 		}

@@ -1,6 +1,7 @@
 package active
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/learn"
@@ -94,7 +95,7 @@ func TestTrainImprovesClassifier(t *testing.T) {
 		initial[i] = r.IntN(2000)
 	}
 	cfg := Config{Factory: factory, Rounds: 2}
-	clf, idx, labels, err := Train(cfg, features, pred, initial, 30, r)
+	clf, idx, labels, err := Train(context.Background(), cfg, features, pred, initial, 30, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestTrainLabelsAreConsistent(t *testing.T) {
 	features, pred := lineWorld(500, 0.5)
 	r := xrand.New(4)
 	factory := func() learn.Classifier { return learn.NewKNN(3) }
-	clf, idx, labels, err := Train(Config{Factory: factory, Rounds: 1}, features, pred, []int{1, 100, 200, 300, 499}, 5, r)
+	clf, idx, labels, err := Train(context.Background(), Config{Factory: factory, Rounds: 1}, features, pred, []int{1, 100, 200, 300, 499}, 5, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +144,11 @@ func TestTrainLabelsAreConsistent(t *testing.T) {
 func TestTrainErrors(t *testing.T) {
 	features, pred := lineWorld(100, 0.5)
 	r := xrand.New(5)
-	if _, _, _, err := Train(Config{}, features, pred, []int{1}, 5, r); err == nil {
+	if _, _, _, err := Train(context.Background(), Config{}, features, pred, []int{1}, 5, r); err == nil {
 		t.Fatal("nil factory should error")
 	}
 	factory := func() learn.Classifier { return learn.NewKNN(3) }
-	if _, _, _, err := Train(Config{Factory: factory}, features, pred, nil, 5, r); err == nil {
+	if _, _, _, err := Train(context.Background(), Config{Factory: factory}, features, pred, nil, 5, r); err == nil {
 		t.Fatal("empty initial sample should error")
 	}
 }
@@ -156,7 +157,7 @@ func TestTrainCostAccounting(t *testing.T) {
 	features, pred := lineWorld(500, 0.5)
 	r := xrand.New(6)
 	factory := func() learn.Classifier { return learn.NewKNN(3) }
-	_, idx, _, err := Train(Config{Factory: factory, Rounds: 1}, features, pred, []int{0, 100, 200, 300, 400}, 10, r)
+	_, idx, _, err := Train(context.Background(), Config{Factory: factory, Rounds: 1}, features, pred, []int{0, 100, 200, 300, 400}, 10, r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -29,7 +30,8 @@ func (s *SRS) alpha() float64 {
 }
 
 // Estimate implements Method.
-func (s *SRS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+func (s *SRS) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := checkBudget(obj, budget); err != nil {
 		return nil, err
 	}
@@ -39,6 +41,9 @@ func (s *SRS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, erro
 	idx := sample.SRS(r, obj.N(), budget)
 	pos := 0
 	for _, i := range idx {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		if tp.Eval(i) {
 			pos++
 		}
@@ -140,7 +145,8 @@ func (s *SSP) minAlloc() int {
 }
 
 // Estimate implements Method.
-func (s *SSP) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+func (s *SSP) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := checkBudget(obj, budget); err != nil {
 		return nil, err
 	}
@@ -167,6 +173,9 @@ func (s *SSP) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, erro
 	for h, dr := range draws {
 		pos := 0
 		for _, i := range dr {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			if tp.Eval(i) {
 				pos++
 			}
@@ -223,7 +232,8 @@ func (s *SSN) minAlloc() int {
 }
 
 // Estimate implements Method.
-func (s *SSN) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+func (s *SSN) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := checkBudget(obj, budget); err != nil {
 		return nil, err
 	}
@@ -256,6 +266,9 @@ func (s *SSN) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, erro
 	pilotCnt := make([]int, len(pools))
 	pilotSet := make(map[int]bool, nPilot)
 	for _, i := range pilotIdx {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		pilotSet[i] = true
 		h := poolOf[i]
 		pilotCnt[h]++
@@ -292,6 +305,9 @@ func (s *SSN) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, erro
 	for h, dr := range draws {
 		pos := 0
 		for _, i := range dr {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			if tp.Eval(i) {
 				pos++
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -83,7 +84,7 @@ func TestSSNAllocatesMoreToMixedStrata(t *testing.T) {
 		rr := xrand.New(44)
 		ests := make([]float64, trials)
 		for i := range ests {
-			res, err := m.Estimate(obj, budget, rr.Split())
+			res, err := m.Estimate(context.Background(), obj, budget, rr.Split())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -111,13 +112,13 @@ func TestLSSConstraintsOverride(t *testing.T) {
 		NewClassifier: knnSpec,
 		Constraints:   &stratify.Constraints{MinStratumSize: 50, MinPilotPerStratum: 3},
 	}
-	if _, err := m.Estimate(obj, 300, xrand.New(46)); err != nil {
+	if _, err := m.Estimate(context.Background(), obj, 300, xrand.New(46)); err != nil {
 		t.Fatal(err)
 	}
 	// Impossible constraints: the designer fails, and LSS falls back to the
 	// equal-count layout instead of erroring.
 	m.Constraints = &stratify.Constraints{MinStratumSize: 1900, MinPilotPerStratum: 3}
-	if _, err := m.Estimate(obj, 300, xrand.New(47)); err != nil {
+	if _, err := m.Estimate(context.Background(), obj, 300, xrand.New(47)); err != nil {
 		t.Fatalf("infeasible constraints should fall back, got %v", err)
 	}
 }
@@ -138,10 +139,10 @@ func TestOrderByScoreDeterministicTies(t *testing.T) {
 func TestLearnPhaseErrors(t *testing.T) {
 	obj, _ := syntheticInstance(100, 1.0, 48)
 	r := xrand.New(49)
-	if _, _, _, err := runLearnPhase(obj, obj.Pred, 10, learnOptions{}, r); err == nil {
+	if _, _, _, err := runLearnPhase(context.Background(), obj, obj.Pred, 10, learnOptions{}, r); err == nil {
 		t.Fatal("nil classifier constructor should error")
 	}
-	if _, _, _, err := runLearnPhase(obj, obj.Pred, 1, learnOptions{newClf: knnSpec}, r); err == nil {
+	if _, _, _, err := runLearnPhase(context.Background(), obj, obj.Pred, 1, learnOptions{newClf: knnSpec}, r); err == nil {
 		t.Fatal("tiny learn budget should error")
 	}
 }

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -83,8 +84,13 @@ type Result struct {
 type Method interface {
 	Name() string
 	// Estimate runs one estimation spending at most budget evaluations of
-	// obj.Pred, drawing randomness from r.
-	Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error)
+	// obj.Pred, drawing randomness from r. Cancellation of ctx is observed
+	// cooperatively at labeling-loop granularity: an in-flight run returns a
+	// wrapped ctx.Err() before its next predicate evaluation instead of
+	// running to completion. A nil ctx means context.Background(). The ctx
+	// checks consume no randomness, so for an uncanceled ctx the estimate is
+	// byte-identical at any parallelism to what a ctx-free run produced.
+	Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error)
 }
 
 // NewClassifierFunc builds a fresh classifier for a given seed; methods
@@ -126,6 +132,24 @@ func (tp *timedPred) Eval(i int) bool {
 func (tp *timedPred) Evals() int64 { return tp.p.Evals() }
 func (tp *timedPred) ResetCount()  { tp.p.ResetCount() }
 
+// orBackground normalizes a nil ctx so methods can check it unconditionally.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// ctxErr reports a cancellation as a wrapped, method-attributable error. It
+// is the cooperative cancellation point every labeling loop calls before
+// spending the next predicate evaluation.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: estimation canceled: %w", err)
+	}
+	return nil
+}
+
 // checkBudget validates common preconditions.
 func checkBudget(obj *ObjectSet, budget int) error {
 	if budget < 1 {
@@ -157,12 +181,16 @@ type Oracle struct{}
 func (Oracle) Name() string { return "oracle" }
 
 // Estimate evaluates the predicate exhaustively.
-func (Oracle) Estimate(obj *ObjectSet, _ int, _ *xrand.Rand) (*Result, error) {
+func (Oracle) Estimate(ctx context.Context, obj *ObjectSet, _ int, _ *xrand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	tp := &timedPred{p: obj.Pred}
 	start := obj.Pred.Evals()
 	t0 := time.Now()
 	count := 0
 	for i := 0; i < obj.N(); i++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		if tp.Eval(i) {
 			count++
 		}

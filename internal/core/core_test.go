@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -51,7 +52,7 @@ func TestNewObjectSetValidation(t *testing.T) {
 
 func TestOracle(t *testing.T) {
 	obj, truth := syntheticInstance(500, 1.0, 1)
-	res, err := Oracle{}.Estimate(obj, 0, nil)
+	res, err := Oracle{}.Estimate(context.Background(), obj, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,10 +72,10 @@ func TestBudgetValidation(t *testing.T) {
 	r := xrand.New(3)
 	methods := []Method{&SRS{}, &SSP{}, &SSN{}, &LWS{NewClassifier: knnSpec}, &LSS{NewClassifier: knnSpec}, &QLCC{NewClassifier: knnSpec}, &QLAC{NewClassifier: knnSpec}}
 	for _, m := range methods {
-		if _, err := m.Estimate(obj, 0, r); err == nil {
+		if _, err := m.Estimate(context.Background(), obj, 0, r); err == nil {
 			t.Fatalf("%s: zero budget should error", m.Name())
 		}
-		if _, err := m.Estimate(obj, 101, r); err == nil {
+		if _, err := m.Estimate(context.Background(), obj, 101, r); err == nil {
 			t.Fatalf("%s: over-budget should error", m.Name())
 		}
 	}
@@ -100,7 +101,7 @@ func TestAllMethodsRespectBudget(t *testing.T) {
 	}
 	for _, m := range methods {
 		before := obj.Pred.Evals()
-		res, err := m.Estimate(obj, budget, r)
+		res, err := m.Estimate(context.Background(), obj, budget, r)
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name(), err)
 		}
@@ -126,7 +127,7 @@ func runTrials(t *testing.T, m Method, obj *ObjectSet, budget, trials int, seed 
 	r := xrand.New(seed)
 	out := make([]float64, trials)
 	for i := 0; i < trials; i++ {
-		res, err := m.Estimate(obj, budget, r.Split())
+		res, err := m.Estimate(context.Background(), obj, budget, r.Split())
 		if err != nil {
 			t.Fatalf("%s trial %d: %v", m.Name(), i, err)
 		}
@@ -192,7 +193,7 @@ func TestCICoverage(t *testing.T) {
 		r := xrand.New(13)
 		hits := 0
 		for i := 0; i < trials; i++ {
-			res, err := m.Estimate(obj, budget, r.Split())
+			res, err := m.Estimate(context.Background(), obj, budget, r.Split())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -214,7 +215,7 @@ func TestQLWithGoodClassifier(t *testing.T) {
 	obj, truth := syntheticInstance(3000, 1.2, 14)
 	r := xrand.New(15)
 	for _, m := range []Method{&QLCC{NewClassifier: knnSpec}, &QLAC{NewClassifier: knnSpec}} {
-		res, err := m.Estimate(obj, 600, r.Split())
+		res, err := m.Estimate(context.Background(), obj, 600, r.Split())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -262,7 +263,7 @@ func TestLWSWithPerfectScores(t *testing.T) {
 func TestTimingBreakdown(t *testing.T) {
 	obj, _ := syntheticInstance(2000, 1.2, 18)
 	r := xrand.New(19)
-	res, err := (&LSS{NewClassifier: smallForest}).Estimate(obj, 300, r)
+	res, err := (&LSS{NewClassifier: smallForest}).Estimate(context.Background(), obj, 300, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestLSSStrataCounts(t *testing.T) {
 	r := xrand.New(21)
 	for _, h := range []int{3, 4, 9} {
 		m := &LSS{NewClassifier: knnSpec, Strata: h}
-		if _, err := m.Estimate(obj, 400, r.Split()); err != nil {
+		if _, err := m.Estimate(context.Background(), obj, 400, r.Split()); err != nil {
 			t.Fatalf("H=%d: %v", h, err)
 		}
 	}
@@ -302,13 +303,13 @@ func TestLSSDesignAlgos(t *testing.T) {
 		{DesignDynPgmP, 4},
 	} {
 		m := &LSS{NewClassifier: knnSpec, Strata: tc.h, Algo: tc.algo}
-		if _, err := m.Estimate(obj, 400, r.Split()); err != nil {
+		if _, err := m.Estimate(context.Background(), obj, 400, r.Split()); err != nil {
 			t.Fatalf("%v: %v", tc.algo, err)
 		}
 	}
 	// DirSol with wrong H must fail loudly.
 	m := &LSS{NewClassifier: knnSpec, Strata: 4, Algo: DesignDirSol}
-	if _, err := m.Estimate(obj, 400, r.Split()); err == nil {
+	if _, err := m.Estimate(context.Background(), obj, 400, r.Split()); err == nil {
 		t.Fatal("DirSol with H=4 should error")
 	}
 }
@@ -319,7 +320,7 @@ func TestExtremeSelectivities(t *testing.T) {
 		obj, truth := syntheticInstance(3000, radius, 24)
 		r := xrand.New(25)
 		for _, m := range []Method{&SRS{Wilson: true}, &LSS{NewClassifier: knnSpec}, &LWS{NewClassifier: knnSpec}} {
-			res, err := m.Estimate(obj, 300, r.Split())
+			res, err := m.Estimate(context.Background(), obj, 300, r.Split())
 			if err != nil {
 				t.Fatalf("radius %v %s: %v", radius, m.Name(), err)
 			}
@@ -372,7 +373,7 @@ func BenchmarkLSSEstimate(b *testing.B) {
 	m := &LSS{NewClassifier: knnSpec}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Estimate(obj, 500, r.Split()); err != nil {
+		if _, err := m.Estimate(context.Background(), obj, 500, r.Split()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -384,7 +385,7 @@ func BenchmarkLWSEstimate(b *testing.B) {
 	m := &LWS{NewClassifier: knnSpec}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Estimate(obj, 500, r.Split()); err != nil {
+		if _, err := m.Estimate(context.Background(), obj, 500, r.Split()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -396,7 +397,7 @@ func BenchmarkSRSEstimate(b *testing.B) {
 	m := &SRS{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Estimate(obj, 500, r.Split()); err != nil {
+		if _, err := m.Estimate(context.Background(), obj, 500, r.Split()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -35,7 +36,8 @@ func (o learnOptions) normalized() learnOptions {
 
 // runLearnPhase labels nLearn objects and trains a classifier on them.
 // It returns the classifier, the labeled indices SL, and their labels.
-func runLearnPhase(obj *ObjectSet, pred predicate.Predicate, nLearn int,
+// Cancellation of ctx is checked before every label.
+func runLearnPhase(ctx context.Context, obj *ObjectSet, pred predicate.Predicate, nLearn int,
 	opt learnOptions, r *xrand.Rand) (learn.Classifier, []int, []bool, error) {
 
 	if opt.newClf == nil {
@@ -58,7 +60,7 @@ func runLearnPhase(obj *ObjectSet, pred predicate.Predicate, nLearn int,
 			initial = 2
 		}
 		initIdx := sample.SRS(r, obj.N(), initial)
-		clf, idx, labels, err := active.Train(active.Config{
+		clf, idx, labels, err := active.Train(ctx, active.Config{
 			Factory: factory,
 			Rounds:  opt.rounds,
 			PoolCap: opt.poolCap,
@@ -73,6 +75,9 @@ func runLearnPhase(obj *ObjectSet, pred predicate.Predicate, nLearn int,
 	labels := make([]bool, len(idx))
 	X := make([][]float64, len(idx))
 	for j, i := range idx {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, nil, err
+		}
 		labels[j] = pred.Eval(i)
 		X[j] = obj.Features[i]
 	}

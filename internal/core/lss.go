@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -225,7 +226,8 @@ func (m *LSS) design(pilot *stratify.Pilot, scores []float64, nII int) ([]int, e
 }
 
 // Estimate implements Method.
-func (m *LSS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+func (m *LSS) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := checkBudget(obj, budget); err != nil {
 		return nil, err
 	}
@@ -248,7 +250,7 @@ func (m *LSS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, erro
 	if nLearn < 2 {
 		return nil, fmt.Errorf("core: budget %d too small for LSS", budget)
 	}
-	clf, SL, labels, err := runLearnPhase(obj, tp, nLearn, learnOptions{
+	clf, SL, labels, err := runLearnPhase(ctx, obj, tp, nLearn, learnOptions{
 		newClf:      newClf,
 		augment:     m.Augment,
 		augmentFrac: m.AugmentFrac,
@@ -284,6 +286,9 @@ func (m *LSS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, erro
 	sort.Ints(pilotPos)
 	pilotQ := make([]bool, len(pilotPos))
 	for j, p := range pilotPos {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		pilotQ[j] = tp.Eval(restIdx[p])
 	}
 	pilot, err := stratify.NewPilot(M, pilotPos, pilotQ)
@@ -341,6 +346,9 @@ func (m *LSS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, erro
 	for h, dset := range draws {
 		pos := 0
 		for _, i := range dset {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			if tp.Eval(i) {
 				pos++
 			}

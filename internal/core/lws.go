@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -62,7 +63,8 @@ func (m *LWS) epsilon() float64 {
 }
 
 // Estimate implements Method.
-func (m *LWS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+func (m *LWS) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := checkBudget(obj, budget); err != nil {
 		return nil, err
 	}
@@ -82,7 +84,7 @@ func (m *LWS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, erro
 	if nLearn > budget-1 {
 		nLearn = budget - 1
 	}
-	clf, SL, labels, err := runLearnPhase(obj, tp, nLearn, learnOptions{
+	clf, SL, labels, err := runLearnPhase(ctx, obj, tp, nLearn, learnOptions{
 		newClf:      newClf,
 		augment:     m.Augment,
 		augmentFrac: m.AugmentFrac,
@@ -115,6 +117,9 @@ func (m *LWS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, erro
 		}
 		hh := estimate.NewHansenHurwitz(len(restIdx))
 		for i := 0; i < nSample; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			j := sampler.Draw(r)
 			hh.Add(tp.Eval(restIdx[j]), sampler.Prob(j))
 		}
@@ -128,6 +133,9 @@ func (m *LWS) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, erro
 		const minDraws = 30
 		stopWidth := m.StopRelWidth * float64(len(restIdx))
 		for i := 0; i < nSample; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			j, err := sampler.Draw(r)
 			if err != nil {
 				break

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/learn"
@@ -17,7 +18,7 @@ func TestLWSEarlyStopSavesBudget(t *testing.T) {
 		TrainFrac:     0.1,
 		StopRelWidth:  0.05,
 	}
-	res, err := m.Estimate(obj, 800, xrand.New(61))
+	res, err := m.Estimate(context.Background(), obj, 800, xrand.New(61))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestLWSEarlyStopSavesBudget(t *testing.T) {
 func TestLWSNoStopWithoutTarget(t *testing.T) {
 	obj, _ := syntheticInstance(2000, 1.2, 62)
 	m := &LWS{NewClassifier: knnSpec}
-	res, err := m.Estimate(obj, 400, xrand.New(63))
+	res, err := m.Estimate(context.Background(), obj, 400, xrand.New(63))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/learn"
@@ -24,7 +25,8 @@ type QLCC struct {
 func (m *QLCC) Name() string { return "qlcc" }
 
 // Estimate implements Method.
-func (m *QLCC) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+func (m *QLCC) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := checkBudget(obj, budget); err != nil {
 		return nil, err
 	}
@@ -35,7 +37,7 @@ func (m *QLCC) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, err
 		newClf = DefaultForest
 	}
 	t0 := time.Now()
-	clf, SL, labels, err := runLearnPhase(obj, tp, budget, learnOptions{
+	clf, SL, labels, err := runLearnPhase(ctx, obj, tp, budget, learnOptions{
 		newClf:      newClf,
 		augment:     m.Augment,
 		augmentFrac: m.AugmentFrac,
@@ -87,7 +89,8 @@ func (m *QLAC) folds() int {
 }
 
 // Estimate implements Method.
-func (m *QLAC) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+func (m *QLAC) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := checkBudget(obj, budget); err != nil {
 		return nil, err
 	}
@@ -98,7 +101,7 @@ func (m *QLAC) Estimate(obj *ObjectSet, budget int, r *xrand.Rand) (*Result, err
 		newClf = DefaultForest
 	}
 	t0 := time.Now()
-	clf, SL, labels, err := runLearnPhase(obj, tp, budget, learnOptions{
+	clf, SL, labels, err := runLearnPhase(ctx, obj, tp, budget, learnOptions{
 		newClf:      newClf,
 		augment:     m.Augment,
 		augmentFrac: m.AugmentFrac,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -73,7 +74,7 @@ func Fig1(o Options) (*Report, error) {
 
 	factory := func() learn.Classifier { return learn.NewKNN(5) }
 	initIdx := sample.SRS(r, in.N(), initial)
-	clf, idx, labels, err := active.Train(active.Config{Factory: factory, Rounds: 0}, obj.Features, obj.Pred, initIdx, 0, r)
+	clf, idx, labels, err := active.Train(context.Background(), active.Config{Factory: factory, Rounds: 0}, obj.Features, obj.Pred, initIdx, 0, r)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +189,7 @@ func Fig3(o Options) (*Report, error) {
 		reps := 3
 		for i := 0; i < reps; i++ {
 			obj := in.ExpensiveObjectsScaled(predicateScale)
-			res, err := method.Estimate(obj, budget, r.Split())
+			res, err := method.Estimate(context.Background(), obj, budget, r.Split())
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -137,7 +138,7 @@ func RunDistP(m core.Method, in *workload.Instance, budget, trials int, seed uin
 			return // a trial already failed; skip the remaining expensive work
 		}
 		obj := in.Objects()
-		res, err := m.Estimate(obj, budget, streams[t])
+		res, err := m.Estimate(context.Background(), obj, budget, streams[t])
 		if err != nil {
 			errs[t] = fmt.Errorf("experiment: %s trial %d: %w", m.Name(), t, err)
 			failed.Store(true)

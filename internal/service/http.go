@@ -1,13 +1,12 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
-	"strings"
 
-	"repro/internal/dataset"
+	"repro/lsample"
 )
 
 // Handler returns the service's HTTP API:
@@ -17,6 +16,13 @@ import (
 //	POST /v1/datasets  upload a CSV dataset (?name=D&schema=id:int,x:float)
 //	GET  /v1/stats     metrics snapshot
 //	GET  /healthz      liveness probe
+//
+// Every error response is the JSON envelope
+//
+//	{"error": {"code": "...", "message": "..."}}
+//
+// with codes bad_request (400), payload_too_large (413), canceled (499),
+// unavailable (503), and internal (500).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/count", s.handleCount)
@@ -55,14 +61,10 @@ func (s *Service) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badf("missing ?name="))
 		return
 	}
-	schema, err := ParseSchema(r.URL.Query().Get("schema"))
+	t, err := lsample.ReadCSV(name, r.URL.Query().Get("schema"),
+		http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
 	if err != nil {
-		writeError(w, err)
-		return
-	}
-	t, err := dataset.ReadCSV(name, schema, http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
-	if err != nil {
-		writeError(w, clientErr("reading CSV", err))
+		writeError(w, mapSDKErr(err))
 		return
 	}
 	v := s.Registry.Register(t)
@@ -77,35 +79,6 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CachedItems int             `json:"cached_items"`
 		Datasets    []DatasetInfo   `json:"datasets"`
 	}{s.Metrics.Snapshot(), s.cache.len(), s.Registry.List()})
-}
-
-// ParseSchema parses the compact "name:kind,name:kind" schema syntax used
-// by the upload endpoint and the lscount -schema flag. Kinds: int, float,
-// string.
-func ParseSchema(spec string) (dataset.Schema, error) {
-	if spec == "" {
-		return nil, badf("missing schema (want name:kind,name:kind with kinds int|float|string)")
-	}
-	var schema dataset.Schema
-	for _, part := range strings.Split(spec, ",") {
-		name, kind, ok := strings.Cut(strings.TrimSpace(part), ":")
-		if !ok || name == "" {
-			return nil, badf("schema entry %q is not name:kind", part)
-		}
-		var k dataset.Kind
-		switch kind {
-		case "int":
-			k = dataset.Int
-		case "float":
-			k = dataset.Float
-		case "string":
-			k = dataset.String
-		default:
-			return nil, badf("schema entry %q: unknown kind %q", part, kind)
-		}
-		schema = append(schema, dataset.Column{Name: name, Kind: k})
-	}
-	return schema, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -127,16 +100,33 @@ func clientErr(context string, err error) error {
 	return badf("%s: %v", context, err)
 }
 
+// errorEnvelope is the uniform error body every endpoint returns.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// statusClientClosedRequest is the de-facto status (nginx's 499) for a
+// request whose client went away; no standard code fits and the response
+// is unlikely to be delivered anyway.
+const statusClientClosedRequest = 499
+
 func writeError(w http.ResponseWriter, err error) {
 	var tooBig *http.MaxBytesError
-	status := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, "internal"
 	switch {
 	case errors.As(err, &tooBig):
-		status = http.StatusRequestEntityTooLarge
+		status, code = http.StatusRequestEntityTooLarge, "payload_too_large"
 	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
+		status, code = http.StatusBadRequest, "bad_request"
 	case errors.Is(err, ErrBusy):
-		status = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, "unavailable"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status, code = statusClientClosedRequest, "canceled"
 	}
-	writeJSON(w, status, map[string]string{"error": fmt.Sprint(err)})
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: err.Error()}})
 }

@@ -267,3 +267,89 @@ func TestHTTPStats(t *testing.T) {
 		t.Errorf("datasets = %+v", stats.Datasets)
 	}
 }
+
+func TestHTTPErrorEnvelope(t *testing.T) {
+	// Every error response uses the {"error": {"code", "message"}} envelope.
+	svc, ts := newTestServer(t, 50, Options{MaxInFlight: 1, QueueTimeout: 20 * time.Millisecond})
+	decode := func(body []byte) (code, msg string) {
+		t.Helper()
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatalf("error body %q is not the envelope: %v", body, err)
+		}
+		return env.Error.Code, env.Error.Message
+	}
+
+	_, body := postJSON(t, ts.URL+"/v1/count", map[string]any{"sql": "SELEC nope"})
+	if code, msg := decode(body); code != "bad_request" || msg == "" {
+		t.Errorf("parse error envelope = %q / %q, want bad_request with a message", code, msg)
+	}
+
+	svc.sem <- struct{}{} // saturate admission
+	_, body = postJSON(t, ts.URL+"/v1/count", &CountRequest{SQL: skybandQuery, Params: map[string]any{"k": 8}})
+	if code, _ := decode(body); code != "unavailable" {
+		t.Errorf("saturated envelope code = %q, want unavailable", code)
+	}
+	<-svc.sem
+
+	resp, err := http.Post(ts.URL+"/v1/datasets?name=X&schema=id:blob", "text/csv", strings.NewReader("id\n1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if code, _ := decode(b); code != "bad_request" {
+		t.Errorf("bad schema envelope code = %q, want bad_request", code)
+	}
+}
+
+func TestHTTPIntervalField(t *testing.T) {
+	// The interval knob reaches the estimator: Wilson and Wald intervals
+	// over the same seed differ, occupy distinct cache entries, and
+	// unknown names are rejected.
+	_, ts := newTestServer(t, 100, Options{})
+	base := CountRequest{SQL: skybandQuery, Params: map[string]any{"k": 8},
+		Method: "srs", Budget: 0.3, Seed: 7}
+
+	var wald, wilson CountResult
+	resp, body := postJSON(t, ts.URL+"/v1/count", &base)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wald: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &wald); err != nil {
+		t.Fatal(err)
+	}
+	withIv := base
+	withIv.Interval = "wilson"
+	resp, body = postJSON(t, ts.URL+"/v1/count", &withIv)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wilson: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &wilson); err != nil {
+		t.Fatal(err)
+	}
+	if wilson.Cached {
+		t.Error("wilson request hit the wald cache entry")
+	}
+	if wilson.Interval != "wilson" || wald.Interval != "wald" {
+		t.Errorf("interval echo = %q / %q, want wilson / wald", wilson.Interval, wald.Interval)
+	}
+	if wald.Estimate != wilson.Estimate {
+		t.Errorf("point estimates differ across intervals: %v vs %v", wald.Estimate, wilson.Estimate)
+	}
+	if wald.CILo == wilson.CILo && wald.CIHi == wilson.CIHi {
+		t.Error("Wilson interval identical to Wald; the knob did not reach the estimator")
+	}
+
+	bad := base
+	bad.Interval = "nope"
+	resp, _ = postJSON(t, ts.URL+"/v1/count", &bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown interval: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/dataset"
+	"repro/lsample"
 )
 
 // Registry is the shared, thread-safe dataset catalog. Tables are immutable
@@ -20,7 +20,7 @@ type Registry struct {
 }
 
 type tableEntry struct {
-	t       *dataset.Table
+	t       *lsample.Table
 	version uint64
 }
 
@@ -29,18 +29,18 @@ func NewRegistry() *Registry {
 	return &Registry{tables: make(map[string]*tableEntry)}
 }
 
-// Register adds or replaces the table under t.Name, returning the assigned
-// version. The caller must not mutate t afterwards.
-func (r *Registry) Register(t *dataset.Table) uint64 {
+// Register adds or replaces the table under its name, returning the
+// assigned version. The caller must not mutate t afterwards.
+func (r *Registry) Register(t *lsample.Table) uint64 {
 	v := r.counter.Add(1)
 	r.mu.Lock()
-	r.tables[t.Name] = &tableEntry{t: t, version: v}
+	r.tables[t.Name()] = &tableEntry{t: t, version: v}
 	r.mu.Unlock()
 	return v
 }
 
 // Get returns the named table and its registration version.
-func (r *Registry) Get(name string) (*dataset.Table, uint64, bool) {
+func (r *Registry) Get(name string) (*lsample.Table, uint64, bool) {
 	r.mu.RLock()
 	e, ok := r.tables[name]
 	r.mu.RUnlock()
@@ -75,23 +75,26 @@ func (r *Registry) List() []DatasetInfo {
 	return out
 }
 
-// Resolve looks up every named table, returning an engine-ready catalog and
-// a canonical "name@version,…" string for cache keys.
-func (r *Registry) Resolve(names []string) (map[string]*dataset.Table, string, error) {
+// Resolve looks up every named table under one lock acquisition, returning
+// a consistent snapshot and a canonical "name@version,…" string for cache
+// keys.
+func (r *Registry) Resolve(names []string) (map[string]*lsample.Table, string, error) {
 	sorted := append([]string(nil), names...)
 	sort.Strings(sorted)
-	cat := make(map[string]*dataset.Table, len(sorted))
+	snap := make(map[string]*lsample.Table, len(sorted))
 	ver := ""
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for i, name := range sorted {
-		t, v, ok := r.Get(name)
+		e, ok := r.tables[name]
 		if !ok {
 			return nil, "", fmt.Errorf("%w: unknown dataset %q", ErrBadRequest, name)
 		}
 		if i > 0 {
 			ver += ","
 		}
-		ver += fmt.Sprintf("%s@%d", name, v)
-		cat[name] = t
+		ver += fmt.Sprintf("%s@%d", name, e.version)
+		snap[name] = e.t
 	}
-	return cat, ver, nil
+	return snap, ver, nil
 }

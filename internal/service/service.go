@@ -1,44 +1,38 @@
-// Package service is the serving layer over the paper's estimators: a
-// thread-safe dataset registry, an end-to-end pipeline from a SQL counting
-// query to an estimate with a confidence interval, a fingerprint-keyed
-// result cache, and admission control for concurrent requests. The HTTP
-// front end lives in http.go and is exposed by cmd/lsserve.
+// Package service is the serving layer over the public lsample SDK: a
+// thread-safe dataset registry, a fingerprint-keyed result cache, a
+// prepared-query cache, and admission control for concurrent requests. The
+// HTTP front end lives in http.go and is exposed by cmd/lsserve.
 //
-// The pipeline per request: parse the query (internal/sql), rewrite it into
-// the §2 object/predicate form (engine.Decompose), enumerate objects with
-// the cheap Q2, derive classifier features automatically from the columns
-// the predicate reads (Decomposed.FeatureCols), wrap the expensive Q3 as an
-// engine-backed predicate, and hand the resulting core.ObjectSet to any of
-// the paper's methods. Results are deterministic in (dataset versions,
-// query fingerprint, method, budget, seed), which makes the cache
-// semantically lossless and lets concurrent clients verify bit-identical
-// answers.
+// The estimation pipeline itself — parsing, the §2 decomposition, automatic
+// feature selection, and the paper's methods — lives in repro/lsample; the
+// service's job is multi-tenant concerns. Each request resolves a versioned
+// snapshot of the tables it references, reuses (or prepares) a
+// lsample.PreparedQuery bound to that snapshot, and executes it with the
+// request's knobs. Results are deterministic in (dataset versions, query
+// fingerprint, knobs, seed), which makes the cache semantically lossless
+// and lets concurrent clients verify bit-identical answers.
 //
-// Concurrency model: registered tables are immutable, each request builds
-// its own evaluator/predicate/object set, and a bounded semaphore admits at
+// Concurrency model: registered tables are immutable, each request executes
+// against an immutable prepared snapshot, and a bounded semaphore admits at
 // most MaxInFlight estimations at once — a request that cannot start within
-// QueueTimeout fails fast with ErrBusy instead of piling up.
+// QueueTimeout fails fast with ErrBusy instead of piling up. A request
+// whose context is canceled mid-estimation aborts at the next predicate
+// evaluation and returns the wrapped cancellation error.
 package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
-	"math"
 	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/engine"
-	"repro/internal/learn"
-	"repro/internal/predicate"
-	"repro/internal/sql"
-	"repro/internal/xrand"
+	"repro/lsample"
 )
 
 // ErrBadRequest marks client errors (unparseable SQL, unknown datasets,
@@ -95,8 +89,8 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Service wires the registry, cache, metrics, and admission control around
-// the estimation pipeline.
+// Service wires the registry, caches, metrics, and admission control around
+// the SDK's estimation pipeline.
 type Service struct {
 	Registry *Registry
 	Metrics  *Metrics
@@ -107,19 +101,8 @@ type Service struct {
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
-	memoMu sync.Mutex
-	memos  map[*dataset.Table]map[string]*tableMemo
-}
-
-// tableMemo caches the per-table-snapshot artifacts that every uncached
-// request over the same table would otherwise rebuild: the O(N) group-key
-// index and the full feature matrix. The outer map is keyed by the table
-// pointer itself — registered tables are immutable, and keying (and thus
-// retaining) the pointer means a freed table's address can never be reused
-// by a new table while its memo exists.
-type tableMemo struct {
-	index map[int64]int
-	feats [][]float64
+	prepMu sync.Mutex
+	preps  map[string]*lsample.PreparedQuery
 }
 
 // flight is one in-progress estimation that concurrent identical requests
@@ -141,7 +124,7 @@ func New(reg *Registry, opts Options) *Service {
 		cache:    newResultCache(o.CacheSize, o.CacheTTL),
 		sem:      make(chan struct{}, o.MaxInFlight),
 		flights:  make(map[string]*flight),
-		memos:    make(map[*dataset.Table]map[string]*tableMemo),
+		preps:    make(map[string]*lsample.PreparedQuery),
 	}
 }
 
@@ -153,6 +136,7 @@ type CountRequest struct {
 	Budget     float64        `json:"budget,omitempty"`     // fraction of |O| to label, (0,1]
 	Classifier string         `json:"classifier,omitempty"` // rf knn nn random (default rf)
 	Strata     int            `json:"strata,omitempty"`     // strata for stratified methods (default 4)
+	Interval   string         `json:"interval,omitempty"`   // wald (default) or wilson
 	Seed       uint64         `json:"seed,omitempty"`
 	Exact      bool           `json:"exact,omitempty"`    // also compute the true count (slow)
 	NoCache    bool           `json:"no_cache,omitempty"` // bypass the result cache
@@ -162,6 +146,7 @@ type CountRequest struct {
 type CountResult struct {
 	Fingerprint string   `json:"fingerprint"`
 	Method      string   `json:"method"`
+	Interval    string   `json:"interval"`
 	Objects     int      `json:"objects"` // |O| enumerated by Q2
 	Budget      int      `json:"budget"`  // predicate evaluations allowed
 	Estimate    float64  `json:"estimate"`
@@ -181,16 +166,31 @@ func badf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
 }
 
+// mapSDKErr converts lsample client errors into service bad requests so the
+// HTTP layer's status mapping has a single error vocabulary.
+func mapSDKErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, lsample.ErrInvalid) {
+		// Double-wrap: callers branch on ErrBadRequest, but the underlying
+		// chain (e.g. an http.MaxBytesError) must stay reachable so the
+		// HTTP layer can map size violations to 413 rather than 400.
+		return fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	return err
+}
+
 // Count runs one estimation request end to end.
 func (s *Service) Count(req *CountRequest) (*CountResult, error) {
 	return s.CountCtx(context.Background(), req)
 }
 
 // CountCtx is Count with cancellation: ctx aborts waiting — for admission
-// or for a coalesced in-flight estimation — when the caller goes away. An
-// estimation that has already been admitted runs to completion (the paper's
-// methods have no cancellation points); its result still lands in the cache
-// for the next asker.
+// or for a coalesced in-flight estimation — and, since the SDK observes
+// cancellation at labeling-loop granularity, also aborts an estimation that
+// has already been admitted. A canceled leader's partial work is discarded;
+// coalesced waiters retry on their own admission budget.
 func (s *Service) CountCtx(ctx context.Context, req *CountRequest) (*CountResult, error) {
 	s.Metrics.Requests.Add(1)
 	res, err := func() (r *CountResult, e error) {
@@ -243,46 +243,34 @@ func (s *Service) count(ctx context.Context, req *CountRequest) (*CountResult, e
 	if strata <= 0 {
 		strata = 4
 	}
-	newClf, err := BuildClassifier(clfName, s.opts.Parallelism)
+	iv, err := lsample.ParseInterval(req.Interval)
 	if err != nil {
-		return nil, err
+		return nil, mapSDKErr(err)
 	}
-	m, err := BuildMethod(method, newClf, strata)
+	execOpts, err := s.execOptions(method, clfName, strata, iv, budgetFrac, req)
 	if err != nil {
-		return nil, err
+		return nil, mapSDKErr(err)
 	}
 
-	stmt, err := sql.Parse(req.SQL)
+	// Identify the query and its data for the caches: the canonical
+	// parameter-free fingerprint, a deterministic encoding of the bound
+	// parameters (encoding/json sorts map keys), and the versions of every
+	// table referenced — including subquery-only ones.
+	fp0, tables, err := lsample.QueryShape(req.SQL)
 	if err != nil {
-		return nil, badf("parse: %v", err)
+		return nil, mapSDKErr(err)
 	}
-	inner := engine.ExtractInner(stmt)
-
-	params, paramStrs, err := convertParams(req.Params)
+	paramsJSON, err := json.Marshal(req.Params)
 	if err != nil {
-		return nil, err
+		return nil, badf("parameters are not encodable: %v", err)
 	}
-	fp := sql.Fingerprint(inner, paramStrs)
-
-	for _, tr := range inner.From {
-		if tr.Subquery != nil {
-			return nil, badf("FROM subqueries are not supported in served queries")
-		}
-	}
-	// Resolve every table the query touches, including ones referenced
-	// only inside predicate subqueries — they must be in the evaluator's
-	// catalog, and their versions must invalidate cached results.
-	tableNames := sql.Tables(inner)
-	if len(tableNames) == 0 {
-		return nil, badf("query has no FROM clause")
-	}
-	cat, versions, err := s.Registry.Resolve(tableNames)
+	snap, versions, err := s.Registry.Resolve(tables)
 	if err != nil {
 		return nil, err
 	}
 
-	key := fmt.Sprintf("%s|%s|%s|%s|%d|%g|%d|%t",
-		versions, fp, method, clfName, strata, budgetFrac, req.Seed, req.Exact)
+	key := fmt.Sprintf("%s|%s|%s|%s|%s|%d|%s|%g|%d|%t",
+		versions, fp0, paramsJSON, method, clfName, strata, iv, budgetFrac, req.Seed, req.Exact)
 	// Every admission attempt this request makes — as leader now or after
 	// retrying a failed leader — draws from one QueueTimeout budget, so
 	// coalescing can neither reject a request before its own window ends
@@ -370,11 +358,10 @@ func (s *Service) count(ctx context.Context, req *CountRequest) (*CountResult, e
 		}
 
 		t0 := time.Now()
-		res, err := s.estimate(inner, cat, params, paramStrs, m, method, budgetFrac, req)
+		res, err := s.estimate(ctx, req, versions, fp0, snap, iv, execOpts)
 		if err != nil {
 			return nil, err
 		}
-		res.Fingerprint = fp
 		res.DurationMS = float64(time.Since(t0)) / 1e6
 		s.Metrics.EstimatesRun.Add(1)
 		s.Metrics.EstimateNanos.Add(int64(time.Since(t0)))
@@ -390,264 +377,128 @@ func (s *Service) count(ctx context.Context, req *CountRequest) (*CountResult, e
 	return res, err
 }
 
-// estimate is the uncached pipeline: decompose, enumerate, featurize,
-// estimate.
-func (s *Service) estimate(inner *sql.SelectStmt, cat map[string]*dataset.Table,
-	params map[string]engine.Value, paramStrs map[string]string,
-	m core.Method, method string, budgetFrac float64, req *CountRequest) (*CountResult, error) {
+// execOptions translates normalized request knobs into SDK options,
+// validating names eagerly (before admission).
+func (s *Service) execOptions(method, clfName string, strata int, iv lsample.Interval,
+	budgetFrac float64, req *CountRequest) ([]lsample.Option, error) {
 
-	dec, err := engine.Decompose(inner)
-	if err != nil {
-		return nil, badf("decompose: %v", err)
+	opts := []lsample.Option{
+		lsample.WithMethod(method),
+		lsample.WithClassifier(clfName),
+		lsample.WithStrata(strata),
+		lsample.WithInterval(iv),
+		lsample.WithBudget(budgetFrac),
+		lsample.WithSeed(req.Seed),
+		lsample.WithParallelism(s.opts.Parallelism),
+		lsample.WithExact(req.Exact),
 	}
-	ev := engine.NewEvaluator(engine.Catalog(cat))
-	for name, v := range params {
-		ev.SetParam(name, v)
+	// Applying the options to a throwaway estimator surfaces unknown
+	// method/classifier names now, so bad requests never occupy an
+	// admission slot.
+	if _, err := lsample.NewEstimator(opts...); err != nil {
+		return nil, err
 	}
-	objects, err := ev.Run(dec.Objects, nil)
-	if err != nil {
-		return nil, badf("enumerating objects: %v", err)
-	}
-	out := &CountResult{Method: method, Objects: objects.NumRows(), Seed: req.Seed}
-	if objects.NumRows() == 0 {
-		out.HasCI = true
-		if req.Exact {
-			zero := 0
-			out.TrueCount = &zero
-		}
-		return out, nil
-	}
+	return opts, nil
+}
 
-	// Feature-free methods (plain random sampling, the exact oracle) skip
-	// feature derivation entirely — and with it the single-unique-integer
-	// group-key restriction it needs.
-	var featCols []string
-	features := make([][]float64, objects.NumRows())
-	if methodNeedsFeatures(method) {
-		ltab := cat[dec.Objects.From[0].Name]
-		skip := make(map[string]bool, len(paramStrs))
-		for name := range paramStrs {
-			skip[name] = true
-		}
-		featCols, err = engine.NumericFeatureColumns(ltab, dec.FeatureCols, skip)
-		if err != nil {
-			return nil, badf("%v", err)
-		}
-		keyCol, err := objectKeyColumn(dec, ltab)
-		if err != nil {
-			return nil, err
-		}
-		memo, err := s.tableData(ltab, keyCol, featCols)
-		if err != nil {
-			return nil, err
-		}
-		for i := range features {
-			v := objects.Value(i, 0)
-			if v.Kind != engine.KInt {
-				return nil, badf("object key is not an integer")
-			}
-			r, ok := memo.index[v.I]
-			if !ok {
-				return nil, badf("object key %d not found in %q", v.I, ltab.Name)
-			}
-			features[i] = memo.feats[r]
-		}
-	}
+// estimate runs the uncached path: reuse (or prepare) the query against the
+// resolved snapshot and execute it through the SDK.
+func (s *Service) estimate(ctx context.Context, req *CountRequest, versions, fp0 string,
+	snap map[string]*lsample.Table, iv lsample.Interval, opts []lsample.Option) (*CountResult, error) {
 
-	pred, err := predicate.NewEngineExists(ev, dec, objects)
+	prep, err := s.prepared(versions, fp0, req.SQL, snap)
 	if err != nil {
-		return nil, badf("%v", err)
+		return nil, mapSDKErr(err)
 	}
-	obj, err := core.NewObjectSet(features, pred)
+	est, err := prep.Execute(ctx, req.Params, opts...)
 	if err != nil {
-		return nil, badf("%v", err)
+		return nil, mapSDKErr(err)
 	}
-
-	budget := int(math.Round(budgetFrac * float64(obj.N())))
-	if budget < 10 {
-		budget = 10
+	out := &CountResult{
+		Fingerprint: est.Fingerprint,
+		Method:      est.Method,
+		Interval:    iv.String(),
+		Objects:     est.Objects,
+		Budget:      est.Budget,
+		Estimate:    est.Count,
+		HasCI:       est.CI != nil,
+		Evals:       est.SamplesUsed,
+		TrueCount:   est.TrueCount,
+		FeatureCols: est.FeatureColumns,
+		Seed:        est.Seed,
 	}
-	if budget > obj.N() {
-		budget = obj.N()
-	}
-	res, err := m.Estimate(obj, budget, xrand.New(req.Seed))
-	if err != nil {
-		return nil, fmt.Errorf("service: estimation failed: %w", err)
-	}
-
-	out.Budget = budget
-	out.Estimate = res.Estimate
-	out.HasCI = res.HasCI
-	if res.HasCI {
-		out.CILo, out.CIHi = res.CI.Lo, res.CI.Hi
-	}
-	out.Evals = res.Evals
-	out.FeatureCols = featCols
-	if req.Exact {
-		tc := predicate.Count(pred, obj.N())
-		out.TrueCount = &tc
-		// The exact pass spends real predicate evaluations too; report
-		// the predicate's full counter, not just the estimation's share.
-		out.Evals = pred.Evals()
+	if est.CI != nil {
+		out.CILo, out.CIHi = est.CI.Lo, est.CI.Hi
 	}
 	return out, nil
 }
 
-// objectKeyColumn validates the decomposition's group key for feature
-// derivation and returns its base-column name. Queries needing features
-// must group by a single integer column that is unique in L (e.g. an id
-// column) — the shape of both of the paper's workloads.
-func objectKeyColumn(dec *engine.Decomposed, ltab *dataset.Table) (string, error) {
-	if len(dec.GroupCols) != 1 {
-		return "", badf("served queries must GROUP BY a single key column; got %d", len(dec.GroupCols))
-	}
-	cr, ok := dec.Objects.Select[0].Expr.(*sql.ColumnRef)
-	if !ok {
-		return "", badf("group key is not a column reference")
-	}
-	ci := ltab.ColIndex(cr.Name)
-	if ci < 0 {
-		return "", badf("table %q has no column %q", ltab.Name, cr.Name)
-	}
-	if ltab.Schema()[ci].Kind != dataset.Int {
-		return "", badf("group key %q must be an integer column", cr.Name)
-	}
-	return cr.Name, nil
-}
-
-// tableData returns the memoized key index and feature matrix for a table
-// snapshot, building them on first use. Both depend only on (table
-// identity, key column, feature columns); tables are immutable once
-// registered, so entries never go stale — a re-registered table is a new
-// pointer and misses naturally.
-func (s *Service) tableData(ltab *dataset.Table, keyCol string, featCols []string) (*tableMemo, error) {
-	memoKey := keyCol + "|" + strings.Join(featCols, ",")
-	s.memoMu.Lock()
-	memo, ok := s.memos[ltab][memoKey]
-	s.memoMu.Unlock()
+// prepared returns the cached PreparedQuery for (dataset versions, query
+// fingerprint), preparing it against the resolved snapshot on first use.
+// Prepared queries hold the parsed AST, the §2 decomposition, and — after
+// their first feature-using execution — the O(N) key index and feature
+// matrix, so repeated requests over the same data skip all of that work.
+func (s *Service) prepared(versions, fp0, sqlText string, snap map[string]*lsample.Table) (*lsample.PreparedQuery, error) {
+	prepKey := versions + "|" + fp0
+	s.prepMu.Lock()
+	prep, ok := s.preps[prepKey]
+	s.prepMu.Unlock()
 	if ok {
-		return memo, nil
+		return prep, nil
 	}
 
-	ci := ltab.ColIndex(keyCol)
-	index := make(map[int64]int, ltab.NumRows())
-	for r := 0; r < ltab.NumRows(); r++ {
-		k := ltab.Int(r, ci)
-		if _, dup := index[k]; dup {
-			return nil, badf("group key %q is not unique in %q (value %d repeats); cannot derive per-object features", keyCol, ltab.Name, k)
-		}
-		index[k] = r
+	tables := make([]*lsample.Table, 0, len(snap))
+	for _, t := range snap {
+		tables = append(tables, t)
 	}
-	feats, err := ltab.Features(featCols...)
+	sess, err := lsample.NewSession(lsample.NewMemorySource(tables...))
 	if err != nil {
-		return nil, badf("features: %v", err)
+		return nil, err
 	}
-	memo = &tableMemo{index: index, feats: feats}
+	prep, err = sess.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
 
-	s.memoMu.Lock()
-	// Drop memos pinning table snapshots the registry has since replaced,
-	// so re-uploads don't accumulate stale feature matrices.
-	for t := range s.memos {
-		if cur, _, ok := s.Registry.Get(t.Name); !ok || cur != t {
-			delete(s.memos, t)
-		}
-	}
-	total := 0
-	for _, m := range s.memos {
-		total += len(m)
-	}
-	if total >= 64 { // crude bound; entries are per (table, query shape)
-		clear(s.memos)
-	}
-	if s.memos[ltab] == nil {
-		s.memos[ltab] = make(map[string]*tableMemo)
-	}
-	s.memos[ltab][memoKey] = memo
-	s.memoMu.Unlock()
-	return memo, nil
-}
-
-// convertParams turns JSON parameter values into engine values plus their
-// canonical string form for fingerprinting.
-func convertParams(in map[string]any) (map[string]engine.Value, map[string]string, error) {
-	vals := make(map[string]engine.Value, len(in))
-	strs := make(map[string]string, len(in))
-	for name, raw := range in {
-		switch v := raw.(type) {
-		case float64:
-			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
-				vals[name] = engine.IntVal(int64(v))
-				strs[name] = strconv.FormatInt(int64(v), 10)
-			} else {
-				vals[name] = engine.FloatVal(v)
-				strs[name] = strconv.FormatFloat(v, 'g', -1, 64)
+	s.prepMu.Lock()
+	if cur, ok := s.preps[prepKey]; ok {
+		// A concurrent request prepared the same key; share its feature
+		// memoization instead of keeping two.
+		prep = cur
+	} else {
+		// Drop entries pinning table snapshots the registry has since
+		// replaced (their versioned keys can never be requested again), and
+		// bound the map crudely — entries are per (data version, query).
+		for k := range s.preps {
+			if s.stalePrep(k) {
+				delete(s.preps, k)
 			}
-		case int:
-			vals[name] = engine.IntVal(int64(v))
-			strs[name] = strconv.Itoa(v)
-		case int64:
-			vals[name] = engine.IntVal(v)
-			strs[name] = strconv.FormatInt(v, 10)
-		case string:
-			vals[name] = engine.StringVal(v)
-			strs[name] = "'" + v + "'"
-		case bool:
-			return nil, nil, badf("parameter %q: booleans are not supported", name)
-		default:
-			return nil, nil, badf("parameter %q has unsupported type %T", name, raw)
+		}
+		if len(s.preps) >= 64 {
+			clear(s.preps)
+		}
+		s.preps[prepKey] = prep
+	}
+	s.prepMu.Unlock()
+	return prep, nil
+}
+
+// stalePrep reports whether a prepared-query key references any table
+// version the registry no longer serves.
+func (s *Service) stalePrep(key string) bool {
+	versions, _, ok := strings.Cut(key, "|")
+	if !ok {
+		return true
+	}
+	for _, part := range strings.Split(versions, ",") {
+		name, ver, ok := strings.Cut(part, "@")
+		if !ok {
+			return true
+		}
+		_, cur, found := s.Registry.Get(name)
+		if !found || strconv.FormatUint(cur, 10) != ver {
+			return true
 		}
 	}
-	return vals, strs, nil
-}
-
-// methodNeedsFeatures reports whether a method reads ObjectSet.Features:
-// everything except plain random sampling and the exact oracle (grid
-// stratification stratifies on attributes; learned and quantification
-// methods train on them).
-func methodNeedsFeatures(name string) bool {
-	return name != "srs" && name != "oracle"
-}
-
-// BuildClassifier constructs a named classifier factory. The empty name
-// selects the paper's default random forest. parallelism applies to forest
-// training/scoring: <= 0 means all cores, 1 sequential.
-func BuildClassifier(name string, parallelism int) (core.NewClassifierFunc, error) {
-	switch name {
-	case "", "rf":
-		return core.ForestClassifier(parallelism), nil
-	case "knn":
-		return func(uint64) learn.Classifier { return learn.NewKNN(5) }, nil
-	case "nn":
-		return func(seed uint64) learn.Classifier { return learn.NewMLP(seed) }, nil
-	case "random":
-		return func(seed uint64) learn.Classifier { return learn.NewDummy(seed) }, nil
-	}
-	return nil, badf("unknown classifier %q", name)
-}
-
-// BuildMethod constructs a named estimation method. strata <= 0 selects the
-// paper's default of 4 for stratified methods.
-func BuildMethod(name string, newClf core.NewClassifierFunc, strata int) (core.Method, error) {
-	if strata <= 0 {
-		strata = 4
-	}
-	switch name {
-	case "srs":
-		return &core.SRS{}, nil
-	case "ssp":
-		return &core.SSP{Strata: strata}, nil
-	case "ssn":
-		return &core.SSN{Strata: strata}, nil
-	case "lws":
-		return &core.LWS{NewClassifier: newClf}, nil
-	case "lss":
-		return &core.LSS{NewClassifier: newClf, Strata: strata}, nil
-	case "qlcc":
-		return &core.QLCC{NewClassifier: newClf}, nil
-	case "qlac":
-		return &core.QLAC{NewClassifier: newClf}, nil
-	case "oracle":
-		return core.Oracle{}, nil
-	}
-	return nil, badf("unknown method %q", name)
+	return false
 }

@@ -8,9 +8,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/dataset"
-	"repro/internal/engine"
 	"repro/internal/xrand"
+	"repro/lsample"
 )
 
 // skybandQuery is Example 2's k-skyband counting query: objects with fewer
@@ -20,15 +19,16 @@ const skybandQuery = `SELECT o1.id FROM D o1, D o2
 	GROUP BY o1.id HAVING COUNT(*) < k`
 
 // testTable builds D(id, x, y) with n uniform points.
-func testTable(n int, seed uint64) *dataset.Table {
+func testTable(n int, seed uint64) *lsample.Table {
 	r := xrand.New(seed)
-	t := dataset.New("D", dataset.Schema{
-		{Name: "id", Kind: dataset.Int},
-		{Name: "x", Kind: dataset.Float},
-		{Name: "y", Kind: dataset.Float},
-	})
+	t, err := lsample.NewTable("D", "id:int,x:float,y:float")
+	if err != nil {
+		panic(err)
+	}
 	for i := 0; i < n; i++ {
-		t.MustAppendRow(int64(i), r.Float64()*100, r.Float64()*100)
+		if err := t.AppendRow(int64(i), r.Float64()*100, r.Float64()*100); err != nil {
+			panic(err)
+		}
 	}
 	return t
 }
@@ -37,7 +37,7 @@ func testTable(n int, seed uint64) *dataset.Table {
 // dominators, by brute force. The lower bound mirrors the query's GROUP BY
 // semantics: a row with zero dominators produces no join rows, hence no
 // group, so the self-join form does not count it.
-func trueSkyband(t *dataset.Table, k int) int {
+func trueSkyband(t *lsample.Table, k int) int {
 	n := t.NumRows()
 	xi, yi := t.ColIndex("x"), t.ColIndex("y")
 	count := 0
@@ -270,9 +270,14 @@ func TestCountResolvesSubqueryTables(t *testing.T) {
 	// invalidation.
 	reg := NewRegistry()
 	reg.Register(testTable(60, 7))
-	e := dataset.New("E", dataset.Schema{{Name: "id", Kind: dataset.Int}})
+	e, err := lsample.NewTable("E", "id:int")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 10; i++ {
-		e.MustAppendRow(int64(i))
+		if err := e.AppendRow(int64(i)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	reg.Register(e)
 	svc := New(reg, Options{})
@@ -313,9 +318,14 @@ func TestCountLearnedMethodWithSubqueryLocalColumns(t *testing.T) {
 	// object table.
 	reg := NewRegistry()
 	reg.Register(testTable(60, 7))
-	e := dataset.New("E", dataset.Schema{{Name: "w", Kind: dataset.Float}})
+	e, err := lsample.NewTable("E", "w:float")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 5; i++ {
-		e.MustAppendRow(float64(i * 20))
+		if err := e.AppendRow(float64(i * 20)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	reg.Register(e)
 	svc := New(reg, Options{})
@@ -384,7 +394,7 @@ func TestCountWaiterSurvivesLeaderCancellation(t *testing.T) {
 	}
 }
 
-func TestTableDataMemoReused(t *testing.T) {
+func TestPreparedQueryReusedAcrossRequests(t *testing.T) {
 	svc := newTestService(t, 80, Options{})
 	for seed := uint64(1); seed <= 3; seed++ {
 		if _, err := svc.Count(&CountRequest{
@@ -393,11 +403,26 @@ func TestTableDataMemoReused(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	svc.memoMu.Lock()
-	n := len(svc.memos)
-	svc.memoMu.Unlock()
+	svc.prepMu.Lock()
+	n := len(svc.preps)
+	svc.prepMu.Unlock()
 	if n != 1 {
-		t.Errorf("memo entries = %d, want 1 shared across requests on the same table", n)
+		t.Errorf("prepared queries = %d, want 1 shared across requests on the same data", n)
+	}
+
+	// Re-registering the dataset makes the old snapshot unreachable; the
+	// next request prepares fresh and the stale entry is dropped.
+	svc.Registry.Register(testTable(80, 99))
+	if _, err := svc.Count(&CountRequest{
+		SQL: skybandQuery, Params: map[string]any{"k": 8}, Method: "lss", Budget: 0.25, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	svc.prepMu.Lock()
+	n = len(svc.preps)
+	svc.prepMu.Unlock()
+	if n != 1 {
+		t.Errorf("prepared queries after re-register = %d, want 1 (stale entry evicted)", n)
 	}
 }
 
@@ -514,16 +539,18 @@ func TestCountCacheKeyIncludesClassifierAndStrata(t *testing.T) {
 
 func TestCountGroupKeyNotUnique(t *testing.T) {
 	reg := NewRegistry()
-	tb := dataset.New("D", dataset.Schema{
-		{Name: "id", Kind: dataset.Int},
-		{Name: "x", Kind: dataset.Float},
-	})
+	tb, err := lsample.NewTable("D", "id:int,x:float")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 30; i++ {
-		tb.MustAppendRow(int64(i%10), float64(i)) // ids repeat
+		if err := tb.AppendRow(int64(i%10), float64(i)); err != nil { // ids repeat
+			t.Fatal(err)
+		}
 	}
 	reg.Register(tb)
 	svc := New(reg, Options{})
-	_, err := svc.Count(&CountRequest{
+	_, err = svc.Count(&CountRequest{
 		SQL:    "SELECT id FROM D WHERE x > k GROUP BY id HAVING COUNT(*) > 0",
 		Params: map[string]any{"k": 5},
 	})
@@ -560,22 +587,6 @@ func TestResultCacheLRUAndTTL(t *testing.T) {
 	}
 }
 
-func TestBuildMethodNames(t *testing.T) {
-	for _, name := range []string{"srs", "ssp", "ssn", "lws", "lss", "qlcc", "qlac", "oracle"} {
-		m, err := BuildMethod(name, nil, 0)
-		if err != nil {
-			t.Errorf("BuildMethod(%q): %v", name, err)
-			continue
-		}
-		if m.Name() == "" {
-			t.Errorf("BuildMethod(%q): empty method name", name)
-		}
-	}
-	if _, err := BuildMethod("nope", nil, 0); !errors.Is(err, ErrBadRequest) {
-		t.Error("unknown method should be a bad request")
-	}
-}
-
 func TestRegistryResolveVersions(t *testing.T) {
 	reg := NewRegistry()
 	reg.Register(testTable(5, 1))
@@ -593,22 +604,6 @@ func TestRegistryResolveVersions(t *testing.T) {
 	}
 	if _, _, err := reg.Resolve([]string{"D", "E"}); !errors.Is(err, ErrBadRequest) {
 		t.Error("unknown table should be a bad request")
-	}
-}
-
-func TestConvertParamsCanonicalForms(t *testing.T) {
-	vals, strs, err := convertParams(map[string]any{"k": float64(25), "d": 1.5, "s": "abc"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if vals["k"].Kind != engine.KInt || strs["k"] != "25" { // whole float becomes int
-		t.Errorf("k: got %v / %q", vals["k"], strs["k"])
-	}
-	if strs["d"] != "1.5" || strs["s"] != "'abc'" {
-		t.Errorf("canonical strings: %v", strs)
-	}
-	if _, _, err := convertParams(map[string]any{"b": []any{}}); err == nil {
-		t.Error("want error for unsupported param type")
 	}
 }
 

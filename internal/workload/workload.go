@@ -120,12 +120,7 @@ func (in *Instance) ExpensiveObjectsScaled(factor int) *core.ObjectSet {
 	if factor < 1 {
 		factor = 1
 	}
-	var p predicate.Predicate
-	if in.Dataset == "sports" {
-		p = predicate.NewSkyband(in.xs, in.ys, in.K)
-	} else {
-		p = predicate.NewNeighbors(in.xs, in.ys, in.D, in.K)
-	}
+	p := in.expensivePredicate()
 	if factor > 1 {
 		inner := p
 		f := predicate.NewFunc(func(i int) bool {
@@ -146,6 +141,35 @@ func (in *Instance) ExpensiveObjectsScaled(factor int) *core.ObjectSet {
 
 // N returns the object count.
 func (in *Instance) N() int { return len(in.Labels) }
+
+// Features returns the per-object feature matrix the paper's heuristic
+// selects for this workload. The slice is shared across calls; treat it as
+// read-only.
+func (in *Instance) Features() [][]float64 { return in.features }
+
+// LabelFunc returns the predicate as a plain function reading precomputed
+// labels (fast; for demos and distribution experiments where only
+// estimator behavior matters).
+func (in *Instance) LabelFunc() func(i int) bool {
+	labels := in.Labels
+	return func(i int) bool { return labels[i] }
+}
+
+// ExpensiveFunc returns the real O(N)-per-evaluation predicate as a plain
+// function — the paper's cost model. Each returned closure carries its own
+// scan state and is independent of other calls.
+func (in *Instance) ExpensiveFunc() func(i int) bool {
+	return in.expensivePredicate().Eval
+}
+
+// expensivePredicate builds the dataset's real scan predicate; the single
+// dispatch point shared by ExpensiveFunc and ExpensiveObjectsScaled.
+func (in *Instance) expensivePredicate() predicate.Predicate {
+	if in.Dataset == "sports" {
+		return predicate.NewSkyband(in.xs, in.ys, in.K)
+	}
+	return predicate.NewNeighbors(in.xs, in.ys, in.D, in.K)
+}
 
 // Suite is a dataset plus its six calibrated instances.
 type Suite struct {

@@ -1,0 +1,139 @@
+package lsample
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/learn"
+)
+
+// Methods lists the estimation method names WithMethod accepts, in the
+// paper's order: sampling baselines, learned methods, quantification
+// baselines, and the exact oracle.
+func Methods() []string {
+	return []string{"srs", "ssp", "ssn", "lws", "lss", "qlcc", "qlac", "oracle"}
+}
+
+// Classifiers lists the classifier names WithClassifier accepts.
+func Classifiers() []string { return []string{"rf", "knn", "nn", "random"} }
+
+func knownMethod(name string) bool {
+	for _, m := range Methods() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+func knownClassifier(name string) bool {
+	for _, c := range Classifiers() {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// buildClassifier constructs the configured classifier factory.
+func (c config) buildClassifier() (core.NewClassifierFunc, error) {
+	switch c.classifier {
+	case "", "rf":
+		return core.ForestClassifier(c.parallelism), nil
+	case "knn":
+		return func(uint64) learn.Classifier { return learn.NewKNN(5) }, nil
+	case "nn":
+		return func(seed uint64) learn.Classifier { return learn.NewMLP(seed) }, nil
+	case "random":
+		return func(seed uint64) learn.Classifier { return learn.NewDummy(seed) }, nil
+	}
+	return nil, badf("unknown classifier %q (want one of %v)", c.classifier, Classifiers())
+}
+
+// buildMethod constructs the configured estimation method. This is the one
+// place the knob names map onto internal/core types.
+func (c config) buildMethod() (core.Method, error) {
+	newClf, err := c.buildClassifier()
+	if err != nil {
+		return nil, err
+	}
+	strata := c.strata
+	if strata <= 0 {
+		strata = 4
+	}
+	switch c.method {
+	case "srs":
+		return &core.SRS{Alpha: c.alpha, Wilson: c.interval == Wilson}, nil
+	case "ssp":
+		return &core.SSP{Strata: strata, Alpha: c.alpha}, nil
+	case "ssn":
+		return &core.SSN{Strata: strata, Alpha: c.alpha}, nil
+	case "lws":
+		return &core.LWS{NewClassifier: newClf, Alpha: c.alpha}, nil
+	case "lss":
+		return &core.LSS{NewClassifier: newClf, Strata: strata, Alpha: c.alpha}, nil
+	case "qlcc":
+		return &core.QLCC{NewClassifier: newClf}, nil
+	case "qlac":
+		return &core.QLAC{NewClassifier: newClf}, nil
+	case "oracle":
+		return core.Oracle{}, nil
+	}
+	return nil, badf("unknown method %q (want one of %v)", c.method, Methods())
+}
+
+// needsFeatures reports whether a method reads per-object features:
+// everything except plain random sampling and the exact oracle.
+func needsFeatures(method string) bool {
+	return method != "srs" && method != "oracle"
+}
+
+// budgetFor converts the budget fraction into an evaluation count: at least
+// 10, at most |O|.
+func (c config) budgetFor(n int) int {
+	b := int(math.Round(c.budget * float64(n)))
+	if b < 10 {
+		b = 10
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// convertParams turns caller parameter values into engine values plus their
+// canonical string form for fingerprinting. JSON numbers arrive as float64;
+// whole floats bind as integers so "k": 25 from JSON and int 25 from Go
+// agree.
+func convertParams(in map[string]any) (map[string]engine.Value, map[string]string, error) {
+	vals := make(map[string]engine.Value, len(in))
+	strs := make(map[string]string, len(in))
+	for name, raw := range in {
+		switch v := raw.(type) {
+		case float64:
+			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+				vals[name] = engine.IntVal(int64(v))
+				strs[name] = strconv.FormatInt(int64(v), 10)
+			} else {
+				vals[name] = engine.FloatVal(v)
+				strs[name] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		case int:
+			vals[name] = engine.IntVal(int64(v))
+			strs[name] = strconv.Itoa(v)
+		case int64:
+			vals[name] = engine.IntVal(v)
+			strs[name] = strconv.FormatInt(v, 10)
+		case string:
+			vals[name] = engine.StringVal(v)
+			strs[name] = "'" + v + "'"
+		case bool:
+			return nil, nil, badf("parameter %q: booleans are not supported", name)
+		default:
+			return nil, nil, badf("parameter %q has unsupported type %T", name, raw)
+		}
+	}
+	return vals, strs, nil
+}

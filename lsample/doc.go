@@ -1,0 +1,83 @@
+// Package lsample is the public, embeddable SDK for learned approximate
+// counting — the one true API over this repository's reproduction of
+// "Learning to Sample: Counting with Complex Queries" (PVLDB 2019). It
+// estimates C(O, q), the number of objects satisfying an expensive
+// predicate, by spending a small labeling budget on a learned sampling
+// design instead of evaluating q everywhere. Everything else in the module
+// (the CLIs, the HTTP service, the examples) is built on this package.
+//
+// # Quick start
+//
+// Counting over your own objects takes an Estimator, a feature vector per
+// object, and the predicate as a callback:
+//
+//	est, err := lsample.NewEstimator(
+//		lsample.WithMethod("lss"),
+//		lsample.WithBudget(0.02),
+//		lsample.WithSeed(42),
+//	)
+//	if err != nil { ... }
+//	res, err := est.Estimate(ctx, features, func(i int) bool {
+//		return expensiveCheck(i) // e.g. a correlated subquery or UDF
+//	})
+//	fmt.Printf("count ≈ %.0f, 95%% CI [%.0f, %.0f], %d evaluations\n",
+//		res.Count, res.CI.Lo, res.CI.Hi, res.SamplesUsed)
+//
+// Counting over SQL goes through a Session bound to a DataSource, and a
+// PreparedQuery that parses, decomposes (§2 of the paper), and
+// feature-selects once, then executes many times with bound parameters:
+//
+//	src := lsample.NewMemorySource(table)
+//	sess, _ := lsample.NewSession(src, lsample.WithMethod("lss"))
+//	q, err := sess.Prepare(`SELECT o1.id FROM D o1, D o2
+//		WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+//		GROUP BY o1.id HAVING COUNT(*) < k`)
+//	for _, k := range []int{10, 25, 50} {
+//		res, err := q.Execute(ctx, map[string]any{"k": k})
+//		...
+//	}
+//
+// # Options
+//
+// Every entry point (NewSession, Prepare, NewEstimator, Execute, Estimate)
+// accepts functional options; later layers override earlier ones.
+//
+//	WithMethod(name)      estimation method: srs ssp ssn lws lss qlcc qlac
+//	                      oracle (default lss)
+//	WithClassifier(name)  classifier for learned methods: rf knn nn random
+//	                      (default rf, a 100-tree random forest)
+//	WithStrata(h)         strata for ssp/ssn/lss (default 4)
+//	WithBudget(frac)      labeling budget as a fraction of |O| in (0, 1]
+//	                      (default 0.02; at least 10 evaluations)
+//	WithAlpha(a)          intervals cover 1−a (default 0.05)
+//	WithParallelism(p)    classifier workers: 0 all cores, 1 sequential;
+//	                      estimates are byte-identical at any value
+//	WithSeed(s)           random seed; fixed seed ⇒ byte-identical runs
+//	WithInterval(iv)      Wald (default) or Wilson proportion intervals
+//	WithExact(true)       also compute the exact count (slow; for tests)
+//
+// # DataSource contract
+//
+// A DataSource resolves table names to immutable *Table snapshots:
+//
+//	type DataSource interface {
+//		Table(name string) (*Table, error)
+//		Names() []string
+//	}
+//
+// A *Table returned once must never change — PreparedQuery binds the
+// snapshot at Prepare time and relies on it staying frozen; serve new data
+// by returning a new *Table and let callers re-Prepare. Shipped
+// implementations: NewMemorySource (in-memory tables), NewCSVSource
+// (lazily loaded CSV files), NewWorkloadSource (the paper's synthetic
+// sports/neighbors generators).
+//
+// # Cancellation and determinism
+//
+// Every estimation takes a context.Context and observes cancellation
+// cooperatively at labeling-loop granularity: a canceled context aborts the
+// run before its next predicate evaluation and returns an error wrapping
+// context.Canceled. The checks consume no randomness, so for a fixed seed
+// an uncanceled run is byte-identical at any parallelism — which is what
+// makes result caches lossless and concurrent replicas verifiable.
+package lsample

@@ -1,0 +1,86 @@
+package lsample
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/predicate"
+	"repro/internal/xrand"
+)
+
+// Predicate is the expensive filter q: object index → bool. The SDK counts
+// evaluations for you; the function itself should be pure.
+type Predicate func(i int) bool
+
+// Estimator is the non-SQL facade: estimate how many of your own objects
+// satisfy an expensive predicate, given a feature vector per object. This
+// is the embeddable form of the paper's problem — no tables, no parser,
+// just features and a callback.
+type Estimator struct {
+	cfg config
+}
+
+// NewEstimator builds an estimator from options (method, classifier,
+// budget, seed, …). The zero option set is the paper's default: LSS with a
+// 100-tree random forest, 4 strata, a 2% budget, and 95% Wald intervals.
+func NewEstimator(opts ...Option) (*Estimator, error) {
+	cfg, err := newConfig(defaultConfig(), opts)
+	if err != nil {
+		return nil, err
+	}
+	// Surface bad method/classifier names at construction, not first use.
+	if _, err := cfg.buildMethod(); err != nil {
+		return nil, err
+	}
+	return &Estimator{cfg: cfg}, nil
+}
+
+// Method returns the configured method name.
+func (e *Estimator) Method() string { return e.cfg.method }
+
+// Estimate estimates how many of the len(features) objects satisfy pred,
+// spending at most the configured budget fraction of predicate
+// evaluations. Feature vectors must all have the same length; feature-free
+// methods (srs, oracle) accept empty vectors. Options override the
+// constructor's for this call only. Cancellation of ctx aborts the run at
+// the next predicate evaluation with an error wrapping context.Canceled.
+//
+// For a fixed seed the result is byte-identical across runs and across
+// parallelism settings.
+func (e *Estimator) Estimate(ctx context.Context, features [][]float64, pred Predicate, opts ...Option) (*Estimate, error) {
+	cfg, err := newConfig(e.cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if pred == nil {
+		return nil, badf("nil predicate")
+	}
+	m, err := cfg.buildMethod()
+	if err != nil {
+		return nil, err
+	}
+	p := predicate.NewFunc(pred)
+	obj, err := core.NewObjectSet(features, p)
+	if err != nil {
+		return nil, badf("%v", err)
+	}
+	budget := cfg.budgetFor(obj.N())
+	res, err := m.Estimate(ctx, obj, budget, xrand.New(cfg.seed))
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("lsample: %w", err)
+		}
+		return nil, fmt.Errorf("lsample: estimation failed: %w", err)
+	}
+	est := fromCore(res, obj.N(), budget, cfg.seed, cfg.alpha)
+	if cfg.exact {
+		tc, err := exactCount(ctx, p, obj.N())
+		if err != nil {
+			return nil, err
+		}
+		est.TrueCount = &tc
+		est.SamplesUsed = p.Evals()
+	}
+	return est, nil
+}

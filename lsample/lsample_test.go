@@ -1,0 +1,388 @@
+package lsample
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/predicate"
+	"repro/internal/xrand"
+)
+
+// skybandQuery is Example 2's k-skyband counting query.
+const skybandQuery = `SELECT o1.id FROM D o1, D o2
+	WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+	GROUP BY o1.id HAVING COUNT(*) < k`
+
+// testTable builds D(id, x, y) with n uniform points.
+func testTable(t *testing.T, n int, seed uint64) *Table {
+	t.Helper()
+	r := xrand.New(seed)
+	tb, err := NewTable("D", "id:int,x:float,y:float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tb.AppendRow(int64(i), r.Float64()*100, r.Float64()*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// ellipse builds a synthetic population and predicate for Estimator tests.
+func ellipse(n int, seed uint64) ([][]float64, func(int) bool) {
+	r := xrand.New(seed)
+	features := make([][]float64, n)
+	for i := range features {
+		features[i] = []float64{r.Float64()*4 - 2, r.Float64()*4 - 2}
+	}
+	pred := func(i int) bool {
+		x, y := features[i][0], features[i][1]
+		return x*x/2.2+y*y/0.7 <= 1
+	}
+	return features, pred
+}
+
+func TestMethodNamesBuild(t *testing.T) {
+	for _, name := range Methods() {
+		cfg, err := newConfig(defaultConfig(), []Option{WithMethod(name)})
+		if err != nil {
+			t.Fatalf("WithMethod(%q): %v", name, err)
+		}
+		m, err := cfg.buildMethod()
+		if err != nil {
+			t.Errorf("buildMethod(%q): %v", name, err)
+			continue
+		}
+		if m.Name() == "" {
+			t.Errorf("buildMethod(%q): empty method name", name)
+		}
+	}
+	if _, err := NewEstimator(WithMethod("nope")); !errors.Is(err, ErrInvalid) {
+		t.Error("unknown method should be ErrInvalid")
+	}
+	if _, err := NewEstimator(WithClassifier("nope")); !errors.Is(err, ErrInvalid) {
+		t.Error("unknown classifier should be ErrInvalid")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	bad := []Option{
+		WithBudget(0),
+		WithBudget(1.5),
+		WithStrata(1),
+		WithAlpha(0),
+		WithAlpha(1),
+	}
+	for i, opt := range bad {
+		if _, err := NewEstimator(opt); !errors.Is(err, ErrInvalid) {
+			t.Errorf("bad option %d: err = %v, want ErrInvalid", i, err)
+		}
+	}
+	if _, err := ParseInterval("nope"); !errors.Is(err, ErrInvalid) {
+		t.Error("unknown interval should be ErrInvalid")
+	}
+	for s, want := range map[string]Interval{"": Wald, "wald": Wald, "wilson": Wilson} {
+		iv, err := ParseInterval(s)
+		if err != nil || iv != want {
+			t.Errorf("ParseInterval(%q) = %v, %v", s, iv, err)
+		}
+	}
+}
+
+func TestConvertParamsCanonicalForms(t *testing.T) {
+	vals, strs, err := convertParams(map[string]any{"k": float64(25), "d": 1.5, "s": "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["k"].Kind != engine.KInt || strs["k"] != "25" { // whole float becomes int
+		t.Errorf("k: got %v / %q", vals["k"], strs["k"])
+	}
+	if strs["d"] != "1.5" || strs["s"] != "'abc'" {
+		t.Errorf("canonical strings: %v", strs)
+	}
+	if _, _, err := convertParams(map[string]any{"b": []any{}}); err == nil {
+		t.Error("want error for unsupported param type")
+	}
+}
+
+func TestPreparedQueryFeatureSelectOnce(t *testing.T) {
+	// Repeated execution with different bound parameters must do the
+	// decompose/feature-select work exactly once.
+	sess, err := NewSession(NewMemorySource(testTable(t, 100, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Prepare(skybandQuery, WithMethod("lss"), WithBudget(0.25), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{6, 8, 10} {
+		res, err := q.Execute(context.Background(), map[string]any{"k": k})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Count < 0 || res.Count > 100 {
+			t.Errorf("k=%d: estimate %v outside [0, 100]", k, res.Count)
+		}
+		if want := []string{"x", "y"}; !reflect.DeepEqual(res.FeatureColumns, want) {
+			t.Errorf("k=%d: feature columns %v, want %v", k, res.FeatureColumns, want)
+		}
+	}
+	q.featMu.Lock()
+	builds := q.builds
+	q.featMu.Unlock()
+	if builds != 1 {
+		t.Errorf("feature-state builds = %d, want 1 across 3 executions", builds)
+	}
+}
+
+func TestPreparedQueryDeterministic(t *testing.T) {
+	// Fixed (params, seed) ⇒ byte-identical estimates, at any parallelism.
+	sess, err := NewSession(NewMemorySource(testTable(t, 100, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Prepare(skybandQuery, WithMethod("lss"), WithBudget(0.25), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]any{"k": 8}
+	ref, err := q.Execute(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 4} {
+		got, err := q.Execute(context.Background(), params, WithParallelism(p))
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if got.Count != ref.Count || got.CI.Lo != ref.CI.Lo || got.CI.Hi != ref.CI.Hi ||
+			got.SamplesUsed != ref.SamplesUsed {
+			t.Errorf("p=%d diverged: %v [%v, %v] (%d evals) vs %v [%v, %v] (%d evals)",
+				p, got.Count, got.CI.Lo, got.CI.Hi, got.SamplesUsed,
+				ref.Count, ref.CI.Lo, ref.CI.Hi, ref.SamplesUsed)
+		}
+	}
+	if ref.Fingerprint == "" {
+		t.Error("SQL-path estimate missing fingerprint")
+	}
+}
+
+func TestEstimatorMatchesDirectCorePath(t *testing.T) {
+	// The SDK facade must be a zero-cost wrapper: for the same seed its
+	// estimates are byte-identical to constructing the core method by hand
+	// the way pre-SDK callers did.
+	features, pred := ellipse(2000, 7)
+	const seed = 42
+
+	est, err := NewEstimator(WithMethod("lss"), WithBudget(0.1), WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := est.Estimate(context.Background(), features, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obj, err := core.NewObjectSet(features, predicate.NewFunc(pred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &core.LSS{NewClassifier: core.ForestClassifier(0), Strata: 4}
+	want, err := m.Estimate(context.Background(), obj, 200, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want.Estimate || got.CI.Lo != want.CI.Lo || got.CI.Hi != want.CI.Hi ||
+		got.SamplesUsed != want.Evals {
+		t.Errorf("SDK path diverged from direct core path: %v [%v, %v] (%d) vs %v [%v, %v] (%d)",
+			got.Count, got.CI.Lo, got.CI.Hi, got.SamplesUsed,
+			want.Estimate, want.CI.Lo, want.CI.Hi, want.Evals)
+	}
+}
+
+func TestEstimateCtxCancelMidRun(t *testing.T) {
+	// Canceling mid-run must abort before the next predicate evaluation
+	// and surface a wrapped context.Canceled.
+	features, pred := ellipse(2000, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	cancelingPred := func(i int) bool {
+		if evals.Add(1) == 5 {
+			cancel()
+		}
+		return pred(i)
+	}
+	est, err := NewEstimator(WithMethod("srs"), WithBudget(0.5), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = est.Estimate(ctx, features, cancelingPred)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if n := evals.Load(); n > 5 {
+		t.Errorf("predicate evaluated %d times after cancellation at 5", n-5)
+	}
+}
+
+func TestExecuteCtxCanceled(t *testing.T) {
+	// The SQL path honors cancellation too: a pre-canceled context returns
+	// promptly with a wrapped context.Canceled.
+	sess, err := NewSession(NewMemorySource(testTable(t, 60, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Prepare(skybandQuery, WithMethod("lss"), WithBudget(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.Execute(ctx, map[string]any{"k": 8}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestWilsonIntervalDiffers(t *testing.T) {
+	features, pred := ellipse(1500, 3)
+	run := func(iv Interval) *Estimate {
+		t.Helper()
+		est, err := NewEstimator(WithMethod("srs"), WithBudget(0.1), WithSeed(5), WithInterval(iv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := est.Estimate(context.Background(), features, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	wald, wilson := run(Wald), run(Wilson)
+	if wald.Count != wilson.Count {
+		t.Errorf("point estimates differ: %v vs %v", wald.Count, wilson.Count)
+	}
+	if wald.CI.Lo == wilson.CI.Lo && wald.CI.Hi == wilson.CI.Hi {
+		t.Error("Wilson CI identical to Wald; WithInterval did not reach the estimator")
+	}
+}
+
+func TestEstimatorExact(t *testing.T) {
+	features, pred := ellipse(800, 5)
+	truth := 0
+	for i := range features {
+		if pred(i) {
+			truth++
+		}
+	}
+	est, err := NewEstimator(WithMethod("srs"), WithBudget(0.1), WithSeed(2), WithExact(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := est.Estimate(context.Background(), features, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueCount == nil || *res.TrueCount != truth {
+		t.Fatalf("TrueCount = %v, want %d", res.TrueCount, truth)
+	}
+	if res.SamplesUsed < int64(len(features)) {
+		t.Errorf("exact pass reported %d evals, want ≥ %d", res.SamplesUsed, len(features))
+	}
+}
+
+func TestCSVAndWorkloadSources(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.csv")
+	csv := "id,x,y\n0,1.5,2\n1,3,4\n2,5,6\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := NewCSVSource()
+	src.AddFile("D", "id:int,x:float,y:float", path)
+	tb, err := src.Table("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 || tb.NumCols() != 3 {
+		t.Errorf("CSV table = %dx%d, want 3x3", tb.NumRows(), tb.NumCols())
+	}
+	again, err := src.Table("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != tb {
+		t.Error("CSVSource reloaded an already-loaded table")
+	}
+	if _, err := src.Table("E"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("unknown CSV table: err = %v, want ErrInvalid", err)
+	}
+
+	ws := NewWorkloadSource(500, 3)
+	for _, name := range ws.Names() {
+		wt, err := ws.Table(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if wt.NumRows() != 500 {
+			t.Errorf("%s rows = %d, want 500", name, wt.NumRows())
+		}
+	}
+	if _, err := ws.Table("nope"); !errors.Is(err, ErrInvalid) {
+		t.Error("unknown synthetic dataset should be ErrInvalid")
+	}
+}
+
+func TestQueryShape(t *testing.T) {
+	fp1, tables, err := QueryShape(skybandQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0] != "D" {
+		t.Errorf("tables = %v, want [D]", tables)
+	}
+	// Reformatting must not change the shape.
+	fp2, _, err := QueryShape("select   o1.id from D o1, D o2 where o2.x>=o1.x and o2.y >= o1.y and (o2.x > o1.x or o2.y > o1.y) group by o1.id having count(*) < k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Errorf("reformatted query changed shape: %q vs %q", fp1, fp2)
+	}
+	if _, _, err := QueryShape("SELEC nope"); !errors.Is(err, ErrInvalid) {
+		t.Error("parse error should be ErrInvalid")
+	}
+}
+
+func TestExactPassCtxCanceled(t *testing.T) {
+	// The WithExact full scan honors cancellation too: cancel once the
+	// estimation is done and the exact pass has started.
+	features, pred := ellipse(600, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	cancelingPred := func(i int) bool {
+		if evals.Add(1) == 20 { // past the 10-eval estimation budget
+			cancel()
+		}
+		return pred(i)
+	}
+	est, err := NewEstimator(WithMethod("srs"), WithBudget(0.01), WithSeed(1), WithExact(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = est.Estimate(ctx, features, cancelingPred)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if n := evals.Load(); n > 20 {
+		t.Errorf("exact pass evaluated %d objects after cancellation at 20", n-20)
+	}
+}

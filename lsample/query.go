@@ -1,0 +1,28 @@
+package lsample
+
+import (
+	"repro/internal/engine"
+	"repro/internal/sql"
+)
+
+// QueryShape parses a counting query and returns its canonical
+// parameter-free fingerprint plus the names of every table it references
+// (including tables appearing only inside predicate subqueries). Two
+// queries with equal shapes differ at most in formatting; caching layers
+// combine the shape with bound parameters and dataset versions to key
+// results without re-analyzing the query.
+func QueryShape(sqlText string) (fingerprint string, tables []string, err error) {
+	if sqlText == "" {
+		return "", nil, badf("missing sql")
+	}
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return "", nil, badf("parse: %v", err)
+	}
+	inner := engine.ExtractInner(stmt)
+	names := sql.Tables(inner)
+	if len(names) == 0 {
+		return "", nil, badf("query has no FROM clause")
+	}
+	return sql.Fingerprint(inner, nil), names, nil
+}

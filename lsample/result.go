@@ -1,0 +1,101 @@
+package lsample
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// ConfidenceInterval is a two-sided interval for the count at confidence
+// 1−alpha.
+type ConfidenceInterval struct {
+	Lo, Hi float64
+	Level  float64 // confidence level, e.g. 0.95
+}
+
+// Width returns Hi − Lo.
+func (ci ConfidenceInterval) Width() float64 { return ci.Hi - ci.Lo }
+
+// PhaseTimings breaks an estimation into the paper's cost phases.
+type PhaseTimings struct {
+	Learn     time.Duration // phase 1: sampling, labeling, training, scoring
+	Design    time.Duration // sample design: variance estimates + strata layout
+	Sample    time.Duration // phase 2: sampling, iteration, estimation
+	Predicate time.Duration // total time inside q, across all phases
+}
+
+// Total returns the wall time of all phases.
+func (t PhaseTimings) Total() time.Duration { return t.Learn + t.Design + t.Sample }
+
+// Overhead returns non-labeling time: Total − Predicate.
+func (t PhaseTimings) Overhead() time.Duration {
+	ov := t.Total() - t.Predicate
+	if ov < 0 {
+		return 0
+	}
+	return ov
+}
+
+// Estimate is the outcome of one estimation run.
+type Estimate struct {
+	// Method is the estimation method that ran.
+	Method string
+	// Fingerprint canonically identifies (query, bound parameters); set
+	// only on the SQL path. Together with dataset identity, method, budget,
+	// and seed it fully determines the result, which makes it a sound cache
+	// key.
+	Fingerprint string
+	// Objects is |O|, the number of objects the query enumerates.
+	Objects int
+	// Budget is the number of predicate evaluations the method was allowed.
+	Budget int
+	// Count is the estimated count C(O, q).
+	Count float64
+	// Proportion is Count / Objects (0 when Objects is 0).
+	Proportion float64
+	// CI is the confidence interval for the count; nil when the method
+	// provides none (quantification learning).
+	CI *ConfidenceInterval
+	// SamplesUsed is the number of predicate evaluations actually spent,
+	// including the exact pass when WithExact was set.
+	SamplesUsed int64
+	// Seed is the seed the run used; rerunning with it reproduces the
+	// estimate byte for byte.
+	Seed uint64
+	// FeatureColumns are the classifier features auto-selected from the
+	// columns the predicate reads (SQL path, feature-using methods only).
+	FeatureColumns []string
+	// TrueCount is the exact count; set only when WithExact was used.
+	TrueCount *int
+	// Timings is the per-phase cost breakdown.
+	Timings PhaseTimings
+}
+
+// fromCore converts an internal result. alpha 0 means the methods' default
+// 0.05.
+func fromCore(res *core.Result, objects int, budget int, seed uint64, alpha float64) *Estimate {
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	out := &Estimate{
+		Method:      res.Method,
+		Objects:     objects,
+		Budget:      budget,
+		Count:       res.Estimate,
+		SamplesUsed: res.Evals,
+		Seed:        seed,
+		Timings: PhaseTimings{
+			Learn:     res.Timing.Learn,
+			Design:    res.Timing.Design,
+			Sample:    res.Timing.Sample,
+			Predicate: res.Timing.Predicate,
+		},
+	}
+	if objects > 0 {
+		out.Proportion = res.Estimate / float64(objects)
+	}
+	if res.HasCI {
+		out.CI = &ConfidenceInterval{Lo: res.CI.Lo, Hi: res.CI.Hi, Level: 1 - alpha}
+	}
+	return out
+}

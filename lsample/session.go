@@ -1,0 +1,364 @@
+package lsample
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/predicate"
+	"repro/internal/sql"
+	"repro/internal/xrand"
+)
+
+// Session is the SDK entry point for SQL counting queries: it binds a
+// DataSource to a default option set and prepares queries against it. A
+// Session is cheap (two words) and safe for concurrent use; create as many
+// as convenient.
+type Session struct {
+	src  DataSource
+	base config
+}
+
+// NewSession returns a session over src. The options become defaults for
+// every Prepare and Execute made through it.
+func NewSession(src DataSource, opts ...Option) (*Session, error) {
+	if src == nil {
+		return nil, badf("nil data source")
+	}
+	cfg, err := newConfig(defaultConfig(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{src: src, base: cfg}, nil
+}
+
+// Source returns the session's data source.
+func (s *Session) Source() DataSource { return s.src }
+
+// Count is the one-shot convenience: Prepare followed by a single Execute.
+// Use Prepare directly when the same query runs repeatedly.
+func (s *Session) Count(ctx context.Context, sqlText string, params map[string]any, opts ...Option) (*Estimate, error) {
+	q, err := s.Prepare(sqlText, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return q.Execute(ctx, params)
+}
+
+// Prepare parses a counting query, rewrites it into the paper's §2
+// object/predicate form, and binds it to a snapshot of the tables it
+// references. The expensive per-query analysis — parsing, decomposition,
+// and (lazily, on the first Execute that needs it) automatic feature
+// selection with the O(N) key index and feature matrix — happens once; the
+// returned PreparedQuery can then Execute many times with different bound
+// parameters, seeds, and options.
+//
+// Queries must follow the paper's Q1 shape: a GROUP BY over a single
+// integer key column of the first FROM table (the object table), with the
+// expensive condition in HAVING or WHERE. Free identifiers that are not
+// columns are parameters, bound per Execute.
+func (s *Session) Prepare(sqlText string, opts ...Option) (*PreparedQuery, error) {
+	cfg, err := newConfig(s.base, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sqlText == "" {
+		return nil, badf("missing sql")
+	}
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, badf("parse: %v", err)
+	}
+	inner := engine.ExtractInner(stmt)
+	for _, tr := range inner.From {
+		if tr.Subquery != nil {
+			return nil, badf("FROM subqueries are not supported")
+		}
+	}
+	// Resolve every table the query touches, including ones referenced only
+	// inside predicate subqueries — all must be in the evaluator's catalog.
+	names := sql.Tables(inner)
+	if len(names) == 0 {
+		return nil, badf("query has no FROM clause")
+	}
+	cat := make(engine.Catalog, len(names))
+	for _, name := range names {
+		t, err := s.src.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		cat[name] = t.tab
+	}
+	dec, err := engine.Decompose(inner)
+	if err != nil {
+		return nil, badf("decompose: %v", err)
+	}
+	return &PreparedQuery{
+		sess:  s,
+		text:  sqlText,
+		cfg:   cfg,
+		inner: inner,
+		dec:   dec,
+		cat:   cat,
+		ltab:  cat[dec.Objects.From[0].Name],
+		feats: make(map[string]*featureState),
+	}, nil
+}
+
+// PreparedQuery is a parsed, decomposed, feature-selected counting query
+// bound to a table snapshot. It is safe for concurrent Execute calls and
+// stays consistent even if the session's DataSource replaces a table —
+// prepare again to pick up new data.
+type PreparedQuery struct {
+	sess  *Session
+	text  string
+	cfg   config
+	inner *sql.SelectStmt
+	dec   *engine.Decomposed
+	cat   engine.Catalog
+	ltab  *dataset.Table
+
+	featMu sync.Mutex
+	feats  map[string]*featureState // keyed by sorted parameter names
+	builds int                      // feature-state constructions (tests assert == 1)
+}
+
+// featureState is the per-query-shape artifact every feature-using Execute
+// shares: the auto-selected feature columns, the O(N) unique-key index, and
+// the full feature matrix of the object table.
+type featureState struct {
+	cols  []string
+	index map[int64]int
+	feats [][]float64
+}
+
+// SQL returns the query text as prepared.
+func (q *PreparedQuery) SQL() string { return q.text }
+
+// Tables returns the names of all tables the query references, sorted.
+func (q *PreparedQuery) Tables() []string {
+	names := make([]string, 0, len(q.cat))
+	for name := range q.cat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ObjectsSQL returns the object-enumeration query Q2 of the §2
+// decomposition.
+func (q *PreparedQuery) ObjectsSQL() string { return q.dec.Objects.String() }
+
+// PredicateSQL returns the per-object predicate Q3 of the §2 decomposition.
+func (q *PreparedQuery) PredicateSQL() string { return q.dec.Predicate.String() }
+
+// Fingerprint returns the canonical identity of the query with the given
+// parameters bound: equal fingerprints over the same data imply
+// byte-identical estimates for equal (method, budget, seed) — the property
+// caching layers rely on.
+func (q *PreparedQuery) Fingerprint(params map[string]any) (string, error) {
+	_, strs, err := convertParams(params)
+	if err != nil {
+		return "", err
+	}
+	return sql.Fingerprint(q.inner, strs), nil
+}
+
+// Execute runs one estimation with the given bound parameters. Options
+// override the prepare-time defaults for this call only. Cancellation of
+// ctx aborts the run at the next predicate evaluation, returning an error
+// wrapping context.Canceled (or DeadlineExceeded).
+func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts ...Option) (*Estimate, error) {
+	cfg, err := newConfig(q.cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	m, err := cfg.buildMethod()
+	if err != nil {
+		return nil, err
+	}
+	vals, strs, err := convertParams(params)
+	if err != nil {
+		return nil, err
+	}
+	alpha := cfg.alpha
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+
+	ev := engine.NewEvaluator(q.cat)
+	for name, v := range vals {
+		ev.SetParam(name, v)
+	}
+	objects, err := ev.Run(q.dec.Objects, nil)
+	if err != nil {
+		return nil, badf("enumerating objects: %v", err)
+	}
+	out := &Estimate{
+		Method:      cfg.method,
+		Fingerprint: sql.Fingerprint(q.inner, strs),
+		Objects:     objects.NumRows(),
+		Seed:        cfg.seed,
+	}
+	if objects.NumRows() == 0 {
+		out.CI = &ConfidenceInterval{Level: 1 - alpha}
+		if cfg.exact {
+			zero := 0
+			out.TrueCount = &zero
+		}
+		return out, nil
+	}
+
+	// Feature-free methods (plain random sampling, the exact oracle) skip
+	// feature derivation entirely — and with it the single-unique-integer
+	// group-key restriction it needs.
+	features := make([][]float64, objects.NumRows())
+	if needsFeatures(cfg.method) {
+		fs, err := q.featureState(strs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range features {
+			v := objects.Value(i, 0)
+			if v.Kind != engine.KInt {
+				return nil, badf("object key is not an integer")
+			}
+			r, ok := fs.index[v.I]
+			if !ok {
+				return nil, badf("object key %d not found in %q", v.I, q.ltab.Name)
+			}
+			features[i] = fs.feats[r]
+		}
+		out.FeatureColumns = fs.cols
+	}
+
+	pred, err := predicate.NewEngineExists(ev, q.dec, objects)
+	if err != nil {
+		return nil, badf("%v", err)
+	}
+	obj, err := core.NewObjectSet(features, pred)
+	if err != nil {
+		return nil, badf("%v", err)
+	}
+
+	budget := cfg.budgetFor(obj.N())
+	res, err := m.Estimate(ctx, obj, budget, xrand.New(cfg.seed))
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("lsample: %w", err)
+		}
+		return nil, fmt.Errorf("lsample: estimation failed: %w", err)
+	}
+
+	est := fromCore(res, obj.N(), budget, cfg.seed, cfg.alpha)
+	est.Method = out.Method
+	est.Fingerprint = out.Fingerprint
+	est.FeatureColumns = out.FeatureColumns
+	if cfg.exact {
+		tc, err := exactCount(ctx, pred, obj.N())
+		if err != nil {
+			return nil, err
+		}
+		est.TrueCount = &tc
+		// The exact pass spends real predicate evaluations too; report the
+		// predicate's full counter, not just the estimation's share.
+		est.SamplesUsed = pred.Evals()
+	}
+	return est, nil
+}
+
+// exactCount evaluates the predicate on every object — the expensive path
+// WithExact requests — honoring the same cancel-before-next-evaluation
+// contract as the estimators; it is by far the longest loop a request can
+// hold resources for.
+func exactCount(ctx context.Context, pred predicate.Predicate, n int) (int, error) {
+	count := 0
+	for i := 0; i < n; i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, fmt.Errorf("lsample: exact count canceled: %w", err)
+			}
+		}
+		if pred.Eval(i) {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// featureState returns the memoized feature artifacts for the given
+// parameter-name signature, building them on first use. Parameter names are
+// part of the key because identifiers bound as parameters are excluded from
+// feature selection; executing with a consistent parameter set — the normal
+// case — builds exactly once.
+func (q *PreparedQuery) featureState(paramStrs map[string]string) (*featureState, error) {
+	names := make([]string, 0, len(paramStrs))
+	for name := range paramStrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	key := strings.Join(names, ",")
+
+	q.featMu.Lock()
+	defer q.featMu.Unlock()
+	if fs, ok := q.feats[key]; ok {
+		return fs, nil
+	}
+
+	skip := make(map[string]bool, len(paramStrs))
+	for name := range paramStrs {
+		skip[name] = true
+	}
+	cols, err := engine.NumericFeatureColumns(q.ltab, q.dec.FeatureCols, skip)
+	if err != nil {
+		return nil, badf("%v", err)
+	}
+	keyCol, err := q.objectKeyColumn()
+	if err != nil {
+		return nil, err
+	}
+	ci := q.ltab.ColIndex(keyCol)
+	index := make(map[int64]int, q.ltab.NumRows())
+	for r := 0; r < q.ltab.NumRows(); r++ {
+		k := q.ltab.Int(r, ci)
+		if _, dup := index[k]; dup {
+			return nil, badf("group key %q is not unique in %q (value %d repeats); cannot derive per-object features", keyCol, q.ltab.Name, k)
+		}
+		index[k] = r
+	}
+	feats, err := q.ltab.Features(cols...)
+	if err != nil {
+		return nil, badf("features: %v", err)
+	}
+	fs := &featureState{cols: cols, index: index, feats: feats}
+	q.feats[key] = fs
+	q.builds++
+	return fs, nil
+}
+
+// objectKeyColumn validates the decomposition's group key for feature
+// derivation and returns its base-column name. Queries needing features
+// must group by a single integer column that is unique in the object table
+// (e.g. an id column) — the shape of both of the paper's workloads.
+func (q *PreparedQuery) objectKeyColumn() (string, error) {
+	if len(q.dec.GroupCols) != 1 {
+		return "", badf("queries must GROUP BY a single key column; got %d", len(q.dec.GroupCols))
+	}
+	cr, ok := q.dec.Objects.Select[0].Expr.(*sql.ColumnRef)
+	if !ok {
+		return "", badf("group key is not a column reference")
+	}
+	ci := q.ltab.ColIndex(cr.Name)
+	if ci < 0 {
+		return "", badf("table %q has no column %q", q.ltab.Name, cr.Name)
+	}
+	if q.ltab.Schema()[ci].Kind != dataset.Int {
+		return "", badf("group key %q must be an integer column", cr.Name)
+	}
+	return cr.Name, nil
+}

@@ -1,0 +1,171 @@
+package lsample
+
+import (
+	"sort"
+	"sync"
+)
+
+// DataSource abstracts where objects come from: a Session resolves every
+// table a query references through its source. Implementations must return
+// stable snapshots — a *Table handed out once must never change, so a
+// PreparedQuery bound to it stays consistent for its lifetime. The three
+// shipped implementations are MemorySource (registered in-memory tables),
+// CSVSource (lazily loaded CSV files), and WorkloadSource (the paper's
+// synthetic dataset generators).
+//
+// Prepare resolves tables one at a time, so replacing several tables in a
+// live source while a multi-table query is being prepared can bind a
+// catalog that mixes data generations. Callers that update related tables
+// together should prepare against a frozen source instead — resolve the
+// tables they care about once, put them in a fresh MemorySource, and
+// Prepare there (the HTTP service's versioned registry does exactly this).
+type DataSource interface {
+	// Table returns the named table, or an error wrapping ErrInvalid when
+	// the source does not have it.
+	Table(name string) (*Table, error)
+	// Names lists the tables this source can serve, sorted.
+	Names() []string
+}
+
+// MemorySource serves tables registered in memory. It is safe for
+// concurrent use; registering a table under an existing name replaces it
+// (sessions that already prepared against the old snapshot keep it).
+type MemorySource struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewMemorySource returns a source serving the given tables, keyed by
+// their names.
+func NewMemorySource(tables ...*Table) *MemorySource {
+	s := &MemorySource{tables: make(map[string]*Table, len(tables))}
+	for _, t := range tables {
+		s.tables[t.Name()] = t
+	}
+	return s
+}
+
+// Add registers or replaces a table.
+func (s *MemorySource) Add(t *Table) {
+	s.mu.Lock()
+	s.tables[t.Name()] = t
+	s.mu.Unlock()
+}
+
+// Table implements DataSource.
+func (s *MemorySource) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	t, ok := s.tables[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, badf("unknown dataset %q", name)
+	}
+	return t, nil
+}
+
+// Names implements DataSource.
+func (s *MemorySource) Names() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		out = append(out, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// CSVSource serves tables backed by CSV files on disk, loading each file at
+// most once on first use. It is safe for concurrent use.
+type CSVSource struct {
+	mu     sync.Mutex
+	files  map[string]csvFile
+	loaded map[string]*Table
+}
+
+type csvFile struct {
+	schema string
+	path   string
+}
+
+// NewCSVSource returns an empty CSV-backed source; register files with
+// AddFile before querying.
+func NewCSVSource() *CSVSource {
+	return &CSVSource{files: make(map[string]csvFile), loaded: make(map[string]*Table)}
+}
+
+// AddFile registers a CSV file to be served as the named table with the
+// given "name:kind,…" schema. The file is read lazily on the first Table
+// call; a table already loaded under this name is dropped.
+func (s *CSVSource) AddFile(table, schema, path string) {
+	s.mu.Lock()
+	s.files[table] = csvFile{schema: schema, path: path}
+	delete(s.loaded, table)
+	s.mu.Unlock()
+}
+
+// Table implements DataSource, loading and caching the file on first use.
+func (s *CSVSource) Table(name string) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.loaded[name]; ok {
+		return t, nil
+	}
+	f, ok := s.files[name]
+	if !ok {
+		return nil, badf("unknown dataset %q", name)
+	}
+	t, err := OpenCSV(name, f.schema, f.path)
+	if err != nil {
+		return nil, err
+	}
+	s.loaded[name] = t
+	return t, nil
+}
+
+// Names implements DataSource.
+func (s *CSVSource) Names() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.files))
+	for name := range s.files {
+		out = append(out, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// WorkloadSource serves the paper's synthetic evaluation datasets —
+// "sports" and "neighbors" — generated on first use at the configured size
+// and seed. It is safe for concurrent use.
+type WorkloadSource struct {
+	rows int
+	seed uint64
+
+	mu     sync.Mutex
+	tables map[string]*Table
+}
+
+// NewWorkloadSource returns a source generating the synthetic datasets with
+// rows rows each (0 means the paper's scale) from the given seed.
+func NewWorkloadSource(rows int, seed uint64) *WorkloadSource {
+	return &WorkloadSource{rows: rows, seed: seed, tables: make(map[string]*Table)}
+}
+
+// Table implements DataSource.
+func (s *WorkloadSource) Table(name string) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[name]; ok {
+		return t, nil
+	}
+	t, err := SyntheticTable(name, s.rows, s.seed)
+	if err != nil {
+		return nil, err
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+// Names implements DataSource.
+func (s *WorkloadSource) Names() []string { return []string{"neighbors", "sports"} }

@@ -1,0 +1,216 @@
+// Command apicheck fails the build when a public (non-internal) package
+// leaks internal/ types into its exported API surface. The public SDK must
+// stay consumable without importing internal packages; a *dataset.Table in
+// an exported signature would force callers through internal paths and
+// freeze internals into the compatibility surface.
+//
+// The check is purely syntactic: for every non-test file of each public
+// package it collects the local names of repro/internal/... imports, then
+// walks exported declarations — function and method signatures, exported
+// struct fields, interface embeds and methods, type definitions, and
+// exported var/const types — reporting any selector that resolves to an
+// internal import. Unexported fields and function bodies may use internal
+// packages freely; that is the point of the wrapper types.
+//
+// Usage: go run ./tools/apicheck [packages...]  (default: lsample)
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	pkgs := os.Args[1:]
+	if len(pkgs) == 0 {
+		pkgs = []string{"lsample"}
+	}
+	bad := 0
+	for _, dir := range pkgs {
+		violations, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "apicheck: %s\n", v)
+		}
+		bad += len(violations)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "apicheck: %d internal leak(s) in public API signatures\n", bad)
+		os.Exit(1)
+	}
+	fmt.Println("apicheck: public API signatures are free of internal/ types")
+}
+
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var violations []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		violations = append(violations, checkFile(fset, f)...)
+	}
+	return violations, nil
+}
+
+// checkFile reports exported declarations in f whose signatures reference
+// an internal import.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	internals := make(map[string]string) // local name -> import path
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !strings.Contains(path, "/internal/") && !strings.HasPrefix(path, "internal/") {
+			continue
+		}
+		local := ""
+		if imp.Name != nil {
+			local = imp.Name.Name
+		} else {
+			local = path[strings.LastIndex(path, "/")+1:]
+		}
+		internals[local] = path
+	}
+	if len(internals) == 0 {
+		return nil
+	}
+
+	var out []string
+	report := func(pos token.Pos, what string, pkg string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s: %s references internal package %q", p, what, internals[pkg]))
+	}
+	// flag walks a type expression and reports selectors rooted at an
+	// internal import.
+	var flag func(expr ast.Expr, what string)
+	flag = func(expr ast.Expr, what string) {
+		ast.Inspect(expr, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if _, isInternal := internals[id.Name]; isInternal {
+					report(id.Pos(), what, id.Name)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			// Methods count when the receiver's base type is exported;
+			// plain functions when their own name is.
+			if !funcIsPublic(d) {
+				continue
+			}
+			what := "exported func " + d.Name.Name
+			if d.Type.Params != nil {
+				for _, p := range d.Type.Params.List {
+					flag(p.Type, what)
+				}
+			}
+			if d.Type.Results != nil {
+				for _, r := range d.Type.Results.List {
+					flag(r.Type, what)
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if !sp.Name.IsExported() {
+						continue
+					}
+					checkTypeSpec(sp, flag)
+				case *ast.ValueSpec:
+					exported := false
+					for _, n := range sp.Names {
+						if n.IsExported() {
+							exported = true
+						}
+					}
+					if exported && sp.Type != nil {
+						flag(sp.Type, "exported value "+sp.Names[0].Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkTypeSpec flags internal references visible through an exported type:
+// exported struct fields, interface methods and embeds, and any other
+// definition's underlying type expression.
+func checkTypeSpec(sp *ast.TypeSpec, flag func(ast.Expr, string)) {
+	what := "exported type " + sp.Name.Name
+	switch t := sp.Type.(type) {
+	case *ast.StructType:
+		for _, field := range t.Fields.List {
+			if len(field.Names) == 0 {
+				// Embedded field: part of the exposed surface.
+				flag(field.Type, what+" (embedded field)")
+				continue
+			}
+			for _, n := range field.Names {
+				if n.IsExported() {
+					flag(field.Type, what+" field "+n.Name)
+					break
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			flag(m.Type, what+" (interface)")
+		}
+	default:
+		// Aliases, named types over maps/slices/funcs: the whole
+		// definition is the surface.
+		flag(sp.Type, what)
+	}
+}
+
+// funcIsPublic reports whether a function or method is part of the public
+// surface: an exported name, and for methods an exported receiver base.
+func funcIsPublic(d *ast.FuncDecl) bool {
+	if !d.Name.IsExported() {
+		return false
+	}
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	base := d.Recv.List[0].Type
+	for {
+		switch t := base.(type) {
+		case *ast.StarExpr:
+			base = t.X
+		case *ast.IndexExpr:
+			base = t.X
+		case *ast.Ident:
+			return t.IsExported()
+		default:
+			return true
+		}
+	}
+}
