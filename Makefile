@@ -1,10 +1,15 @@
 # Repository verification and benchmarking entry points.
 #
-#   make check        build + vet + race-enabled tests (tier-1 gate and more)
-#   make test         plain test run
-#   make bench-smoke  1-iteration pass over the figure benchmark and the
-#                     perf micro-benchmarks, emitted as BENCH_smoke.json
-#   make bench-full   3-second benchmark pass (slow; for recorded numbers)
+#   make check         build + vet + api/docs gates + race-enabled tests
+#                      (tier-1 gate and more)
+#   make test          plain test run
+#   make docs-check    README/ARCHITECTURE exist, examples vet, every
+#                      exported lsample symbol documented
+#   make bench-smoke   1-iteration pass over the figure benchmark and the
+#                      perf micro-benchmarks, emitted as BENCH_smoke.json
+#   make bench-groupby shared-sample GROUP BY vs naive per-group loop,
+#                      emitted as BENCH_groupby.json
+#   make bench-full    3-second benchmark pass (slow; for recorded numbers)
 
 GO ?= go
 
@@ -13,14 +18,23 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check build vet test race api-check bench-smoke bench-full serve-smoke
+.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby
 
-check: build vet api-check race
+check: build vet api-check docs-check race
 
 # Fail if internal/ packages leak into the public SDK's exported
 # signatures (repro/lsample is the compatibility surface).
 api-check:
 	$(GO) run ./tools/apicheck lsample
+
+# Documentation gate: the user-facing docs must exist, the runnable
+# examples must vet clean, and every exported symbol of the public SDK
+# must carry a doc comment (tools/doccheck).
+docs-check:
+	@test -f README.md || { echo "docs-check: README.md is missing"; exit 1; }
+	@test -f ARCHITECTURE.md || { echo "docs-check: ARCHITECTURE.md is missing"; exit 1; }
+	$(GO) vet ./examples/...
+	$(GO) run ./tools/doccheck ./lsample
 
 build:
 	$(GO) build ./...
@@ -47,6 +61,14 @@ bench-full:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 2s ./... \
 		| $(GO) run ./tools/benchjson > BENCH_full.json
 	@cat BENCH_full.json
+
+# One pass over the GROUP BY benchmarks: shared-sample grouped estimation
+# vs the naive per-group estimate loop, emitted as BENCH_groupby.json.
+# (BENCH_PR3.json records a 2-iteration run of the same benchmarks.)
+bench-groupby:
+	$(GO) test -run '^$$' -bench '^BenchmarkGroupBy(Shared|Naive)$$' -benchtime 1x ./lsample/ \
+		| $(GO) run ./tools/benchjson > BENCH_groupby.json
+	@cat BENCH_groupby.json
 
 # One pass over the counting-service benchmark (cold vs warm cache),
 # emitted as BENCH_serve.json.

@@ -13,6 +13,18 @@
 //
 //	lscount -sql 'SELECT o1.id FROM D o1, D o2 WHERE ... GROUP BY o1.id HAVING COUNT(*) < k' \
 //	        -csv points.csv -schema id:int,x:float,y:float -param k=25 -method lss -budget 0.05
+//
+// GROUP BY counting: when -sql is the grouped form
+// SELECT g, COUNT(*) FROM (...) GROUP BY g, every group is estimated from
+// one shared sample and the result is printed as a per-group table
+// (methods srs, lss, oracle).
+//
+// Flags (common): -method srs|ssp|ssn|lws|lss|qlcc|qlac|oracle,
+// -budget frac, -seed n, -classifier rf|knn|nn|random, -strata h,
+// -interval wald|wilson (Wilson score intervals for the srs proportion
+// estimator, per WithInterval), -p parallelism. Calibrated mode adds
+// -dataset, -rows, -size, -expensive; ad-hoc mode adds -sql, -csv,
+// -schema, -param (repeatable), -exact. Run lscount -h for details.
 package main
 
 import (
@@ -177,6 +189,10 @@ func runSQL(ctx context.Context, query, csvPath, schemaStr string, params map[st
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if q.IsGrouped() {
+		runGroupedSQL(ctx, q, tb, csvPath, params, exact)
+		return
+	}
 	t0 := time.Now()
 	res, err := q.Execute(ctx, params, lsample.WithExact(exact))
 	if err != nil {
@@ -200,6 +216,53 @@ func runSQL(ctx context.Context, query, csvPath, schemaStr string, params map[st
 		fmt.Printf("rel. error  %.2f%%\n", rel*100)
 	}
 	fmt.Printf("evals used  %d\n", res.SamplesUsed)
+	fmt.Printf("duration    %.1fms\n", float64(dur)/1e6)
+}
+
+// runGroupedSQL estimates a GROUP BY counting query and prints one row per
+// group: all groups share a single sampling/learning plan, so the total
+// evaluation cost is that of one estimation, not one per group.
+func runGroupedSQL(ctx context.Context, q *lsample.PreparedQuery, tb *lsample.Table, csvPath string, params map[string]any, exact bool) {
+	t0 := time.Now()
+	res, err := q.ExecuteGroups(ctx, params, lsample.WithExact(exact))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	dur := time.Since(t0)
+
+	fmt.Printf("dataset     %s (%d rows from %s)\n", tb.Name(), tb.NumRows(), csvPath)
+	fmt.Printf("query       %s\n", q.SQL())
+	fmt.Printf("fingerprint %s\n", res.Fingerprint)
+	fmt.Printf("objects     %d in %d groups\n", res.Objects, len(res.Groups))
+	if len(res.FeatureColumns) > 0 {
+		fmt.Printf("features    %s (auto-selected from the predicate)\n", strings.Join(res.FeatureColumns, ", "))
+	}
+	fmt.Printf("method      %s (shared sample across groups)\n", res.Method)
+	fmt.Printf("budget      %d q-evaluations\n", res.Budget)
+	fmt.Println()
+
+	header := strings.Join(q.GroupColumns(), ",")
+	fmt.Printf("%-20s %8s %10s %22s %8s", header, "objects", "estimate", "CI", "sampled")
+	if exact {
+		fmt.Printf(" %8s %8s", "true", "err")
+	}
+	fmt.Println()
+	for _, g := range res.Groups {
+		ci := "-"
+		if g.CI != nil {
+			ci = fmt.Sprintf("[%.1f, %.1f]", g.CI.Lo, g.CI.Hi)
+		}
+		fmt.Printf("%-20s %8d %10.1f %22s %8d", strings.Join(g.Key, ","), g.Objects, g.Count, ci, g.Sampled)
+		if g.TrueCount != nil {
+			tc := *g.TrueCount
+			rel := math.Abs(g.Count-float64(tc)) / math.Max(1, float64(tc))
+			fmt.Printf(" %8d %7.1f%%", tc, rel*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Printf("total       %.1f estimated positives\n", res.Total)
+	fmt.Printf("evals used  %d (shared across all %d groups)\n", res.SamplesUsed, len(res.Groups))
 	fmt.Printf("duration    %.1fms\n", float64(dur)/1e6)
 }
 

@@ -13,6 +13,12 @@
 //	POST /v1/datasets  upload CSV (?name=D&schema=id:int,x:float)
 //	GET  /v1/stats     metrics: cache hits, admissions, predicate evals
 //	GET  /healthz      liveness
+//
+// A GROUP BY request — "sql" of the form SELECT g, COUNT(*) FROM (...)
+// GROUP BY g — answers with one groups[] row per group (key, objects,
+// estimate, CI, sampled), estimated from one shared sample and cached like
+// any other request. Request knobs: method, budget, classifier, strata,
+// interval (wald|wilson), seed, exact, no_cache.
 package main
 
 import (

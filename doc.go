@@ -37,6 +37,14 @@
 //	q, _ := sess.Prepare(`SELECT o1.id FROM D o1, D o2 WHERE ... GROUP BY o1.id HAVING COUNT(*) < k`)
 //	res, err := q.Execute(ctx, map[string]any{"k": 25})
 //
+// GROUP BY counting — SELECT g, COUNT(*) FROM (Q1) GROUP BY g — estimates
+// every group from one shared sampling/learning plan via
+// PreparedQuery.ExecuteGroups (or Session.CountGroups): the expensive
+// predicate is evaluated once per sampled object no matter how many groups
+// there are, instead of once per group per loop iteration. Methods srs,
+// lss, and oracle support the grouped path; rare groups fall back to a
+// dedicated per-group draw with memoized labels.
+//
 // Options (accepted everywhere, later layers override earlier ones):
 // WithMethod, WithClassifier, WithStrata, WithBudget, WithAlpha,
 // WithParallelism, WithSeed, WithInterval (Wald or Wilson), WithExact.
@@ -103,7 +111,13 @@
 //
 // The benchmarks in bench_test.go regenerate each table and figure at
 // reduced scale and report predicate evaluations per op; `make check`
-// builds, vets, checks the public API surface, and runs the race-enabled
-// test suite; `make bench-smoke` snapshots the benchmark set to
-// BENCH_smoke.json. CI (.github/workflows/ci.yml) runs the same gates.
+// builds, vets, checks the public API surface and documentation gates, and
+// runs the race-enabled test suite; `make bench-smoke` snapshots the
+// benchmark set to BENCH_smoke.json and `make bench-groupby` the GROUP BY
+// shared-vs-naive comparison. CI (.github/workflows/ci.yml) runs the same
+// gates.
+//
+// README.md is the front door (quick starts, package map, benchmark
+// highlights) and ARCHITECTURE.md describes the layer boundaries and the
+// parse → decompose → feature-select → learn → estimate data flow.
 package repro

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sql"
+)
+
+// GroupedDecomposed extends the §2 decomposition to GROUP BY counting
+// queries of the form
+//
+//	SELECT g1, ..., gm, COUNT(*) FROM (Q1) GROUP BY g1, ..., gm
+//
+// where Q1 is the usual object-enumeration query whose GROUP BY carries
+// both the object identity (e.g. an id column) and the grouping columns.
+// The inner statement decomposes exactly as before — one Q2 enumerating
+// objects, one Q3 predicate — and the grouping columns are simply a cheap
+// projection of each Q2 row. Counting per group therefore shares one
+// sampling/learning plan across all groups: each sampled object is labeled
+// once with the expensive predicate and attributed to its group by reading
+// the already-materialized group columns.
+type GroupedDecomposed struct {
+	*Decomposed
+
+	// GroupNames are the outer grouping column names in outer GROUP BY
+	// order; they are a subset of Decomposed.GroupCols.
+	GroupNames []string
+	// GroupIdx are the positions of GroupNames in each Q2 output row.
+	GroupIdx []int
+	// KeyIdx are the positions of the remaining (object-identity) columns
+	// of the inner GROUP BY in each Q2 output row.
+	KeyIdx []int
+}
+
+// ExtractGroups recognizes the grouped counting form
+//
+//	SELECT g1, ..., gm, COUNT(*) FROM (inner) GROUP BY g1, ..., gm
+//
+// and returns the inner statement plus the outer grouping column names in
+// GROUP BY order. For any other statement it returns (nil, nil, nil): the
+// query is not grouped (callers fall back to ExtractInner). A statement
+// that clearly attempts the grouped form but violates its constraints
+// (extra aggregates, WHERE/HAVING/LIMIT on the outer block, group columns
+// missing from the select list) returns an error instead, so the mistake
+// surfaces rather than silently estimating a different query.
+func ExtractGroups(stmt *sql.SelectStmt) (*sql.SelectStmt, []string, error) {
+	if len(stmt.GroupBy) == 0 || len(stmt.From) != 1 || stmt.From[0].Subquery == nil {
+		return nil, nil, nil
+	}
+	// An outer block grouping over a derived table is the grouped form;
+	// everything below is validation, not detection.
+	sub := stmt.From[0].Subquery
+	subAlias := stmt.From[0].BindName()
+	if stmt.Where != nil || stmt.Having != nil || stmt.HasLimit || stmt.Distinct || len(stmt.OrderBy) > 0 {
+		return nil, nil, fmt.Errorf("engine: grouped counting supports only SELECT groups, COUNT(*) FROM (...) GROUP BY groups (no outer WHERE/HAVING/ORDER BY/LIMIT/DISTINCT)")
+	}
+
+	groupName := func(e sql.Expr) (string, error) {
+		cr, ok := e.(*sql.ColumnRef)
+		if !ok {
+			return "", fmt.Errorf("engine: outer GROUP BY expression %s is not a column", e.String())
+		}
+		if cr.Qualifier != "" && cr.Qualifier != subAlias {
+			return "", fmt.Errorf("engine: outer GROUP BY column %s references unknown alias %q", cr.String(), cr.Qualifier)
+		}
+		return cr.Name, nil
+	}
+
+	var names []string
+	seen := make(map[string]bool)
+	for _, g := range stmt.GroupBy {
+		name, err := groupName(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		if seen[name] {
+			return nil, nil, fmt.Errorf("engine: duplicate outer GROUP BY column %q", name)
+		}
+		seen[name] = true
+		names = append(names, name)
+	}
+
+	// The select list must be exactly the grouping columns (any order,
+	// aliases allowed) plus one COUNT(*).
+	counts := 0
+	selected := make(map[string]bool)
+	for _, it := range stmt.Select {
+		if it.Star {
+			return nil, nil, fmt.Errorf("engine: grouped counting does not allow * in the outer select list")
+		}
+		switch e := it.Expr.(type) {
+		case *sql.FuncCall:
+			if e.Name != "COUNT" || !e.Star {
+				return nil, nil, fmt.Errorf("engine: grouped counting allows only COUNT(*) as the outer aggregate, got %s", e.String())
+			}
+			counts++
+		case *sql.ColumnRef:
+			name, err := groupName(e)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !seen[name] {
+				return nil, nil, fmt.Errorf("engine: outer select column %q is not in GROUP BY", name)
+			}
+			selected[name] = true
+		default:
+			return nil, nil, fmt.Errorf("engine: unsupported outer select expression %s", it.Expr.String())
+		}
+	}
+	if counts != 1 {
+		return nil, nil, fmt.Errorf("engine: grouped counting wants exactly one COUNT(*) in the outer select list, got %d", counts)
+	}
+	for _, name := range names {
+		if !selected[name] {
+			return nil, nil, fmt.Errorf("engine: GROUP BY column %q is missing from the outer select list", name)
+		}
+	}
+	return sub, names, nil
+}
+
+// DecomposeGrouped rewrites a grouped counting query — already split by
+// ExtractGroups into its inner statement and outer grouping column names —
+// into the shared-plan decomposition: the inner statement's §2
+// decomposition plus the positions of the grouping and object-identity
+// columns within each Q2 row. The inner GROUP BY must contain every outer
+// grouping column (matched by Q2 output name) and at least one additional
+// object-identity column.
+func DecomposeGrouped(inner *sql.SelectStmt, names []string) (*GroupedDecomposed, error) {
+	if inner == nil || len(names) == 0 {
+		return nil, fmt.Errorf("engine: statement is not a grouped counting query")
+	}
+	dec, err := Decompose(inner)
+	if err != nil {
+		return nil, err
+	}
+	pos := make(map[string]int, len(dec.GroupCols))
+	for i, c := range dec.GroupCols {
+		pos[c] = i
+	}
+	g := &GroupedDecomposed{Decomposed: dec, GroupNames: names}
+	isGroup := make([]bool, len(dec.GroupCols))
+	for _, name := range names {
+		i, ok := pos[name]
+		if !ok {
+			return nil, fmt.Errorf("engine: outer GROUP BY column %q is not produced by the inner GROUP BY (inner columns: %v)", name, dec.GroupCols)
+		}
+		isGroup[i] = true
+		g.GroupIdx = append(g.GroupIdx, i)
+	}
+	for i := range dec.GroupCols {
+		if !isGroup[i] {
+			g.KeyIdx = append(g.KeyIdx, i)
+		}
+	}
+	if len(g.KeyIdx) == 0 {
+		return nil, fmt.Errorf("engine: the inner GROUP BY needs an object-identity column beyond the grouping columns %v", names)
+	}
+	return g, nil
+}
+
+// GroupLabels assigns each Q2 object row to a dense group index by its
+// grouping-column tuple, in first-appearance order (Q2's row order is
+// deterministic, so the assignment is too). It returns the per-object group
+// indices and, per group, the rendered column values of its key.
+func (g *GroupedDecomposed) GroupLabels(objects *ResultSet) (groupOf []int, keys [][]Value) {
+	groupOf = make([]int, objects.NumRows())
+	byKey := make(map[string]int)
+	for i := 0; i < objects.NumRows(); i++ {
+		tuple := make([]Value, len(g.GroupIdx))
+		for j, c := range g.GroupIdx {
+			tuple[j] = objects.Value(i, c)
+		}
+		k := rowKey(tuple)
+		id, ok := byKey[k]
+		if !ok {
+			id = len(keys)
+			byKey[k] = id
+			keys = append(keys, tuple)
+		}
+		groupOf[i] = id
+	}
+	return groupOf, keys
+}

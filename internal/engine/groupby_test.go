@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sql"
+)
+
+const groupedSQL = `
+	SELECT region, COUNT(*) FROM (
+		SELECT o1.id, o1.region FROM D o1, D o2
+		WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+		GROUP BY o1.id, o1.region HAVING COUNT(*) < k
+	) GROUP BY region`
+
+func TestExtractGroupsDetects(t *testing.T) {
+	stmt, err := sql.Parse(groupedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, names, err := ExtractGroups(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner == nil {
+		t.Fatal("grouped form not detected")
+	}
+	if len(names) != 1 || names[0] != "region" {
+		t.Fatalf("group names = %v, want [region]", names)
+	}
+	if len(inner.GroupBy) != 2 {
+		t.Fatalf("inner GROUP BY has %d columns, want 2", len(inner.GroupBy))
+	}
+}
+
+func TestExtractGroupsIgnoresPlainForms(t *testing.T) {
+	for _, q := range []string{
+		`SELECT COUNT(*) FROM (SELECT o.id FROM D o GROUP BY o.id HAVING COUNT(*) < 3)`,
+		`SELECT o.id FROM D o GROUP BY o.id HAVING COUNT(*) < 3`,
+	} {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, names, err := ExtractGroups(stmt)
+		if err != nil || inner != nil || names != nil {
+			t.Fatalf("%s: ExtractGroups = (%v, %v, %v), want not-grouped", q, inner, names, err)
+		}
+	}
+}
+
+func TestExtractGroupsRejectsMalformed(t *testing.T) {
+	inner := `(SELECT o.id, o.region FROM D o GROUP BY o.id, o.region HAVING COUNT(*) < 3)`
+	for _, tc := range []struct{ q, wantErr string }{
+		{`SELECT region, COUNT(*) FROM ` + inner + ` GROUP BY region LIMIT 3`, "no outer WHERE"},
+		{`SELECT region, COUNT(*) FROM ` + inner + ` WHERE region > 1 GROUP BY region`, "no outer WHERE"},
+		{`SELECT region, SUM(region) FROM ` + inner + ` GROUP BY region`, "only COUNT(*)"},
+		{`SELECT region FROM ` + inner + ` GROUP BY region`, "exactly one COUNT(*)"},
+		{`SELECT COUNT(*) FROM ` + inner + ` GROUP BY region`, "missing from the outer select"},
+		{`SELECT region, tier, COUNT(*) FROM ` + inner + ` GROUP BY region`, "not in GROUP BY"},
+		{`SELECT x.region, COUNT(*) FROM ` + inner + ` sub GROUP BY x.region`, "unknown alias"},
+	} {
+		stmt, err := sql.Parse(tc.q)
+		if err != nil {
+			t.Fatalf("parse %s: %v", tc.q, err)
+		}
+		_, _, err = ExtractGroups(stmt)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.q, err, tc.wantErr)
+		}
+	}
+}
+
+// decomposeGrouped is the test shorthand for the two-step
+// ExtractGroups → DecomposeGrouped pipeline Prepare runs.
+func decomposeGrouped(t *testing.T, stmt *sql.SelectStmt) (*GroupedDecomposed, error) {
+	t.Helper()
+	inner, names, err := ExtractGroups(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DecomposeGrouped(inner, names)
+}
+
+func TestDecomposeGrouped(t *testing.T) {
+	stmt, err := sql.Parse(groupedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := decomposeGrouped(t, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.GroupNames; len(got) != 1 || got[0] != "region" {
+		t.Fatalf("GroupNames = %v", got)
+	}
+	if len(g.KeyIdx) != 1 || g.GroupCols[g.KeyIdx[0]] != "id" {
+		t.Fatalf("KeyIdx = %v over %v, want the id column", g.KeyIdx, g.GroupCols)
+	}
+	if len(g.GroupIdx) != 1 || g.GroupCols[g.GroupIdx[0]] != "region" {
+		t.Fatalf("GroupIdx = %v over %v, want the region column", g.GroupIdx, g.GroupCols)
+	}
+	// The inner decomposition is the ordinary §2 rewriting: Q2 enumerates
+	// (id, region) objects, Q3 is the per-object EXISTS predicate.
+	if !strings.Contains(g.Objects.String(), "SELECT DISTINCT") {
+		t.Fatalf("Q2 = %s", g.Objects.String())
+	}
+	if !strings.Contains(g.Predicate.String(), "EXISTS") {
+		t.Fatalf("Q3 = %s", g.Predicate.String())
+	}
+}
+
+func TestDecomposeGroupedMultiColumn(t *testing.T) {
+	stmt, err := sql.Parse(`
+		SELECT region, tier, COUNT(*) FROM (
+			SELECT o.id, o.region, o.tier FROM D o
+			GROUP BY o.id, o.region, o.tier HAVING COUNT(*) < 3
+		) GROUP BY region, tier`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := decomposeGrouped(t, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.GroupIdx) != 2 || len(g.KeyIdx) != 1 {
+		t.Fatalf("GroupIdx = %v KeyIdx = %v", g.GroupIdx, g.KeyIdx)
+	}
+}
+
+func TestDecomposeGroupedNeedsIdentityColumn(t *testing.T) {
+	stmt, err := sql.Parse(`
+		SELECT region, COUNT(*) FROM (
+			SELECT o.region FROM D o GROUP BY o.region HAVING COUNT(*) < 3
+		) GROUP BY region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decomposeGrouped(t, stmt); err == nil ||
+		!strings.Contains(err.Error(), "object-identity column") {
+		t.Fatalf("err = %v, want object-identity complaint", err)
+	}
+}
+
+func TestDecomposeGroupedUnknownGroupColumn(t *testing.T) {
+	stmt, err := sql.Parse(`
+		SELECT tier, COUNT(*) FROM (
+			SELECT o.id, o.region FROM D o GROUP BY o.id, o.region HAVING COUNT(*) < 3
+		) GROUP BY tier`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decomposeGrouped(t, stmt); err == nil ||
+		!strings.Contains(err.Error(), "not produced by the inner GROUP BY") {
+		t.Fatalf("err = %v, want inner-GROUP-BY complaint", err)
+	}
+}
+
+func TestGroupLabels(t *testing.T) {
+	g := &GroupedDecomposed{GroupIdx: []int{1}}
+	rs := &ResultSet{
+		Cols: []string{"id", "region"},
+		Rows: [][]Value{
+			{IntVal(1), StringVal("east")},
+			{IntVal(2), StringVal("west")},
+			{IntVal(3), StringVal("east")},
+			{IntVal(4), StringVal("north")},
+		},
+	}
+	groupOf, keys := g.GroupLabels(rs)
+	want := []int{0, 1, 0, 2}
+	for i, w := range want {
+		if groupOf[i] != w {
+			t.Fatalf("groupOf = %v, want %v", groupOf, want)
+		}
+	}
+	if len(keys) != 3 || keys[0][0].S != "east" || keys[1][0].S != "west" || keys[2][0].S != "north" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

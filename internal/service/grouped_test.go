@@ -1,0 +1,182 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+	"repro/lsample"
+)
+
+// groupedSkybandQuery is the GROUP BY form of the skyband query: per-region
+// counts of objects with fewer than k dominators.
+const groupedSkybandQuery = `SELECT region, COUNT(*) FROM (
+	SELECT o1.id, o1.region FROM G o1, G o2
+	WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+	GROUP BY o1.id, o1.region HAVING COUNT(*) < k
+) GROUP BY region`
+
+// groupedTestTable builds G(id, x, y, region) with n points over three
+// regions.
+func groupedTestTable(n int, seed uint64) *lsample.Table {
+	r := xrand.New(seed)
+	t, err := lsample.NewTable("G", "id:int,x:float,y:float,region:string")
+	if err != nil {
+		panic(err)
+	}
+	regions := []string{"east", "north", "east", "west", "east"}
+	for i := 0; i < n; i++ {
+		if err := t.AppendRow(int64(i), r.Float64()*100, r.Float64()*100, regions[i%len(regions)]); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+func TestCountGroupedRequest(t *testing.T) {
+	const n, k = 120, 12
+	reg := NewRegistry()
+	reg.Register(groupedTestTable(n, 7))
+	svc := New(reg, Options{})
+	res, err := svc.Count(&CountRequest{
+		SQL:    groupedSkybandQuery,
+		Params: map[string]any{"k": float64(k)},
+		Method: "lss",
+		Budget: 0.3,
+		Seed:   5,
+		Exact:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.GroupCols; len(got) != 1 || got[0] != "region" {
+		t.Fatalf("group_cols = %v", got)
+	}
+	if len(res.Groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(res.Groups))
+	}
+	keys := make([]string, len(res.Groups))
+	total, objects := 0.0, 0
+	for i, g := range res.Groups {
+		keys[i] = g.Key[0]
+		total += g.Estimate
+		objects += g.Objects
+		if g.TrueCount == nil {
+			t.Fatalf("group %v: no true_count under exact", g.Key)
+		}
+		if !g.HasCI {
+			t.Fatalf("group %v: no CI", g.Key)
+		}
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("groups not ordered: %v", keys)
+	}
+	if total != res.Estimate {
+		t.Fatalf("sum of groups %v != estimate %v", total, res.Estimate)
+	}
+	if res.TrueCount == nil {
+		t.Fatal("exact grouped request has no top-level true_count")
+	}
+	trueSum := 0
+	for _, g := range res.Groups {
+		trueSum += *g.TrueCount
+	}
+	if *res.TrueCount != trueSum {
+		t.Fatalf("top-level true_count %d != per-group sum %d", *res.TrueCount, trueSum)
+	}
+	if objects != res.Objects || objects != n {
+		t.Fatalf("objects: groups %d, result %d, want %d", objects, res.Objects, n)
+	}
+}
+
+func TestCountGroupedCachedAndDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(groupedTestTable(100, 9))
+	svc := New(reg, Options{})
+	req := func() *CountRequest {
+		return &CountRequest{
+			SQL:    groupedSkybandQuery,
+			Params: map[string]any{"k": float64(10)},
+			Method: "srs",
+			Budget: 0.2,
+			Seed:   3,
+		}
+	}
+	a, err := svc.Count(req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cached {
+		t.Fatal("first grouped request reported cached")
+	}
+	b, err := svc.Count(req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Cached {
+		t.Fatal("second identical grouped request missed the cache")
+	}
+	aj, _ := json.Marshal(a.Groups)
+	bj, _ := json.Marshal(b.Groups)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("cached grouped rows differ:\n%s\nvs\n%s", aj, bj)
+	}
+	// The plain (ungrouped) inner query must not share a cache entry with
+	// the grouped form.
+	inner := &CountRequest{
+		SQL: `SELECT o1.id FROM G o1, G o2
+			WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+			GROUP BY o1.id, o1.region HAVING COUNT(*) < k`,
+		Params: map[string]any{"k": float64(10)},
+		Method: "srs",
+		Budget: 0.2,
+		Seed:   3,
+	}
+	c, err := svc.Count(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cached || len(c.Groups) != 0 {
+		t.Fatalf("plain inner query hit the grouped cache entry: cached=%t groups=%d", c.Cached, len(c.Groups))
+	}
+}
+
+func TestHTTPGroupedCount(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(groupedTestTable(100, 11))
+	svc := New(reg, Options{})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(CountRequest{
+		SQL:    groupedSkybandQuery,
+		Params: map[string]any{"k": 10},
+		Method: "srs",
+		Budget: 0.25,
+		Seed:   2,
+	})
+	resp, err := http.Post(srv.URL+"/v1/count", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var res CountResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 3 || len(res.GroupCols) != 1 {
+		t.Fatalf("grouped HTTP response: group_cols=%v groups=%d", res.GroupCols, len(res.Groups))
+	}
+	for _, g := range res.Groups {
+		if g.Objects <= 0 || g.Estimate < 0 {
+			t.Fatalf("bad group row %+v", g)
+		}
+	}
+}

@@ -142,23 +142,40 @@ type CountRequest struct {
 	NoCache    bool           `json:"no_cache,omitempty"` // bypass the result cache
 }
 
-// CountResult is the outcome of one estimation request.
+// CountResult is the outcome of one estimation request. A GROUP BY request
+// additionally carries one GroupRow per group (ordered by key) with
+// Estimate holding the sum of the per-group estimates.
 type CountResult struct {
-	Fingerprint string   `json:"fingerprint"`
-	Method      string   `json:"method"`
-	Interval    string   `json:"interval"`
-	Objects     int      `json:"objects"` // |O| enumerated by Q2
-	Budget      int      `json:"budget"`  // predicate evaluations allowed
-	Estimate    float64  `json:"estimate"`
-	CILo        float64  `json:"ci_lo"` // meaningful only when has_ci (no omitempty: 0 is a valid bound)
-	CIHi        float64  `json:"ci_hi"`
-	HasCI       bool     `json:"has_ci"`
-	Evals       int64    `json:"evals"` // predicate evaluations spent
-	TrueCount   *int     `json:"true_count,omitempty"`
-	FeatureCols []string `json:"feature_cols,omitempty"`
-	Seed        uint64   `json:"seed"`
-	DurationMS  float64  `json:"duration_ms"`
-	Cached      bool     `json:"cached"`
+	Fingerprint string     `json:"fingerprint"`
+	Method      string     `json:"method"`
+	Interval    string     `json:"interval"`
+	Objects     int        `json:"objects"` // |O| enumerated by Q2
+	Budget      int        `json:"budget"`  // predicate evaluations allowed
+	Estimate    float64    `json:"estimate"`
+	CILo        float64    `json:"ci_lo"` // meaningful only when has_ci (no omitempty: 0 is a valid bound)
+	CIHi        float64    `json:"ci_hi"`
+	HasCI       bool       `json:"has_ci"`
+	Evals       int64      `json:"evals"` // predicate evaluations spent
+	TrueCount   *int       `json:"true_count,omitempty"`
+	FeatureCols []string   `json:"feature_cols,omitempty"`
+	GroupCols   []string   `json:"group_cols,omitempty"` // GROUP BY requests only
+	Groups      []GroupRow `json:"groups,omitempty"`     // GROUP BY requests only, ordered by key
+	Seed        uint64     `json:"seed"`
+	DurationMS  float64    `json:"duration_ms"`
+	Cached      bool       `json:"cached"`
+}
+
+// GroupRow is one group's estimate within a GROUP BY count response.
+type GroupRow struct {
+	Key       []string `json:"key"` // group column values, aligned with group_cols
+	Objects   int      `json:"objects"`
+	Estimate  float64  `json:"estimate"`
+	CILo      float64  `json:"ci_lo"`
+	CIHi      float64  `json:"ci_hi"`
+	HasCI     bool     `json:"has_ci"`
+	Sampled   int      `json:"sampled"`
+	Exact     bool     `json:"exact"`
+	TrueCount *int     `json:"true_count,omitempty"`
 }
 
 // badf wraps a client error.
@@ -409,6 +426,50 @@ func (s *Service) estimate(ctx context.Context, req *CountRequest, versions, fp0
 	prep, err := s.prepared(versions, fp0, req.SQL, snap)
 	if err != nil {
 		return nil, mapSDKErr(err)
+	}
+	if prep.IsGrouped() {
+		ge, err := prep.ExecuteGroups(ctx, req.Params, opts...)
+		if err != nil {
+			return nil, mapSDKErr(err)
+		}
+		out := &CountResult{
+			Fingerprint: ge.Fingerprint,
+			Method:      ge.Method,
+			Interval:    iv.String(),
+			Objects:     ge.Objects,
+			Budget:      ge.Budget,
+			Estimate:    ge.Total,
+			Evals:       ge.SamplesUsed,
+			FeatureCols: ge.FeatureColumns,
+			GroupCols:   ge.GroupColumns,
+			Groups:      make([]GroupRow, len(ge.Groups)),
+			Seed:        ge.Seed,
+		}
+		trueTotal := 0
+		for i, g := range ge.Groups {
+			row := GroupRow{
+				Key:       g.Key,
+				Objects:   g.Objects,
+				Estimate:  g.Count,
+				HasCI:     g.CI != nil,
+				Sampled:   g.Sampled,
+				Exact:     g.Exact,
+				TrueCount: g.TrueCount,
+			}
+			if g.CI != nil {
+				row.CILo, row.CIHi = g.CI.Lo, g.CI.Hi
+			}
+			if g.TrueCount != nil {
+				trueTotal += *g.TrueCount
+			}
+			out.Groups[i] = row
+		}
+		// Under exact the top-level true count is the per-group sum, so
+		// grouped and plain responses expose the same field.
+		if req.Exact && len(ge.Groups) > 0 {
+			out.TrueCount = &trueTotal
+		}
+		return out, nil
 	}
 	est, err := prep.Execute(ctx, req.Params, opts...)
 	if err != nil {

@@ -1,0 +1,100 @@
+package lsample
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// The GROUP BY benchmarks compare the two ways to answer a per-region
+// counting query at the same budget fraction: the shared-sample grouped
+// path (one plan, every group read out of one labeled sample) against the
+// naive loop (one full estimate per region, each re-learning and
+// re-labeling). Predicate evaluations per op are the paper's cost unit;
+// the shared path's advantage is that its evaluation count does not scale
+// with the number of groups.
+
+const benchRegions = 8
+
+func benchGroupTable(b *testing.B, n int) *Table {
+	b.Helper()
+	tb, err := NewTable("D", "id:int,x:float,y:float,region:string")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < n; i++ {
+		region := string(rune('a' + i%benchRegions))
+		if err := tb.AppendRow(int64(i), r.Float64()*100, r.Float64()*100, region); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func benchGroupSession(b *testing.B, n int) *Session {
+	b.Helper()
+	sess, err := NewSession(NewMemorySource(benchGroupTable(b, n)),
+		WithMethod("lss"), WithStrata(3), WithBudget(0.1),
+		WithSeed(13), WithParallelism(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sess
+}
+
+// BenchmarkGroupByShared estimates all regions through ExecuteGroups: one
+// shared learn phase, one shared stratified draw, per-group read-out.
+func BenchmarkGroupByShared(b *testing.B) {
+	sess := benchGroupSession(b, 400)
+	q, err := sess.Prepare(`
+		SELECT region, COUNT(*) FROM (
+			SELECT o1.id, o1.region FROM D o1, D o2
+			WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+			GROUP BY o1.id, o1.region HAVING COUNT(*) < k
+		) GROUP BY region`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := map[string]any{"k": 25}
+	b.ResetTimer()
+	var evals int64
+	for i := 0; i < b.N; i++ {
+		res, err := q.ExecuteGroups(context.Background(), params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Groups) != benchRegions {
+			b.Fatalf("got %d groups", len(res.Groups))
+		}
+		evals += res.SamplesUsed
+	}
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+}
+
+// BenchmarkGroupByNaive answers the same per-region counts with one full
+// estimation per region at the same budget fraction — the loop callers had
+// to write before ExecuteGroups existed.
+func BenchmarkGroupByNaive(b *testing.B) {
+	sess := benchGroupSession(b, 400)
+	q, err := sess.Prepare(`
+		SELECT o1.id FROM D o1, D o2
+		WHERE o1.region = r AND o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+		GROUP BY o1.id HAVING COUNT(*) < k`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var evals int64
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < benchRegions; g++ {
+			res, err := q.Execute(context.Background(),
+				map[string]any{"k": 25, "r": string(rune('a' + g))})
+			if err != nil {
+				b.Fatal(err)
+			}
+			evals += res.SamplesUsed
+		}
+	}
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+}

@@ -84,6 +84,34 @@ func (c config) buildMethod() (core.Method, error) {
 	return nil, badf("unknown method %q (want one of %v)", c.method, Methods())
 }
 
+// GroupMethods lists the estimation methods ExecuteGroups accepts: the
+// shared-sample grouped adaptations of plain random sampling and learned
+// stratified sampling, plus the exact oracle.
+func GroupMethods() []string { return []string{"srs", "lss", "oracle"} }
+
+// buildGroupedMethod constructs the configured shared-sample grouped
+// estimator. Grouped estimation adapts a subset of the paper's methods —
+// the ones whose sampling plan can be shared across groups.
+func (c config) buildGroupedMethod() (core.GroupedMethod, error) {
+	switch c.method {
+	case "srs":
+		return &core.GroupedSRS{Alpha: c.alpha, Wilson: c.interval == Wilson}, nil
+	case "lss":
+		newClf, err := c.buildClassifier()
+		if err != nil {
+			return nil, err
+		}
+		strata := c.strata
+		if strata <= 0 {
+			strata = 4
+		}
+		return &core.GroupedLSS{NewClassifier: newClf, Strata: strata, Alpha: c.alpha, Wilson: c.interval == Wilson}, nil
+	case "oracle":
+		return core.GroupedOracle{}, nil
+	}
+	return nil, badf("method %q does not support GROUP BY estimation (want one of %v)", c.method, GroupMethods())
+}
+
 // needsFeatures reports whether a method reads per-object features:
 // everything except plain random sampling and the exact oracle.
 func needsFeatures(method string) bool {

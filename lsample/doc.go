@@ -37,23 +37,53 @@
 //		...
 //	}
 //
+// # GROUP BY counting
+//
+// The grouped form SELECT g, COUNT(*) FROM (Q1) GROUP BY g — single or
+// multi-column — estimates every group from one shared plan: the inner
+// Q1's GROUP BY carries the object key plus the grouping columns, one
+// stream of samples is drawn, each sampled object is labeled once with the
+// expensive predicate, and per-group counts, CIs, and proportions are read
+// out of the shared draw (with a dedicated fallback draw for rare groups).
+// Prepare detects the shape (IsGrouped); ExecuteGroups — or the
+// Session.CountGroups one-shot — returns a GroupedEstimate whose Groups
+// are ordered by key:
+//
+//	q, err := sess.Prepare(`SELECT region, COUNT(*) FROM (
+//		SELECT o1.id, o1.region FROM D o1, D o2
+//		WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+//		GROUP BY o1.id, o1.region HAVING COUNT(*) < k
+//	) GROUP BY region`)
+//	res, err := q.ExecuteGroups(ctx, map[string]any{"k": 25})
+//	for _, g := range res.Groups { ... g.Key, g.Count, g.CI ... }
+//
+// Grouped estimation supports methods srs, lss (the default), and oracle
+// (see GroupMethods); for a fixed seed the per-group results are
+// byte-identical across runs and parallelism settings, like everything
+// else.
+//
 // # Options
 //
 // Every entry point (NewSession, Prepare, NewEstimator, Execute, Estimate)
 // accepts functional options; later layers override earlier ones.
 //
 //	WithMethod(name)      estimation method: srs ssp ssn lws lss qlcc qlac
-//	                      oracle (default lss)
+//	                      oracle (default lss; grouped queries accept
+//	                      srs, lss, oracle)
 //	WithClassifier(name)  classifier for learned methods: rf knn nn random
 //	                      (default rf, a 100-tree random forest)
-//	WithStrata(h)         strata for ssp/ssn/lss (default 4)
+//	WithStrata(h)         strata for ssp/ssn/lss, plain and grouped
+//	                      (default 4)
 //	WithBudget(frac)      labeling budget as a fraction of |O| in (0, 1]
-//	                      (default 0.02; at least 10 evaluations)
+//	                      (default 0.02; at least 10 evaluations; grouped
+//	                      runs may add a small rare-group top-up)
 //	WithAlpha(a)          intervals cover 1−a (default 0.05)
 //	WithParallelism(p)    classifier workers: 0 all cores, 1 sequential;
 //	                      estimates are byte-identical at any value
 //	WithSeed(s)           random seed; fixed seed ⇒ byte-identical runs
-//	WithInterval(iv)      Wald (default) or Wilson proportion intervals
+//	WithInterval(iv)      Wald (default) or Wilson proportion intervals —
+//	                      applies to srs, grouped per-group SRS estimates,
+//	                      and the grouped rare-group fallback
 //	WithExact(true)       also compute the exact count (slow; for tests)
 //
 // # DataSource contract
@@ -80,4 +110,8 @@
 // context.Canceled. The checks consume no randomness, so for a fixed seed
 // an uncanceled run is byte-identical at any parallelism — which is what
 // makes result caches lossless and concurrent replicas verifiable.
+//
+// The repository's ARCHITECTURE.md describes how this package sits on the
+// internal layers (parse → decompose → feature-select → learn → estimate)
+// and the determinism contract in detail; README.md has the quick starts.
 package lsample

@@ -1,0 +1,120 @@
+package lsample_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/lsample"
+)
+
+// Example_estimator is the embeddable form of the paper's problem: no SQL,
+// just one feature vector per object and the expensive predicate as a
+// callback. A fixed seed makes the run reproducible byte for byte.
+func Example_estimator() {
+	// 1000 objects on a line; the "expensive" predicate accepts the first
+	// quarter. Real predicates are correlated subqueries or UDFs — anything
+	// too costly to evaluate everywhere.
+	features := make([][]float64, 1000)
+	for i := range features {
+		features[i] = []float64{float64(i)}
+	}
+	pred := func(i int) bool { return i < 250 }
+
+	est, err := lsample.NewEstimator(
+		lsample.WithMethod("srs"),
+		lsample.WithBudget(0.1),
+		lsample.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := est.Estimate(context.Background(), features, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate %.0f of %d objects, %d evaluations spent\n",
+		res.Count, res.Objects, res.SamplesUsed)
+	// Output:
+	// estimate 200 of 1000 objects, 100 evaluations spent
+}
+
+// Example_preparedQuery prepares a counting query once — parse, §2
+// decomposition, feature selection — and executes it with different bound
+// parameters. The free identifier k is a parameter.
+func Example_preparedQuery() {
+	tb, err := lsample.NewTable("D", "id:int,x:float,y:float")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		x := float64(i%20) * 5
+		y := float64(i/20) * 10
+		if err := tb.AppendRow(int64(i), x, y); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sess, err := lsample.NewSession(lsample.NewMemorySource(tb),
+		lsample.WithMethod("srs"), lsample.WithBudget(0.25), lsample.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Objects with fewer than k dominators (Example 2's k-skyband query).
+	q, err := sess.Prepare(`SELECT o1.id FROM D o1, D o2
+		WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+		GROUP BY o1.id HAVING COUNT(*) < k`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range []int{5, 25} {
+		res, err := q.Execute(context.Background(), map[string]any{"k": k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k=%-2d estimate %.0f of %d objects\n", k, res.Count, res.Objects)
+	}
+	// Output:
+	// k=5  estimate 12 of 200 objects
+	// k=25 estimate 72 of 200 objects
+}
+
+// Example_groupBy answers a GROUP BY counting query: every group's count
+// comes out of one shared sample, so the expensive predicate is evaluated
+// once per sampled object no matter how many groups there are.
+func Example_groupBy() {
+	tb, err := lsample.NewTable("D", "id:int,x:float,y:float,region:string")
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions := []string{"east", "west", "east", "north"}
+	for i := 0; i < 200; i++ {
+		x := float64(i%20) * 5
+		y := float64(i/20) * 10
+		if err := tb.AppendRow(int64(i), x, y, regions[i%len(regions)]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sess, err := lsample.NewSession(lsample.NewMemorySource(tb),
+		lsample.WithMethod("srs"), lsample.WithBudget(0.25), lsample.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.CountGroups(context.Background(), `
+		SELECT region, COUNT(*) FROM (
+			SELECT o1.id, o1.region FROM D o1, D o2
+			WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+			GROUP BY o1.id, o1.region HAVING COUNT(*) < k
+		) GROUP BY region`, map[string]any{"k": 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		fmt.Printf("%-6s %.0f of %d objects\n", g.Key[0], g.Count, g.Objects)
+	}
+	fmt.Printf("total %.0f from %d shared evaluations\n", res.Total, res.SamplesUsed)
+	// Output:
+	// east   28 of 100 objects
+	// north  19 of 50 objects
+	// west   25 of 50 objects
+	// total 72 from 50 shared evaluations
+}

@@ -25,6 +25,7 @@ const (
 	Wilson
 )
 
+// String returns the interval's wire name, "wald" or "wilson".
 func (iv Interval) String() string {
 	if iv == Wilson {
 		return "wilson"

@@ -9,7 +9,7 @@ import (
 // ConfidenceInterval is a two-sided interval for the count at confidence
 // 1−alpha.
 type ConfidenceInterval struct {
-	Lo, Hi float64
+	Lo, Hi float64 // interval bounds on the count scale
 	Level  float64 // confidence level, e.g. 0.95
 }
 

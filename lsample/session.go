@@ -62,6 +62,14 @@ func (s *Session) Count(ctx context.Context, sqlText string, params map[string]a
 // integer key column of the first FROM table (the object table), with the
 // expensive condition in HAVING or WHERE. Free identifiers that are not
 // columns are parameters, bound per Execute.
+//
+// Prepare also accepts the grouped counting form
+//
+//	SELECT g, COUNT(*) FROM (Q1) GROUP BY g
+//
+// where the inner Q1's GROUP BY carries the object key plus the grouping
+// columns; the prepared query then reports IsGrouped and runs through
+// ExecuteGroups instead of Execute. See GroupedEstimate for the contract.
 func (s *Session) Prepare(sqlText string, opts ...Option) (*PreparedQuery, error) {
 	cfg, err := newConfig(s.base, opts)
 	if err != nil {
@@ -74,7 +82,32 @@ func (s *Session) Prepare(sqlText string, opts ...Option) (*PreparedQuery, error
 	if err != nil {
 		return nil, badf("parse: %v", err)
 	}
-	inner := engine.ExtractInner(stmt)
+
+	// Grouped counting (SELECT groups, COUNT(*) FROM (...) GROUP BY groups)
+	// decomposes the inner statement and remembers which Q2 columns carry
+	// the group labels; everything else goes through the plain single-count
+	// decomposition. Either way the fingerprinted statement keeps the outer
+	// shape, so grouped and plain variants of the same inner query cache
+	// separately.
+	var (
+		dec     *engine.Decomposed
+		grouped *engine.GroupedDecomposed
+		inner   *sql.SelectStmt
+		fpStmt  = stmt
+	)
+	if gInner, gNames, gerr := engine.ExtractGroups(stmt); gerr != nil {
+		return nil, badf("%v", gerr)
+	} else if gInner != nil {
+		inner = gInner
+		grouped, err = engine.DecomposeGrouped(gInner, gNames)
+		if err != nil {
+			return nil, badf("decompose: %v", err)
+		}
+		dec = grouped.Decomposed
+	} else {
+		inner = engine.ExtractInner(stmt)
+		fpStmt = inner
+	}
 	for _, tr := range inner.From {
 		if tr.Subquery != nil {
 			return nil, badf("FROM subqueries are not supported")
@@ -94,19 +127,22 @@ func (s *Session) Prepare(sqlText string, opts ...Option) (*PreparedQuery, error
 		}
 		cat[name] = t.tab
 	}
-	dec, err := engine.Decompose(inner)
-	if err != nil {
-		return nil, badf("decompose: %v", err)
+	if dec == nil {
+		dec, err = engine.Decompose(inner)
+		if err != nil {
+			return nil, badf("decompose: %v", err)
+		}
 	}
 	return &PreparedQuery{
-		sess:  s,
-		text:  sqlText,
-		cfg:   cfg,
-		inner: inner,
-		dec:   dec,
-		cat:   cat,
-		ltab:  cat[dec.Objects.From[0].Name],
-		feats: make(map[string]*featureState),
+		sess:    s,
+		text:    sqlText,
+		cfg:     cfg,
+		inner:   fpStmt,
+		dec:     dec,
+		grouped: grouped,
+		cat:     cat,
+		ltab:    cat[dec.Objects.From[0].Name],
+		feats:   make(map[string]*featureState),
 	}, nil
 }
 
@@ -115,13 +151,14 @@ func (s *Session) Prepare(sqlText string, opts ...Option) (*PreparedQuery, error
 // stays consistent even if the session's DataSource replaces a table —
 // prepare again to pick up new data.
 type PreparedQuery struct {
-	sess  *Session
-	text  string
-	cfg   config
-	inner *sql.SelectStmt
-	dec   *engine.Decomposed
-	cat   engine.Catalog
-	ltab  *dataset.Table
+	sess    *Session
+	text    string
+	cfg     config
+	inner   *sql.SelectStmt // the fingerprinted statement (outer shape for grouped queries)
+	dec     *engine.Decomposed
+	grouped *engine.GroupedDecomposed // nil for plain counting queries
+	cat     engine.Catalog
+	ltab    *dataset.Table
 
 	featMu sync.Mutex
 	feats  map[string]*featureState // keyed by sorted parameter names
@@ -174,6 +211,9 @@ func (q *PreparedQuery) Fingerprint(params map[string]any) (string, error) {
 // ctx aborts the run at the next predicate evaluation, returning an error
 // wrapping context.Canceled (or DeadlineExceeded).
 func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts ...Option) (*Estimate, error) {
+	if q.grouped != nil {
+		return nil, badf("query has GROUP BY groups; use ExecuteGroups")
+	}
 	cfg, err := newConfig(q.cfg, opts)
 	if err != nil {
 		return nil, err
@@ -219,22 +259,12 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 	// group-key restriction it needs.
 	features := make([][]float64, objects.NumRows())
 	if needsFeatures(cfg.method) {
-		fs, err := q.featureState(strs)
+		fv, cols, err := q.featureVectors(objects, strs)
 		if err != nil {
 			return nil, err
 		}
-		for i := range features {
-			v := objects.Value(i, 0)
-			if v.Kind != engine.KInt {
-				return nil, badf("object key is not an integer")
-			}
-			r, ok := fs.index[v.I]
-			if !ok {
-				return nil, badf("object key %d not found in %q", v.I, q.ltab.Name)
-			}
-			features[i] = fs.feats[r]
-		}
-		out.FeatureColumns = fs.cols
+		features = fv
+		out.FeatureColumns = cols
 	}
 
 	pred, err := predicate.NewEngineExists(ev, q.dec, objects)
@@ -341,15 +371,55 @@ func (q *PreparedQuery) featureState(paramStrs map[string]string) (*featureState
 	return fs, nil
 }
 
+// featureVectors materializes the per-object feature matrix in Q2 row
+// order, building (or reusing) the memoized feature state and resolving
+// each object's row through the unique-key index.
+func (q *PreparedQuery) featureVectors(objects *engine.ResultSet, strs map[string]string) ([][]float64, []string, error) {
+	fs, err := q.featureState(strs)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyPos := q.keyPos()
+	features := make([][]float64, objects.NumRows())
+	for i := range features {
+		v := objects.Value(i, keyPos)
+		if v.Kind != engine.KInt {
+			return nil, nil, badf("object key is not an integer")
+		}
+		r, ok := fs.index[v.I]
+		if !ok {
+			return nil, nil, badf("object key %d not found in %q", v.I, q.ltab.Name)
+		}
+		features[i] = fs.feats[r]
+	}
+	return features, fs.cols, nil
+}
+
+// keyPos returns the position of the object-identity key within each Q2
+// output row: column 0 for plain queries, the non-group column for grouped
+// ones.
+func (q *PreparedQuery) keyPos() int {
+	if q.grouped != nil && len(q.grouped.KeyIdx) > 0 {
+		return q.grouped.KeyIdx[0]
+	}
+	return 0
+}
+
 // objectKeyColumn validates the decomposition's group key for feature
 // derivation and returns its base-column name. Queries needing features
 // must group by a single integer column that is unique in the object table
-// (e.g. an id column) — the shape of both of the paper's workloads.
+// (e.g. an id column) — the shape of both of the paper's workloads. Grouped
+// queries additionally carry grouping columns in Q2; the identity key is
+// the single inner GROUP BY column left over after the grouping columns.
 func (q *PreparedQuery) objectKeyColumn() (string, error) {
-	if len(q.dec.GroupCols) != 1 {
+	if q.grouped != nil {
+		if len(q.grouped.KeyIdx) != 1 {
+			return "", badf("grouped queries must keep a single object-identity column for feature-using methods; got %d", len(q.grouped.KeyIdx))
+		}
+	} else if len(q.dec.GroupCols) != 1 {
 		return "", badf("queries must GROUP BY a single key column; got %d", len(q.dec.GroupCols))
 	}
-	cr, ok := q.dec.Objects.Select[0].Expr.(*sql.ColumnRef)
+	cr, ok := q.dec.Objects.Select[q.keyPos()].Expr.(*sql.ColumnRef)
 	if !ok {
 		return "", badf("group key is not a column reference")
 	}

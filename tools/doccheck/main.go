@@ -1,0 +1,168 @@
+// Command doccheck fails the build when an exported symbol of a package
+// lacks a doc comment. The public SDK is documentation-first: every
+// exported type, function, method, exported struct field, interface
+// method, and exported var/const must carry a comment, so godoc (and the
+// README's pointers into it) never dead-ends on a bare name.
+//
+// The check is syntactic, like apicheck: for every non-test file it walks
+// exported declarations and reports the ones whose Doc is empty. Grouped
+// var/const specs inherit the group comment; a field list with one comment
+// per line passes via line comments.
+//
+// Usage: go run ./tools/doccheck [package dirs...]  (default: lsample)
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"lsample"}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		missing, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "doccheck: %s\n", m)
+		}
+		bad += len(missing)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported symbol(s) without doc comments\n", bad)
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: every exported symbol is documented")
+}
+
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		missing = append(missing, checkFile(fset, f)...)
+	}
+	return missing, nil
+}
+
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s: %s has no doc comment", p, what))
+	}
+
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !funcIsPublic(d) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "exported func "+d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if !sp.Name.IsExported() {
+						continue
+					}
+					if d.Doc == nil && sp.Doc == nil {
+						report(sp.Pos(), "exported type "+sp.Name.Name)
+					}
+					checkTypeSpec(sp, report)
+				case *ast.ValueSpec:
+					for _, n := range sp.Names {
+						if n.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+							report(n.Pos(), "exported value "+n.Name)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkTypeSpec reports undocumented exported members visible through an
+// exported type: struct fields and interface methods. A same-line trailing
+// comment counts — the compact style several small fields use.
+func checkTypeSpec(sp *ast.TypeSpec, report func(token.Pos, string)) {
+	switch t := sp.Type.(type) {
+	case *ast.StructType:
+		for _, field := range t.Fields.List {
+			exported := len(field.Names) == 0 // embedded fields are surface
+			for _, n := range field.Names {
+				if n.IsExported() {
+					exported = true
+				}
+			}
+			if exported && field.Doc == nil && field.Comment == nil {
+				name := sp.Name.Name + " embedded field"
+				if len(field.Names) > 0 {
+					name = sp.Name.Name + "." + field.Names[0].Name
+				}
+				report(field.Pos(), "exported field "+name)
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			if m.Doc == nil && m.Comment == nil {
+				name := sp.Name.Name + " embed"
+				if len(m.Names) > 0 {
+					name = sp.Name.Name + "." + m.Names[0].Name
+				}
+				report(m.Pos(), "interface method "+name)
+			}
+		}
+	}
+}
+
+// funcIsPublic reports whether a function or method is part of the public
+// surface: an exported name, and for methods an exported receiver base.
+func funcIsPublic(d *ast.FuncDecl) bool {
+	if !d.Name.IsExported() {
+		return false
+	}
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	base := d.Recv.List[0].Type
+	for {
+		switch t := base.(type) {
+		case *ast.StarExpr:
+			base = t.X
+		case *ast.IndexExpr:
+			base = t.X
+		case *ast.Ident:
+			return t.IsExported()
+		default:
+			return true
+		}
+	}
+}
