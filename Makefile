@@ -9,6 +9,12 @@
 #                      perf micro-benchmarks, emitted as BENCH_smoke.json
 #   make bench-groupby shared-sample GROUP BY vs naive per-group loop,
 #                      emitted as BENCH_groupby.json
+#   make bench-predicate
+#                      interpreted vs compiled vs compiled+parallel Q3
+#                      labeling on the skyband and SQL-EXISTS workloads,
+#                      emitted as BENCH_PR4.json
+#   make fuzz-smoke    brief run of every native fuzzer (parser round-trip,
+#                      lexer) — the CI crash gate
 #   make bench-full    3-second benchmark pass (slow; for recorded numbers)
 
 GO ?= go
@@ -18,7 +24,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby
+.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate fuzz-smoke
 
 check: build vet api-check docs-check race
 
@@ -69,6 +75,22 @@ bench-groupby:
 	$(GO) test -run '^$$' -bench '^BenchmarkGroupBy(Shared|Naive)$$' -benchtime 1x ./lsample/ \
 		| $(GO) run ./tools/benchjson > BENCH_groupby.json
 	@cat BENCH_groupby.json
+
+# Predicate-compilation benchmarks: ns/eval and labeling wall time for
+# interpreted vs compiled vs compiled+parallel Q3 evaluation on the skyband
+# and hash-indexable SQL-EXISTS workloads.
+bench-predicate:
+	$(GO) test -run '^$$' -bench '^BenchmarkPredicateLabeling$$' -benchtime 2x ./lsample/ \
+		| $(GO) run ./tools/benchjson > BENCH_PR4.json
+	@cat BENCH_PR4.json
+
+# Brief run of each native fuzzer: the parser/renderer round-trip property
+# and lexer crash-safety. Failures persist a reproducer under
+# internal/sql/testdata/fuzz/.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/sql/
+	$(GO) test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/sql/
 
 # One pass over the counting-service benchmark (cold vs warm cache),
 # emitted as BENCH_serve.json.

@@ -216,7 +216,18 @@ func runSQL(ctx context.Context, query, csvPath, schemaStr string, params map[st
 		fmt.Printf("rel. error  %.2f%%\n", rel*100)
 	}
 	fmt.Printf("evals used  %d\n", res.SamplesUsed)
+	printLabeling(res.Labeling, res.Timings)
 	fmt.Printf("duration    %.1fms\n", float64(dur)/1e6)
+}
+
+// printLabeling reports the labeling wall-time breakdown: which predicate
+// engine ran (compiled vs interpreted fallback, with the reason), how many
+// labeling workers were configured, and how the run's wall time splits
+// between the expensive predicate and estimation overhead.
+func printLabeling(lab lsample.Labeling, tm lsample.PhaseTimings) {
+	fmt.Printf("labeling    %s\n", lab)
+	fmt.Printf("            predicate=%v overhead=%v\n",
+		tm.Predicate.Round(time.Microsecond), tm.Overhead().Round(time.Microsecond))
 }
 
 // runGroupedSQL estimates a GROUP BY counting query and prints one row per
@@ -263,6 +274,7 @@ func runGroupedSQL(ctx context.Context, q *lsample.PreparedQuery, tb *lsample.Ta
 	fmt.Println()
 	fmt.Printf("total       %.1f estimated positives\n", res.Total)
 	fmt.Printf("evals used  %d (shared across all %d groups)\n", res.SamplesUsed, len(res.Groups))
+	printLabeling(res.Labeling, res.Timings)
 	fmt.Printf("duration    %.1fms\n", float64(dur)/1e6)
 }
 

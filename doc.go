@@ -69,6 +69,8 @@
 //	internal/sample      SRS, stratified draws, Fenwick-backed PPS w/o replacement
 //	internal/sql         lexer/parser/AST for the paper's SQL subset
 //	internal/engine      naive executor + the §2 Q1→(Q2, Q3) decomposition
+//	internal/qcompile    Q3 predicate compiler: typed closures, hash-indexed
+//	                     equality probes, EXISTS short-circuits
 //	internal/predicate   expensive-predicate instances with cost accounting
 //	internal/dataset     typed tables, CSV I/O, synthetic dataset generators
 //	internal/geom        kd-tree, Fenwick tree, dominance counting
@@ -91,6 +93,18 @@
 // worker count; the context checks added for cancellation consume no
 // randomness, preserving this property. EXPERIMENTS.md describes the model
 // and records measured speedups.
+//
+// # Compiled predicate evaluation
+//
+// SQL predicates are compiled at Prepare time (internal/qcompile): the
+// decomposed Q3 EXISTS lowers to typed closures over columnar data, with
+// prebuilt hash indexes for its equality-correlated probes and EXISTS
+// short-circuits, and labeling runs through a batched — optionally
+// parallel — predicate API. Queries outside the compilable subset keep the
+// interpreted engine (the semantics oracle); Estimate.Labeling reports
+// which path ran. Estimates are byte-identical either way — the win is
+// labeling throughput, recorded in BENCH_PR4.json and the "Predicate
+// compilation" section of EXPERIMENTS.md.
 //
 // # Counting as a service
 //

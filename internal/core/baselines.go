@@ -39,14 +39,9 @@ func (s *SRS) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand
 	start := obj.Pred.Evals()
 	t0 := time.Now()
 	idx := sample.SRS(r, obj.N(), budget)
-	pos := 0
-	for _, i := range idx {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		if tp.Eval(i) {
-			pos++
-		}
+	pos, err := labelCount(ctx, tp, idx)
+	if err != nil {
+		return nil, err
 	}
 	var res estimate.Result
 	if s.Wilson {
@@ -171,14 +166,9 @@ func (s *SSP) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand
 	}
 	strata := make([]estimate.StratumSample, len(pools))
 	for h, dr := range draws {
-		pos := 0
-		for _, i := range dr {
-			if err := ctxErr(ctx); err != nil {
-				return nil, err
-			}
-			if tp.Eval(i) {
-				pos++
-			}
+		pos, err := labelCount(ctx, tp, dr)
+		if err != nil {
+			return nil, err
 		}
 		strata[h] = estimate.StratumSample{N: sizes[h], Sampled: len(dr), Positives: pos}
 	}
@@ -262,17 +252,18 @@ func (s *SSN) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand
 		nPilot = budget / 2
 	}
 	pilotIdx := sample.SRS(r, obj.N(), nPilot)
+	pilotLabels, err := labelSet(ctx, tp, pilotIdx)
+	if err != nil {
+		return nil, err
+	}
 	pilotPos := make([]int, len(pools))
 	pilotCnt := make([]int, len(pools))
 	pilotSet := make(map[int]bool, nPilot)
-	for _, i := range pilotIdx {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
+	for j, i := range pilotIdx {
 		pilotSet[i] = true
 		h := poolOf[i]
 		pilotCnt[h]++
-		if tp.Eval(i) {
+		if pilotLabels[j] {
 			pilotPos[h]++
 		}
 	}
@@ -303,14 +294,9 @@ func (s *SSN) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand
 	}
 	strata := make([]estimate.StratumSample, len(pools))
 	for h, dr := range draws {
-		pos := 0
-		for _, i := range dr {
-			if err := ctxErr(ctx); err != nil {
-				return nil, err
-			}
-			if tp.Eval(i) {
-				pos++
-			}
+		pos, err := labelCount(ctx, tp, dr)
+		if err != nil {
+			return nil, err
 		}
 		strata[h] = estimate.StratumSample{N: sizes[h], Sampled: len(dr), Positives: pos}
 	}

@@ -132,6 +132,75 @@ func (tp *timedPred) Eval(i int) bool {
 func (tp *timedPred) Evals() int64 { return tp.p.Evals() }
 func (tp *timedPred) ResetCount()  { tp.p.ResetCount() }
 
+// AsBatch exposes the underlying predicate's batch path, timing each whole
+// batch call (a batch is pure labeling work). The duration accumulates on
+// the wrapper's single owning goroutine; only the batch's internals may be
+// parallel.
+func (tp *timedPred) AsBatch() (predicate.BatchPredicate, bool) {
+	bp, ok := predicate.AsBatch(tp.p)
+	if !ok {
+		return nil, false
+	}
+	return &timedBatch{tp: tp, bp: bp}, true
+}
+
+type timedBatch struct {
+	tp *timedPred
+	bp predicate.BatchPredicate
+}
+
+func (tb *timedBatch) Eval(i int) bool { return tb.tp.Eval(i) }
+func (tb *timedBatch) Evals() int64    { return tb.tp.Evals() }
+func (tb *timedBatch) ResetCount()     { tb.tp.ResetCount() }
+
+func (tb *timedBatch) EvalBatch(idxs []int, out []bool) {
+	t0 := time.Now()
+	tb.bp.EvalBatch(idxs, out)
+	tb.tp.dur += time.Since(t0)
+}
+
+// labelSet labels a pre-chosen sample set through pred and returns the
+// label vector. When the predicate's chain supports native batched
+// evaluation the set is labeled in bounded (possibly parallel) batch
+// chunks, with the cooperative cancellation check between chunks;
+// otherwise it falls back to the sequential loop with the check before
+// every evaluation. Sample sets are chosen before labeling and labels are
+// pure functions of the object index, so both paths produce byte-identical
+// results for a fixed seed — batching (and its internal parallelism) is a
+// pure throughput knob. Cancellation granularity is the one observable
+// difference: the batch path checks ctx per chunk rather than per
+// evaluation.
+func labelSet(ctx context.Context, pred predicate.Predicate, idxs []int) ([]bool, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(idxs))
+	if bp, ok := predicate.AsBatch(pred); ok {
+		if err := predicate.EvalBatchChunked(bp, idxs, out, func() error { return ctxErr(ctx) }); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	for j, i := range idxs {
+		if j > 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		out[j] = pred.Eval(i)
+	}
+	return out, nil
+}
+
+// labelCount labels a pre-chosen sample set and returns its positive count.
+func labelCount(ctx context.Context, pred predicate.Predicate, idxs []int) (int, error) {
+	labels, err := labelSet(ctx, pred, idxs)
+	if err != nil {
+		return 0, err
+	}
+	return countPositives(labels), nil
+}
+
 // orBackground normalizes a nil ctx so methods can check it unconditionally.
 func orBackground(ctx context.Context) context.Context {
 	if ctx == nil {
@@ -180,20 +249,16 @@ type Oracle struct{}
 // Name implements Method.
 func (Oracle) Name() string { return "oracle" }
 
-// Estimate evaluates the predicate exhaustively.
+// Estimate evaluates the predicate exhaustively, through the batch path
+// when the predicate has one.
 func (Oracle) Estimate(ctx context.Context, obj *ObjectSet, _ int, _ *xrand.Rand) (*Result, error) {
 	ctx = orBackground(ctx)
 	tp := &timedPred{p: obj.Pred}
 	start := obj.Pred.Evals()
 	t0 := time.Now()
-	count := 0
-	for i := 0; i < obj.N(); i++ {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		if tp.Eval(i) {
-			count++
-		}
+	count, err := labelCount(ctx, tp, predicate.AllIndices(obj.N()))
+	if err != nil {
+		return nil, err
 	}
 	c := float64(count)
 	return &Result{

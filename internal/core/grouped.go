@@ -116,15 +116,7 @@ func groupSRSEstimate(pos, n, N int, alpha float64, wilson bool) GroupCount {
 func topUpGroup(ctx context.Context, mp *predicate.Memo, members []int, target int, r *xrand.Rand) (pos int, err error) {
 	draw := sample.SRSFrom(r, members, target)
 	sort.Ints(draw)
-	for _, i := range draw {
-		if err := ctxErr(ctx); err != nil {
-			return 0, err
-		}
-		if mp.Eval(i) {
-			pos++
-		}
-	}
-	return pos, nil
+	return labelCount(ctx, mp, draw)
 }
 
 // GroupedSRS estimates every group from one shared simple random sample:
@@ -168,16 +160,17 @@ func (m *GroupedSRS) EstimateGroups(ctx context.Context, obj *ObjectSet, groupOf
 	// once, tallied into its group.
 	shared := sample.SRS(r, obj.N(), budget)
 	sort.Ints(shared)
+	sharedLabels, err := labelSet(ctx, mp, shared)
+	if err != nil {
+		return nil, err
+	}
 	inShared := make([]bool, obj.N())
 	nG := make([]int, K)
 	posG := make([]int, K)
-	for _, i := range shared {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
+	for j, i := range shared {
 		inShared[i] = true
 		nG[groupOf[i]]++
-		if mp.Eval(i) {
+		if sharedLabels[j] {
 			posG[groupOf[i]]++
 		}
 	}
@@ -375,12 +368,13 @@ func (m *GroupedLSS) EstimateGroups(ctx context.Context, obj *ObjectSet, groupOf
 		for h, dset := range draws {
 			posHG[h] = make([]int, K)
 			nH[h] = len(dset)
-			for _, i := range dset {
-				if err := ctxErr(ctx); err != nil {
-					return nil, err
-				}
+			labels, err := labelSet(ctx, mp, dset)
+			if err != nil {
+				return nil, err
+			}
+			for j, i := range dset {
 				restSampled[groupOf[i]]++
-				if mp.Eval(i) {
+				if labels[j] {
 					posHG[h][groupOf[i]]++
 				}
 			}
@@ -492,14 +486,15 @@ func (GroupedOracle) EstimateGroups(ctx context.Context, obj *ObjectSet, groupOf
 	start := obj.Pred.Evals()
 	t0 := time.Now()
 	groups := make([]GroupCount, K)
+	labels, err := labelSet(ctx, tp, predicate.AllIndices(obj.N()))
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < obj.N(); i++ {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
 		g := groupOf[i]
 		groups[g].N++
 		groups[g].Sampled++
-		if tp.Eval(i) {
+		if labels[i] {
 			groups[g].Positives++
 		}
 	}

@@ -72,13 +72,12 @@ func runLearnPhase(ctx context.Context, obj *ObjectSet, pred predicate.Predicate
 	}
 
 	idx := sample.SRS(r, obj.N(), nLearn)
-	labels := make([]bool, len(idx))
+	labels, err := labelSet(ctx, pred, idx)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	X := make([][]float64, len(idx))
 	for j, i := range idx {
-		if err := ctxErr(ctx); err != nil {
-			return nil, nil, nil, err
-		}
-		labels[j] = pred.Eval(i)
 		X[j] = obj.Features[i]
 	}
 	clf := factory()

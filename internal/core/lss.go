@@ -284,12 +284,13 @@ func (m *LSS) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand
 
 	pilotPos := sample.SRS(r, M, nI)
 	sort.Ints(pilotPos)
-	pilotQ := make([]bool, len(pilotPos))
+	pilotObjs := make([]int, len(pilotPos))
 	for j, p := range pilotPos {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		pilotQ[j] = tp.Eval(restIdx[p])
+		pilotObjs[j] = restIdx[p]
+	}
+	pilotQ, err := labelSet(ctx, tp, pilotObjs)
+	if err != nil {
+		return nil, err
 	}
 	pilot, err := stratify.NewPilot(M, pilotPos, pilotQ)
 	if err != nil {
@@ -344,14 +345,9 @@ func (m *LSS) Estimate(ctx context.Context, obj *ObjectSet, budget int, r *xrand
 	}
 	strata := make([]estimate.StratumSample, H)
 	for h, dset := range draws {
-		pos := 0
-		for _, i := range dset {
-			if err := ctxErr(ctx); err != nil {
-				return nil, err
-			}
-			if tp.Eval(i) {
-				pos++
-			}
+		pos, err := labelCount(ctx, tp, dset)
+		if err != nil {
+			return nil, err
 		}
 		strata[h] = estimate.StratumSample{N: sizes[h], Sampled: len(dset), Positives: pos}
 	}

@@ -194,6 +194,33 @@ func (t *Table) IntColumn(name string) []int64 {
 	return t.ints[i]
 }
 
+// FloatsAt returns the backing slice of the Float column at position col
+// (shared, not copied). Panics if the column is not a Float column. The
+// positional accessors exist for compiled predicate evaluation, whose hot
+// loop reads columns resolved once at compile time.
+func (t *Table) FloatsAt(col int) []float64 {
+	if t.schema[col].Kind != Float {
+		panic(fmt.Sprintf("dataset: column %d (%q) is not float", col, t.schema[col].Name))
+	}
+	return t.floats[col]
+}
+
+// IntsAt returns the backing slice of the Int column at position col.
+func (t *Table) IntsAt(col int) []int64 {
+	if t.schema[col].Kind != Int {
+		panic(fmt.Sprintf("dataset: column %d (%q) is not int", col, t.schema[col].Name))
+	}
+	return t.ints[col]
+}
+
+// StringsAt returns the backing slice of the String column at position col.
+func (t *Table) StringsAt(col int) []string {
+	if t.schema[col].Kind != String {
+		panic(fmt.Sprintf("dataset: column %d (%q) is not string", col, t.schema[col].Name))
+	}
+	return t.strs[col]
+}
+
 // Features extracts the named numeric columns into row-major feature
 // vectors, the format consumed by internal/learn classifiers.
 func (t *Table) Features(cols ...string) ([][]float64, error) {

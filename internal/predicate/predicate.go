@@ -1,15 +1,25 @@
 // Package predicate defines the expensive Boolean filter q of the paper's
 // problem statement (§2) and its concrete instances: the k-skyband
 // membership test (Example 2), the few-neighbors test (Example 1), an
-// engine-backed EXISTS predicate for arbitrary decomposed SQL, and
-// test doubles. Every predicate counts its evaluations, since "number of
-// q evaluations" is the cost unit all of the paper's methods budget.
+// engine-backed EXISTS predicate for arbitrary decomposed SQL, its compiled
+// counterpart, and test doubles. Every predicate counts its evaluations,
+// since "number of q evaluations" is the cost unit all of the paper's
+// methods budget.
+//
+// Evaluation counters use sync/atomic throughout, so any predicate whose
+// Eval is itself thread-safe (a pure function of the object index) may be
+// shared across goroutines. Predicates that additionally implement
+// BatchPredicate label a pre-chosen sample set in one call — the batch may
+// run on a worker pool internally — and AsBatch discovers that capability
+// through wrapper chains (Memo here, the timing wrapper in internal/core).
 package predicate
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/par"
 )
 
 // Predicate is the expensive filter q: object index → bool. Implementations
@@ -20,13 +30,50 @@ type Predicate interface {
 	ResetCount()
 }
 
-// counter implements the counting half of Predicate for embedding.
-type counter struct{ n int64 }
+// BatchPredicate is a Predicate that can label a pre-chosen set of objects
+// in one call. EvalBatch evaluates q on idxs[j] and stores the label in
+// out[j]; len(out) must be at least len(idxs). Each element counts as one
+// evaluation. Implementations may evaluate elements concurrently — labels
+// are pure functions of the object index, so the result is identical to a
+// sequential loop at any parallelism.
+type BatchPredicate interface {
+	Predicate
+	EvalBatch(idxs []int, out []bool)
+}
 
-func (c *counter) Evals() int64 { return c.n }
-func (c *counter) ResetCount()  { c.n = 0 }
+// batchSource is the hook wrappers implement so AsBatch can see through
+// them: the wrapper returns a batch view that preserves its own semantics
+// (memoization, timing) while delegating bulk evaluation inward.
+type batchSource interface {
+	AsBatch() (BatchPredicate, bool)
+}
 
-// Func adapts a plain function to a counting Predicate.
+// AsBatch returns a batch view of p when its evaluation chain supports
+// native batched evaluation, unwrapping wrappers along the way. Predicates
+// that merely loop over Eval internally do not count: callers that get
+// ok=false should run their own sequential loop (keeping per-evaluation
+// cancellation checks).
+func AsBatch(p Predicate) (BatchPredicate, bool) {
+	if w, ok := p.(batchSource); ok {
+		return w.AsBatch()
+	}
+	if bp, ok := p.(BatchPredicate); ok {
+		return bp, true
+	}
+	return nil, false
+}
+
+// counter implements the counting half of Predicate for embedding. The
+// count is atomic, so predicates with thread-safe Eval may be hammered from
+// any number of goroutines without losing evaluations.
+type counter struct{ n atomic.Int64 }
+
+func (c *counter) Evals() int64 { return c.n.Load() }
+func (c *counter) ResetCount()  { c.n.Store(0) }
+
+// Func adapts a plain function to a counting Predicate. The function may be
+// called from one goroutine at a time (the SDK makes no thread-safety
+// demands on user callbacks), so Func does not implement BatchPredicate.
 type Func struct {
 	counter
 	f func(int) bool
@@ -37,7 +84,7 @@ func NewFunc(f func(int) bool) *Func { return &Func{f: f} }
 
 // Eval applies the wrapped function.
 func (p *Func) Eval(i int) bool {
-	p.n++
+	p.n.Add(1)
 	return p.f(i)
 }
 
@@ -53,7 +100,7 @@ func NewLabels(labels []bool) *Labels { return &Labels{labels: labels} }
 
 // Eval returns the stored label.
 func (p *Labels) Eval(i int) bool {
-	p.n++
+	p.n.Add(1)
 	return p.labels[i]
 }
 
@@ -62,7 +109,8 @@ func (p *Labels) Len() int { return len(p.labels) }
 
 // Skyband is Example 2's predicate: object i is positive iff fewer than k
 // points dominate it. Each evaluation is a deliberate O(N) scan — the
-// aggregate subquery a generic engine would run per object.
+// aggregate subquery a generic engine would run per object. Eval is a pure
+// read and safe for concurrent use.
 type Skyband struct {
 	counter
 	xs, ys []float64
@@ -80,7 +128,7 @@ func NewSkyband(xs, ys []float64, k int) *Skyband {
 
 // Eval scans all points and counts dominators of point i.
 func (p *Skyband) Eval(i int) bool {
-	p.n++
+	p.n.Add(1)
 	x, y := p.xs[i], p.ys[i]
 	dom := 0
 	for j := range p.xs {
@@ -100,6 +148,7 @@ func (p *Skyband) K() int { return p.k }
 // Neighbors is Example 1's predicate: object i is positive iff at most k
 // other points lie within Euclidean distance d. Each evaluation is a
 // deliberate O(N) scan, standing in for the correlated aggregate subquery.
+// Eval is a pure read and safe for concurrent use.
 type Neighbors struct {
 	counter
 	xs, ys []float64
@@ -118,7 +167,7 @@ func NewNeighbors(xs, ys []float64, d float64, k int) *Neighbors {
 
 // Eval counts points within distance d of point i (excluding i itself).
 func (p *Neighbors) Eval(i int) bool {
-	p.n++
+	p.n.Add(1)
 	x, y := p.xs[i], p.ys[i]
 	cnt := 0
 	for j := range p.xs {
@@ -138,7 +187,10 @@ func (p *Neighbors) Eval(i int) bool {
 
 // Memo caches the result of an underlying predicate per object, so that
 // ground truth can be computed once and re-read freely. Evals counts only
-// underlying (uncached) evaluations.
+// underlying (uncached) evaluations. Memo itself is not safe for concurrent
+// use — the estimation methods own one per run — but its batch view labels
+// the not-yet-known subset of a batch through the underlying predicate's
+// (possibly parallel) batch path.
 type Memo struct {
 	p      Predicate
 	known  []bool
@@ -166,14 +218,64 @@ func (m *Memo) Evals() int64 { return m.p.Evals() }
 // ResetCount resets the underlying counter (the cache is retained).
 func (m *Memo) ResetCount() { m.p.ResetCount() }
 
+// AsBatch exposes the memo's batch view when the underlying predicate
+// supports batched evaluation.
+func (m *Memo) AsBatch() (BatchPredicate, bool) {
+	bp, ok := AsBatch(m.p)
+	if !ok {
+		return nil, false
+	}
+	return &memoBatch{m: m, bp: bp}, true
+}
+
+// memoBatch is Memo's batch view: unknown batch members are deduplicated,
+// labeled through the underlying batch predicate in one call, and cached;
+// known members cost nothing.
+type memoBatch struct {
+	m  *Memo
+	bp BatchPredicate
+}
+
+func (b *memoBatch) Eval(i int) bool { return b.m.Eval(i) }
+func (b *memoBatch) Evals() int64    { return b.m.Evals() }
+func (b *memoBatch) ResetCount()     { b.m.ResetCount() }
+
+func (b *memoBatch) EvalBatch(idxs []int, out []bool) {
+	m := b.m
+	var unknown []int
+	queued := make(map[int]bool)
+	for _, i := range idxs {
+		if !m.known[i] && !queued[i] {
+			unknown = append(unknown, i)
+			queued[i] = true
+		}
+	}
+	if len(unknown) > 0 {
+		fresh := make([]bool, len(unknown))
+		b.bp.EvalBatch(unknown, fresh)
+		for j, i := range unknown {
+			m.result[i] = fresh[j]
+			m.known[i] = true
+		}
+	}
+	for j, i := range idxs {
+		out[j] = m.result[i]
+	}
+}
+
 // EngineExists evaluates a decomposed SQL predicate (Q3) through the query
 // engine. Construction validates the predicate on the first object so that
 // later evaluations cannot fail for structural reasons; a failure after
-// that indicates a programming error and panics.
+// that indicates a programming error and panics. The interpreted evaluator
+// shares mutable state (work counters, cursors), so EngineExists is the one
+// expensive predicate that must stay on a single goroutine — the compiled
+// path (Compiled) is the parallel alternative.
 type EngineExists struct {
 	counter
 	eval    func(i int) (bool, error)
 	objects *engine.ResultSet
+	first   bool // validation result for object 0
+	has0    bool
 }
 
 // NewEngineExists builds an engine-backed predicate for the decomposed
@@ -181,16 +283,24 @@ type EngineExists struct {
 func NewEngineExists(ev *engine.Evaluator, dec *engine.Decomposed, objects *engine.ResultSet) (*EngineExists, error) {
 	p := &EngineExists{eval: ev.ObjectPredicate(dec, objects), objects: objects}
 	if objects.NumRows() > 0 {
-		if _, err := p.eval(0); err != nil {
+		v, err := p.eval(0)
+		if err != nil {
 			return nil, fmt.Errorf("predicate: validating decomposed predicate: %w", err)
 		}
+		p.first, p.has0 = v, true
 	}
 	return p, nil
 }
 
+// First returns the construction-time validation result for object 0, so
+// cross-checks against it need not repeat a full interpreted evaluation
+// (one Q3 interpretation scans the whole join — the very cost compilation
+// exists to avoid).
+func (p *EngineExists) First() (v, ok bool) { return p.first, p.has0 }
+
 // Eval runs the EXISTS subquery for object i.
 func (p *EngineExists) Eval(i int) bool {
-	p.n++
+	p.n.Add(1)
 	ok, err := p.eval(i)
 	if err != nil {
 		panic(fmt.Sprintf("predicate: engine predicate failed on object %d: %v", i, err))
@@ -198,21 +308,114 @@ func (p *EngineExists) Eval(i int) bool {
 	return ok
 }
 
+// Compiled is the batch-capable predicate over a compiled Q3 evaluator
+// (internal/qcompile). The factory hands out evaluation closures with
+// private scratch, so EvalBatch can fan a batch out over a worker pool:
+// each worker owns one closure, each batch element writes only its own
+// output slot, and labels are pure functions of the object index — the
+// result is byte-identical to a sequential loop at any parallelism.
+type Compiled struct {
+	counter
+	f       func(int) bool
+	newFn   func() func(int) bool
+	workers int
+}
+
+// batchChunk is the per-dispatch work unit for parallel batches: large
+// enough to amortize dispatch, small enough to balance uneven per-object
+// cost (short-circuiting makes negatives much cheaper than positives).
+const batchChunk = 64
+
+// NewCompiled wraps an evaluation-closure factory as a Compiled predicate.
+// workers bounds batch parallelism: 0 means all cores, 1 sequential.
+func NewCompiled(newFn func() func(int) bool, workers int) *Compiled {
+	return &Compiled{f: newFn(), newFn: newFn, workers: workers}
+}
+
+// Workers reports the resolved batch parallelism.
+func (p *Compiled) Workers() int { return par.Workers(p.workers) }
+
+// Eval evaluates q on object i.
+func (p *Compiled) Eval(i int) bool {
+	p.n.Add(1)
+	return p.f(i)
+}
+
+// EvalBatch labels a pre-chosen sample set, in parallel when the predicate
+// was built with more than one worker.
+func (p *Compiled) EvalBatch(idxs []int, out []bool) {
+	p.n.Add(int64(len(idxs)))
+	w := par.Workers(p.workers)
+	if w <= 1 || len(idxs) <= batchChunk {
+		for j, i := range idxs {
+			out[j] = p.f(i)
+		}
+		return
+	}
+	par.ForEachChunk(w, len(idxs), batchChunk, func(lo, hi int) {
+		f := p.newFn()
+		for j := lo; j < hi; j++ {
+			out[j] = f(idxs[j])
+		}
+	})
+}
+
+// AllIndices returns the identity index slice [0, n) — the sample set of
+// an evaluate-everything pass (the oracle, exact counts, ground truth).
+func AllIndices(n int) []int {
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return idxs
+}
+
+// chunkedBatchSize bounds one EvalBatch call inside EvalBatchChunked: large
+// enough to amortize parallel fan-out, small enough that a cancellation
+// check between chunks keeps even evaluate-everything passes responsive.
+const chunkedBatchSize = 4096
+
+// EvalBatchChunked labels idxs through bp in bounded chunks, calling stop
+// (which may be nil) between chunks. It is how callers keep cooperative
+// cancellation on batches whose total size is unbounded: labels are pure
+// per-index functions, so chunking changes nothing about the result, and a
+// non-nil stop error aborts the remaining chunks and is returned.
+func EvalBatchChunked(bp BatchPredicate, idxs []int, out []bool, stop func() error) error {
+	for lo := 0; lo < len(idxs); lo += chunkedBatchSize {
+		if stop != nil {
+			if err := stop(); err != nil {
+				return err
+			}
+		}
+		hi := lo + chunkedBatchSize
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		bp.EvalBatch(idxs[lo:hi], out[lo:hi])
+	}
+	return nil
+}
+
 // Count evaluates q over every object (the exact, expensive path) and
 // returns the positive count.
 func Count(p Predicate, n int) int {
 	c := 0
-	for i := 0; i < n; i++ {
-		if p.Eval(i) {
+	for _, v := range TrueLabels(p, n) {
+		if v {
 			c++
 		}
 	}
 	return c
 }
 
-// TrueLabels evaluates q over every object and returns the label vector.
+// TrueLabels evaluates q over every object and returns the label vector,
+// through the batch path when the predicate has one.
 func TrueLabels(p Predicate, n int) []bool {
 	out := make([]bool, n)
+	if bp, ok := AsBatch(p); ok {
+		bp.EvalBatch(AllIndices(n), out)
+		return out
+	}
 	for i := 0; i < n; i++ {
 		out[i] = p.Eval(i)
 	}

@@ -1,6 +1,7 @@
 package predicate
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/dataset"
@@ -224,5 +225,113 @@ func BenchmarkNeighborsEval(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = p.Eval(i % n)
+	}
+}
+
+// TestConcurrentEvalCounting hammers one predicate from many goroutines and
+// checks that no evaluation is lost: the counter is atomic, so a predicate
+// with thread-safe Eval is safe to share across a labeling worker pool.
+// Run with -race (the repository's `make race` / CI gate does) to pin the
+// absence of the old unsynchronized n++ data race.
+func TestConcurrentEvalCounting(t *testing.T) {
+	r := xrand.New(9)
+	n := 512
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	p := NewSkyband(xs, ys, 8)
+	const workers = 16
+	const perWorker = 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				p.Eval((w*perWorker + j) % n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := p.Evals(); got != workers*perWorker {
+		t.Fatalf("Evals = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+	p.ResetCount()
+	if p.Evals() != 0 {
+		t.Fatalf("ResetCount left %d", p.Evals())
+	}
+}
+
+// TestCompiledEvalBatch checks the parallel batch path against sequential
+// Eval for every worker count, including the eval counter.
+func TestCompiledEvalBatch(t *testing.T) {
+	n := 500
+	newFn := func() func(int) bool {
+		return func(i int) bool { return i%3 == 0 || i%7 == 0 }
+	}
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = (i * 13) % n
+	}
+	want := make([]bool, n)
+	for j, i := range idxs {
+		want[j] = newFn()(i)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		p := NewCompiled(newFn, workers)
+		out := make([]bool, n)
+		p.EvalBatch(idxs, out)
+		for j := range want {
+			if out[j] != want[j] {
+				t.Fatalf("workers=%d: out[%d]=%v, want %v", workers, j, out[j], want[j])
+			}
+		}
+		if p.Evals() != int64(n) {
+			t.Fatalf("workers=%d: Evals=%d, want %d", workers, p.Evals(), n)
+		}
+	}
+}
+
+// TestMemoBatch checks that the memo's batch view evaluates each unknown
+// object exactly once and serves repeats from the cache.
+func TestMemoBatch(t *testing.T) {
+	n := 100
+	base := NewCompiled(func() func(int) bool {
+		return func(i int) bool { return i%2 == 0 }
+	}, 1)
+	m := NewMemo(base, n)
+	bp, ok := AsBatch(m)
+	if !ok {
+		t.Fatal("memo over a batch predicate should expose a batch view")
+	}
+	idxs := []int{3, 4, 4, 7, 3, 10}
+	out := make([]bool, len(idxs))
+	bp.EvalBatch(idxs, out)
+	for j, i := range idxs {
+		if out[j] != (i%2 == 0) {
+			t.Fatalf("out[%d] wrong", j)
+		}
+	}
+	if base.Evals() != 4 { // 3, 4, 7, 10 — duplicates deduplicated
+		t.Fatalf("underlying evals = %d, want 4", base.Evals())
+	}
+	bp.EvalBatch([]int{3, 4, 99}, make([]bool, 3))
+	if base.Evals() != 5 { // only 99 is new
+		t.Fatalf("underlying evals = %d, want 5", base.Evals())
+	}
+}
+
+// TestAsBatchSequentialOnly checks that predicates without a native batch
+// path (user callbacks, the interpreted engine predicate) are not reported
+// as batchable.
+func TestAsBatchSequentialOnly(t *testing.T) {
+	if _, ok := AsBatch(NewFunc(func(int) bool { return true })); ok {
+		t.Fatal("Func must not be batchable")
+	}
+	if _, ok := AsBatch(NewMemo(NewFunc(func(int) bool { return true }), 4)); ok {
+		t.Fatal("Memo over a sequential predicate must not be batchable")
 	}
 }

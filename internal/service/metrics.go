@@ -15,6 +15,7 @@ type Metrics struct {
 	EstimatesRun   atomic.Int64 // estimations actually executed
 	PredicateEvals atomic.Int64 // expensive-predicate evaluations spent
 	EstimateNanos  atomic.Int64 // wall time spent inside estimation
+	PredicateNanos atomic.Int64 // wall time spent inside the predicate q
 }
 
 // MetricsSnapshot is the JSON form of Metrics.
@@ -27,6 +28,7 @@ type MetricsSnapshot struct {
 	EstimatesRun   int64   `json:"estimates_run"`
 	PredicateEvals int64   `json:"predicate_evals"`
 	EstimateMS     float64 `json:"estimate_ms"`
+	PredicateMS    float64 `json:"predicate_ms"` // cumulative wall time inside q
 }
 
 // Snapshot copies the current counter values.
@@ -40,5 +42,6 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		EstimatesRun:   m.EstimatesRun.Load(),
 		PredicateEvals: m.PredicateEvals.Load(),
 		EstimateMS:     float64(m.EstimateNanos.Load()) / 1e6,
+		PredicateMS:    float64(m.PredicateNanos.Load()) / 1e6,
 	}
 }

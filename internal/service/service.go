@@ -162,6 +162,8 @@ type CountResult struct {
 	Groups      []GroupRow `json:"groups,omitempty"`     // GROUP BY requests only, ordered by key
 	Seed        uint64     `json:"seed"`
 	DurationMS  float64    `json:"duration_ms"`
+	PredicateMS float64    `json:"predicate_ms"` // wall time inside the expensive predicate
+	Compiled    bool       `json:"compiled"`     // labeling ran through the compiled predicate engine
 	Cached      bool       `json:"cached"`
 }
 
@@ -383,6 +385,7 @@ func (s *Service) count(ctx context.Context, req *CountRequest) (*CountResult, e
 		s.Metrics.EstimatesRun.Add(1)
 		s.Metrics.EstimateNanos.Add(int64(time.Since(t0)))
 		s.Metrics.PredicateEvals.Add(res.Evals)
+		s.Metrics.PredicateNanos.Add(int64(res.PredicateMS * 1e6))
 		if !req.NoCache {
 			s.cache.put(key, res)
 		}
@@ -444,6 +447,8 @@ func (s *Service) estimate(ctx context.Context, req *CountRequest, versions, fp0
 			GroupCols:   ge.GroupColumns,
 			Groups:      make([]GroupRow, len(ge.Groups)),
 			Seed:        ge.Seed,
+			PredicateMS: float64(ge.Timings.Predicate) / 1e6,
+			Compiled:    ge.Labeling.Compiled,
 		}
 		trueTotal := 0
 		for i, g := range ge.Groups {
@@ -487,6 +492,8 @@ func (s *Service) estimate(ctx context.Context, req *CountRequest, versions, fp0
 		TrueCount:   est.TrueCount,
 		FeatureCols: est.FeatureColumns,
 		Seed:        est.Seed,
+		PredicateMS: float64(est.Timings.Predicate) / 1e6,
+		Compiled:    est.Labeling.Compiled,
 	}
 	if est.CI != nil {
 		out.CILo, out.CIHi = est.CI.Lo, est.CI.Hi

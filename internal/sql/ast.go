@@ -116,10 +116,18 @@ func (c *ColumnRef) String() string {
 }
 
 func (n *NumberLit) String() string {
-	if n.IsInt {
+	if n.IsInt && float64(int64(n.Value)) == n.Value {
 		return fmt.Sprintf("%d", int64(n.Value))
 	}
-	return fmt.Sprintf("%g", n.Value)
+	// Render non-integer literals so they reparse as non-integer: a float
+	// whose shortest form looks like a digit string (e.g. 1e3 → "1000")
+	// would otherwise come back with IsInt set and change evaluation
+	// semantics (IntVal vs FloatVal).
+	s := fmt.Sprintf("%g", n.Value)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
 }
 
 func (s *StringLit) String() string {

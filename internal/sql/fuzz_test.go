@@ -1,0 +1,101 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseRoundTrip fuzzes the parser ↔ renderer pair with the
+// canonicalization property the rest of the repository relies on (the
+// fingerprint cache keys, the decomposition's rebuilt Q2/Q3 texts): any
+// statement that parses must render to SQL that reparses to the identical
+// AST, and the rendering must be a fixpoint. It also serves as a crash
+// hunter for the lexer and parser on arbitrary input.
+func FuzzParseRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM t",
+		"SELECT a, b AS c FROM t u WHERE a < 3 AND NOT b >= 2.5 OR a <> b",
+		"SELECT o1.id FROM D o1, D o2 WHERE o2.x >= o1.x AND (o2.x > o1.x OR o2.y > o1.y) GROUP BY o1.id HAVING COUNT(*) < k",
+		"SELECT COUNT(*) FROM (SELECT id FROM t WHERE x = 'it''s') s",
+		"SELECT DISTINCT g, SUM(v) FROM t GROUP BY g HAVING AVG(v) > 1e3 ORDER BY g DESC LIMIT 10",
+		"SELECT SQRT(POWER(x - 1, 2)) FROM t WHERE EXISTS (SELECT id FROM r WHERE r.k = t.k)",
+		"SELECT x FROM t WHERE y = -0.5 AND z <= .25 OR w = 99999999999999999999",
+		"SELECT MIN(a), MAX(b), COUNT(DISTINCT c) FROM t GROUP BY d HAVING MIN(a) <> 1;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return // invalid inputs only need to fail cleanly
+		}
+		rendered := stmt.String()
+		stmt2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered SQL does not reparse: %v\ninput:    %q\nrendered: %q", err, src, rendered)
+		}
+		if !reflect.DeepEqual(stmt, stmt2) {
+			t.Fatalf("reparse changed the AST\ninput:    %q\nrendered: %q\nagain:    %q", src, rendered, stmt2.String())
+		}
+		if again := stmt2.String(); again != rendered {
+			t.Fatalf("rendering is not a fixpoint: %q -> %q", rendered, again)
+		}
+	})
+}
+
+// FuzzLex checks the lexer never panics and that token positions stay
+// within the input.
+func FuzzLex(f *testing.F) {
+	f.Add("SELECT 'a''b' -- comment\nFROM t")
+	f.Add("1.5e+30 <= x != y")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		for _, tok := range toks {
+			if tok.Pos < 0 || tok.Pos > len(src) {
+				t.Fatalf("token %v position %d outside input of length %d", tok, tok.Pos, len(src))
+			}
+		}
+	})
+}
+
+// TestNumberLiteralRoundTrip pins the literal-rendering fixes the fuzzer
+// guards: scientific notation must stay non-integer through a round trip,
+// and digit strings beyond int64 must not overflow the renderer.
+func TestNumberLiteralRoundTrip(t *testing.T) {
+	cases := []struct {
+		in        string
+		wantIsInt bool
+	}{
+		{"1e3", false},
+		{"1000", true},
+		{"0.0", false},
+		{"99999999999999999999", false}, // beyond int64: float literal
+		{".5", false},
+	}
+	for _, tc := range cases {
+		e, err := ParseExpr(tc.in)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		n, ok := e.(*NumberLit)
+		if !ok {
+			t.Fatalf("%q parsed to %T", tc.in, e)
+		}
+		if n.IsInt != tc.wantIsInt {
+			t.Fatalf("%q: IsInt=%v, want %v", tc.in, n.IsInt, tc.wantIsInt)
+		}
+		e2, err := ParseExpr(n.String())
+		if err != nil {
+			t.Fatalf("%q: rendered %q does not reparse: %v", tc.in, n.String(), err)
+		}
+		if !reflect.DeepEqual(e, e2) {
+			t.Fatalf("%q: round trip changed %v to %v", tc.in, e, e2)
+		}
+	}
+	if _, err := ParseExpr("1e999"); err == nil {
+		t.Fatal("overflowing literal must be rejected")
+	}
+}

@@ -1,6 +1,9 @@
 package sql
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Parse parses a single SELECT statement (an optional trailing semicolon is
 // allowed) and returns its AST.
@@ -237,6 +240,11 @@ func (p *parser) parseTableRef() (TableRef, error) {
 	}
 	if p.peek().Kind == TokIdent {
 		ref.Alias = p.next().Text
+	}
+	// Canonicalize a self-alias (FROM t t) away: BindName is unchanged and
+	// the rendered SQL round-trips to the identical AST.
+	if ref.Alias == ref.Name {
+		ref.Alias = ""
 	}
 	if ref.Subquery != nil && ref.Alias == "" {
 		ref.Alias = "_sub"
@@ -487,6 +495,17 @@ func parseNumber(s string) (float64, bool, error) {
 	_, err := fmt.Sscanf(s, "%g", &v)
 	if err != nil {
 		return 0, false, err
+	}
+	// Values outside the finite range cannot round-trip through the
+	// renderer (and make no sense as literals); reject them outright.
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, false, fmt.Errorf("sql: number %q overflows", s)
+	}
+	// A digit string too large for int64 is only representable as a float;
+	// treating it as an integer literal would overflow evaluation and the
+	// renderer. This also keeps parse→String→reparse the identity on ASTs.
+	if isInt && float64(int64(v)) != v {
+		isInt = false
 	}
 	return v, isInt, nil
 }

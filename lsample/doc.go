@@ -78,13 +78,30 @@
 //	                      (default 0.02; at least 10 evaluations; grouped
 //	                      runs may add a small rare-group top-up)
 //	WithAlpha(a)          intervals cover 1−a (default 0.05)
-//	WithParallelism(p)    classifier workers: 0 all cores, 1 sequential;
-//	                      estimates are byte-identical at any value
+//	WithParallelism(p)    classifier and batched-labeling workers: 0 all
+//	                      cores, 1 sequential; estimates are byte-identical
+//	                      at any value
 //	WithSeed(s)           random seed; fixed seed ⇒ byte-identical runs
 //	WithInterval(iv)      Wald (default) or Wilson proportion intervals —
 //	                      applies to srs, grouped per-group SRS estimates,
 //	                      and the grouped rare-group fallback
 //	WithExact(true)       also compute the exact count (slow; for tests)
+//	WithCompilation(b)    predicate compilation for SQL queries (default
+//	                      enabled; disable to force the interpreter)
+//
+// # Predicate compilation
+//
+// Prepare compiles the decomposed per-object predicate (Q3) once per
+// prepared query: comparison/arithmetic/boolean nodes lower to typed
+// closures over columnar data, equality-correlated EXISTS probes use
+// prebuilt hash indexes, and EXISTS short-circuits where the query shape
+// allows. Queries outside the compilable subset transparently fall back to
+// the interpreted engine, which remains the semantics oracle; a
+// first-object cross-check guards every compiled execution. The labeling
+// path taken (and the fallback reason, if any) is reported in
+// Estimate.Labeling / GroupedEstimate.Labeling. Estimates are
+// byte-identical on either path — compilation (with batched, optionally
+// parallel labeling) changes only wall-clock cost.
 //
 // # DataSource contract
 //

@@ -74,6 +74,10 @@ func (e *Estimator) Estimate(ctx context.Context, features [][]float64, pred Pre
 		return nil, fmt.Errorf("lsample: estimation failed: %w", err)
 	}
 	est := fromCore(res, obj.N(), budget, cfg.seed, cfg.alpha)
+	// Callback predicates stay on the interpreter-style sequential path:
+	// the SDK makes no thread-safety demands on user functions, and there
+	// is no SQL to compile.
+	est.Labeling = Labeling{Fallback: "callback predicate (nothing to compile)", Workers: 1}
 	if cfg.exact {
 		tc, err := exactCount(ctx, p, obj.N())
 		if err != nil {

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/predicate"
 	"repro/internal/sql"
 	"repro/internal/xrand"
 )
@@ -72,6 +71,9 @@ type GroupedEstimate struct {
 	FeatureColumns []string
 	// Timings is the per-phase cost breakdown of the shared plan.
 	Timings PhaseTimings
+	// Labeling reports which predicate-evaluation path the run took
+	// (compiled vs interpreted fallback) and its labeling parallelism.
+	Labeling Labeling
 }
 
 // IsGrouped reports whether the prepared query is a GROUP BY counting
@@ -158,10 +160,11 @@ func (q *PreparedQuery) ExecuteGroups(ctx context.Context, params map[string]any
 		out.FeatureColumns = cols
 	}
 
-	pred, err := predicate.NewEngineExists(ev, q.dec, objects)
+	pred, labeling, err := q.buildPredicate(ev, objects, vals, cfg)
 	if err != nil {
-		return nil, badf("%v", err)
+		return nil, err
 	}
+	out.Labeling = labeling
 	obj, err := core.NewObjectSet(features, pred)
 	if err != nil {
 		return nil, badf("%v", err)
@@ -179,15 +182,15 @@ func (q *PreparedQuery) ExecuteGroups(ctx context.Context, params map[string]any
 	var trueCounts []int
 	if cfg.exact {
 		// One exact pass over all objects, attributed per group; costs |O|
-		// further evaluations, exactly like WithExact on Execute.
+		// further evaluations, exactly like WithExact on Execute. The batch
+		// path labels the whole population in one (possibly parallel) call.
 		trueCounts = make([]int, len(keys))
-		for i := 0; i < obj.N(); i++ {
-			if ctx != nil {
-				if err := ctx.Err(); err != nil {
-					return nil, fmt.Errorf("lsample: exact count canceled: %w", err)
-				}
-			}
-			if pred.Eval(i) {
+		labels, err := exactLabels(ctx, pred, obj.N())
+		if err != nil {
+			return nil, err
+		}
+		for i, pos := range labels {
+			if pos {
 				trueCounts[groupOf[i]]++
 			}
 		}

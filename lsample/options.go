@@ -57,6 +57,7 @@ type config struct {
 	seed        uint64
 	interval    Interval
 	exact       bool
+	noCompile   bool // disable predicate compilation (keep the interpreter)
 }
 
 func defaultConfig() config {
@@ -146,8 +147,23 @@ func WithAlpha(alpha float64) Option {
 	}
 }
 
-// WithParallelism bounds classifier training/scoring workers: 0 means all
-// cores (the default), 1 forces sequential execution. Estimates are
+// WithCompilation enables or disables predicate compilation for SQL
+// queries. It is enabled by default: the decomposed per-object predicate is
+// lowered to typed closures with hash-indexed equality probes where the
+// query shape allows, and falls back to the interpreted engine otherwise —
+// see Estimate.Labeling for which path ran. Estimates are byte-identical
+// either way; disable only to measure the interpreter or to sidestep a
+// suspected compiler issue.
+func WithCompilation(enabled bool) Option {
+	return func(c *config) error {
+		c.noCompile = !enabled
+		return nil
+	}
+}
+
+// WithParallelism bounds classifier training/scoring workers and — for
+// compiled SQL predicates — batched labeling workers: 0 means all cores
+// (the default), 1 forces sequential execution. Estimates are
 // byte-identical at any parallelism.
 func WithParallelism(p int) Option {
 	return func(c *config) error {

@@ -1,6 +1,7 @@
 package lsample
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -36,6 +37,37 @@ func (t PhaseTimings) Overhead() time.Duration {
 	return ov
 }
 
+// Labeling describes how the expensive predicate was evaluated during one
+// run: through the compiled engine (typed closures over columnar data, with
+// hash-indexed equality probes and batched — possibly parallel — labeling)
+// or through the interpreted engine fallback. Both paths produce
+// byte-identical estimates for a fixed seed; the difference is purely
+// labeling throughput.
+type Labeling struct {
+	// Compiled reports that the predicate ran through the compiled engine.
+	Compiled bool
+	// Fallback is the human-readable reason the interpreted engine was used
+	// instead; empty when Compiled is true.
+	Fallback string
+	// Workers is the labeling parallelism the run was configured for
+	// (always 1 on the interpreted path, which is inherently sequential).
+	Workers int
+}
+
+// String renders the labeling path for logs and CLI output.
+func (l Labeling) String() string {
+	if l.Compiled {
+		if l.Workers == 1 {
+			return "compiled"
+		}
+		return fmt.Sprintf("compiled, %d workers", l.Workers)
+	}
+	if l.Fallback == "" {
+		return "interpreted"
+	}
+	return "interpreted (" + l.Fallback + ")"
+}
+
 // Estimate is the outcome of one estimation run.
 type Estimate struct {
 	// Method is the estimation method that ran.
@@ -69,6 +101,9 @@ type Estimate struct {
 	TrueCount *int
 	// Timings is the per-phase cost breakdown.
 	Timings PhaseTimings
+	// Labeling reports which predicate-evaluation path the run took
+	// (compiled vs interpreted fallback) and its labeling parallelism.
+	Labeling Labeling
 }
 
 // fromCore converts an internal result. alpha 0 means the methods' default

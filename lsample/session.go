@@ -11,6 +11,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/predicate"
+	"repro/internal/qcompile"
 	"repro/internal/sql"
 	"repro/internal/xrand"
 )
@@ -133,6 +134,17 @@ func (s *Session) Prepare(sqlText string, opts ...Option) (*PreparedQuery, error
 			return nil, badf("decompose: %v", err)
 		}
 	}
+	// Compile the per-object predicate once per prepared query: the
+	// analysis and hash-index building are the expensive parts, and the
+	// tables are an immutable snapshot. A predicate outside the compilable
+	// subset records its fallback reason and every Execute keeps the
+	// interpreted engine.
+	prog, perr := qcompile.Compile(dec, cat)
+	progErr := ""
+	if perr != nil {
+		prog = nil
+		progErr = perr.Error()
+	}
 	return &PreparedQuery{
 		sess:    s,
 		text:    sqlText,
@@ -143,6 +155,8 @@ func (s *Session) Prepare(sqlText string, opts ...Option) (*PreparedQuery, error
 		cat:     cat,
 		ltab:    cat[dec.Objects.From[0].Name],
 		feats:   make(map[string]*featureState),
+		prog:    prog,
+		progErr: progErr,
 	}, nil
 }
 
@@ -159,6 +173,8 @@ type PreparedQuery struct {
 	grouped *engine.GroupedDecomposed // nil for plain counting queries
 	cat     engine.Catalog
 	ltab    *dataset.Table
+	prog    *qcompile.Program // compiled Q3, nil when outside the subset
+	progErr string            // fallback reason when prog is nil
 
 	featMu sync.Mutex
 	feats  map[string]*featureState // keyed by sorted parameter names
@@ -267,9 +283,9 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 		out.FeatureColumns = cols
 	}
 
-	pred, err := predicate.NewEngineExists(ev, q.dec, objects)
+	pred, labeling, err := q.buildPredicate(ev, objects, vals, cfg)
 	if err != nil {
-		return nil, badf("%v", err)
+		return nil, err
 	}
 	obj, err := core.NewObjectSet(features, pred)
 	if err != nil {
@@ -289,6 +305,7 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 	est.Method = out.Method
 	est.Fingerprint = out.Fingerprint
 	est.FeatureColumns = out.FeatureColumns
+	est.Labeling = labeling
 	if cfg.exact {
 		tc, err := exactCount(ctx, pred, obj.N())
 		if err != nil {
@@ -302,23 +319,114 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 	return est, nil
 }
 
-// exactCount evaluates the predicate on every object — the expensive path
-// WithExact requests — honoring the same cancel-before-next-evaluation
-// contract as the estimators; it is by far the longest loop a request can
-// hold resources for.
-func exactCount(ctx context.Context, pred predicate.Predicate, n int) (int, error) {
-	count := 0
-	for i := 0; i < n; i++ {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return 0, fmt.Errorf("lsample: exact count canceled: %w", err)
-			}
+// buildPredicate constructs the expensive per-object predicate for one
+// execution, preferring the compiled path: the prepared program binds the
+// parameter values and object set, a guarded first-object evaluation is
+// cross-checked against the interpreter (which construction just
+// validated), and only then does labeling run through the batch-capable
+// compiled predicate. Any failure along the way — compile-time
+// unsupported shape, bind-time type mismatch, cross-check disagreement —
+// degrades to the interpreted engine with the reason recorded, never to an
+// error the interpreter itself would not produce.
+func (q *PreparedQuery) buildPredicate(ev *engine.Evaluator, objects *engine.ResultSet,
+	vals map[string]engine.Value, cfg config) (predicate.Predicate, Labeling, error) {
+
+	ep, err := predicate.NewEngineExists(ev, q.dec, objects)
+	if err != nil {
+		return nil, Labeling{}, badf("%v", err)
+	}
+	lab := Labeling{Workers: 1}
+	if cfg.noCompile {
+		lab.Fallback = "compilation disabled"
+		return ep, lab, nil
+	}
+	if q.prog == nil {
+		lab.Fallback = q.progErr
+		return ep, lab, nil
+	}
+	bound, err := q.prog.Bind(vals, objects)
+	if err != nil {
+		lab.Fallback = err.Error()
+		return ep, lab, nil
+	}
+	if !compiledAgrees(bound.NewEvalFn(), ep, objects.NumRows()) {
+		lab.Fallback = "first-object cross-check failed"
+		return ep, lab, nil
+	}
+	cp := predicate.NewCompiled(bound.NewEvalFn, cfg.parallelism)
+	return cp, Labeling{Compiled: true, Workers: cp.Workers()}, nil
+}
+
+// compiledAgrees is the runtime safety net behind the fallback contract: a
+// compiled first-object evaluation must agree with the interpreter's (and
+// must not panic, e.g. on a data-dependent division the interpreter would
+// have reported as an error). The interpreter's side reuses the
+// construction-time validation result, so the check costs one compiled
+// evaluation, not a second full interpreted join scan.
+func compiledAgrees(fn func(int) bool, ep *predicate.EngineExists, n int) (ok bool) {
+	if n == 0 {
+		return true
+	}
+	want, has := ep.First()
+	if !has {
+		return false
+	}
+	defer func() {
+		if recover() != nil {
+			ok = false
 		}
-		if pred.Eval(i) {
+	}()
+	return fn(0) == want
+}
+
+// exactCount evaluates the predicate on every object — the expensive path
+// WithExact requests; it is by far the longest loop a request can hold
+// resources for — and returns the positive count.
+func exactCount(ctx context.Context, pred predicate.Predicate, n int) (int, error) {
+	labels, err := exactLabels(ctx, pred, n)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, b := range labels {
+		if b {
 			count++
 		}
 	}
 	return count, nil
+}
+
+// exactLabels evaluates the predicate on every object and returns the label
+// vector (the grouped exact pass attributes each label to its group). A
+// batch-capable predicate labels the population in bounded, possibly
+// parallel batch chunks with the cancellation check between chunks; the
+// sequential fallback keeps the cancel-before-next-evaluation contract.
+func exactLabels(ctx context.Context, pred predicate.Predicate, n int) ([]bool, error) {
+	ctxErr := func() error {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("lsample: exact count canceled: %w", err)
+			}
+		}
+		return nil
+	}
+	if err := ctxErr(); err != nil {
+		return nil, err
+	}
+	out := make([]bool, n)
+	if bp, ok := predicate.AsBatch(pred); ok {
+		if err := predicate.EvalBatchChunked(bp, predicate.AllIndices(n), out, ctxErr); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		if err := ctxErr(); err != nil {
+			return nil, err
+		}
+		out[i] = pred.Eval(i)
+	}
+	return out, nil
 }
 
 // featureState returns the memoized feature artifacts for the given

@@ -22,17 +22,34 @@ type result struct {
 	Name    string             `json:"name"`
 	Runs    int64              `json:"runs"`
 	Metrics map[string]float64 `json:"metrics"`
+	GOOS    string             `json:"goos,omitempty"`
+	GOARCH  string             `json:"goarch,omitempty"`
+	CPU     string             `json:"cpu,omitempty"`
 }
 
 func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	results := []result{}
-	pkg := ""
+	pkg, goos, goarch, cpu := "", "", "", ""
 	for sc.Scan() {
 		line := sc.Text()
 		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
 			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		// Environment headers: recorded per result so snapshots from
+		// different machines stay comparable.
+		if rest, ok := strings.CutPrefix(line, "goos: "); ok {
+			goos = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "goarch: "); ok {
+			goarch = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
 			continue
 		}
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -62,7 +79,8 @@ func main() {
 			}
 			metrics[fields[i+1]] = v
 		}
-		results = append(results, result{Pkg: pkg, Name: name, Runs: runs, Metrics: metrics})
+		results = append(results, result{Pkg: pkg, Name: name, Runs: runs, Metrics: metrics,
+			GOOS: goos, GOARCH: goarch, CPU: cpu})
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
