@@ -13,8 +13,10 @@
 #                      interpreted vs compiled vs compiled+parallel Q3
 #                      labeling on the skyband and SQL-EXISTS workloads,
 #                      emitted as BENCH_PR4.json
+#   make bench-ingest  refresh-vs-reregister after 1% append deltas
+#                      (evals/op and wall time), emitted as BENCH_PR5.json
 #   make fuzz-smoke    brief run of every native fuzzer (parser round-trip,
-#                      lexer) — the CI crash gate
+#                      lexer, live delta parser) — the CI crash gate
 #   make bench-full    3-second benchmark pass (slow; for recorded numbers)
 
 GO ?= go
@@ -24,7 +26,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate fuzz-smoke
+.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate bench-ingest fuzz-smoke
 
 check: build vet api-check docs-check race
 
@@ -84,13 +86,22 @@ bench-predicate:
 		| $(GO) run ./tools/benchjson > BENCH_PR4.json
 	@cat BENCH_PR4.json
 
-# Brief run of each native fuzzer: the parser/renderer round-trip property
-# and lexer crash-safety. Failures persist a reproducer under
-# internal/sql/testdata/fuzz/.
+# Streaming-ingestion benchmarks: predicate evaluations and wall time per
+# 1% append delta, maintained refresh vs naive re-register + re-estimate.
+bench-ingest:
+	$(GO) test -run '^$$' -bench '^Benchmark(Refresh|Reregister)Delta$$' -benchtime 3x ./lsample/ \
+		| $(GO) run ./tools/benchjson > BENCH_PR5.json
+	@cat BENCH_PR5.json
+
+# Brief run of each native fuzzer: the parser/renderer round-trip property,
+# lexer crash-safety, and the live delta-batch parser (CSV + NDJSON)
+# against a real keyed table. Failures persist a reproducer under the
+# package's testdata/fuzz/.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/sql/
 	$(GO) test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/sql/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseDelta$$' -fuzztime $(FUZZTIME) ./internal/live/
 
 # One pass over the counting-service benchmark (cold vs warm cache),
 # emitted as BENCH_serve.json.

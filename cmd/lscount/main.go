@@ -19,12 +19,29 @@
 // one shared sample and the result is printed as a per-group table
 // (methods srs, lss, oracle).
 //
+// Delta replay mode: add -delta to the ad-hoc form to load the CSV into a
+// live table and replay a change stream against it, refreshing the
+// estimate after every applied batch. Each step prints the pinned version,
+// the delta size, and — the paper's cost unit — how many fresh predicate
+// evaluations the refresh spent versus how many it answered from the label
+// memo; the final line compares the total against the cold (relabel-all)
+// price a naive re-register loop would have paid per step.
+//
+//	lscount -sql '...' -csv base.csv -schema id:int,f1:float -key id \
+//	        -delta changes.ndjson -delta-batch 500 -method lss -budget 0.1
+//
+// The delta file is CSV (header row, append-only) or NDJSON (one
+// {"op":"append|update|delete","key":...,"row":{...}} per line), chosen by
+// -delta-format or the file extension. -aux name=schema=path (repeatable)
+// loads additional static side tables for multi-table queries.
+//
 // Flags (common): -method srs|ssp|ssn|lws|lss|qlcc|qlac|oracle,
 // -budget frac, -seed n, -classifier rf|knn|nn|random, -strata h,
 // -interval wald|wilson (Wilson score intervals for the srs proportion
 // estimator, per WithInterval), -p parallelism. Calibrated mode adds
 // -dataset, -rows, -size, -expensive; ad-hoc mode adds -sql, -csv,
-// -schema, -param (repeatable), -exact. Run lscount -h for details.
+// -schema, -param (repeatable), -exact, -aux; delta replay adds -delta,
+// -delta-format, -delta-batch, -key. Run lscount -h for details.
 package main
 
 import (
@@ -61,9 +78,16 @@ func main() {
 		csvPath   = flag.String("csv", "", "ad-hoc mode: CSV file with a header row")
 		schemaStr = flag.String("schema", "", "ad-hoc mode: CSV schema, e.g. id:int,x:float,y:float")
 		exact     = flag.Bool("exact", false, "ad-hoc mode: also compute the true count (evaluates q on every object)")
+
+		deltaPath   = flag.String("delta", "", "delta replay mode: change stream to replay against the -csv table (CSV or NDJSON)")
+		deltaFormat = flag.String("delta-format", "", "delta format: csv or ndjson (default: by -delta file extension)")
+		deltaBatch  = flag.Int("delta-batch", 500, "delta rows applied per refresh step")
+		keyCol      = flag.String("key", "", "delta replay mode: unique int key column of the -csv table (default: its first int column)")
 	)
 	var params paramFlags
 	flag.Var(&params, "param", "ad-hoc mode: query parameter as name=value; numeric values bind as numbers, 'quoted' values as strings (repeatable)")
+	var aux auxFlags
+	flag.Var(&aux, "aux", "ad-hoc mode: additional static table as name=schema=path (repeatable)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -84,6 +108,11 @@ func main() {
 	}
 
 	if *sqlQuery != "" {
+		if *deltaPath != "" {
+			runDeltaReplay(ctx, *sqlQuery, *csvPath, *schemaStr, *keyCol,
+				*deltaPath, *deltaFormat, *deltaBatch, aux, params, opts)
+			return
+		}
 		runSQL(ctx, *sqlQuery, *csvPath, *schemaStr, params, *exact, opts)
 		return
 	}

@@ -9,9 +9,17 @@
 // Endpoints (see internal/service):
 //
 //	POST /v1/count     {"sql": "...", "params": {"k": 25}, "method": "lss", "interval": "wilson"}
-//	GET  /v1/datasets  list registered datasets
-//	POST /v1/datasets  upload CSV (?name=D&schema=id:int,x:float)
-//	GET  /v1/stats     metrics: cache hits, admissions, predicate evals
+//	GET  /v1/datasets  list registered datasets (live datasets are flagged)
+//	POST /v1/datasets  upload CSV (?name=D&schema=id:int,x:float); add
+//	                   &live=1&key=id to register a live dataset that
+//	                   accepts streaming deltas
+//	POST /v1/ingest    stream a delta into a live dataset (?name=D; body
+//	                   text/csv for appends or application/x-ndjson for
+//	                   append/update/delete ops); each ingest publishes a
+//	                   new dataset version, so cached results over the old
+//	                   data are never served
+//	GET  /v1/stats     metrics: cache hits, admissions, predicate evals,
+//	                   ingest counters (requests, rows, batches, errors)
 //	GET  /healthz      liveness
 //
 // A GROUP BY request — "sql" of the form SELECT g, COUNT(*) FROM (...)

@@ -221,6 +221,37 @@ func (t *Table) StringsAt(col int) []string {
 	return t.strs[col]
 }
 
+// Prefix returns a view of the first n rows that shares t's column storage
+// (no row data is copied). The view is the snapshot primitive of the live
+// layer: a parent table may keep appending rows at positions ≥ n — appends
+// never write below an already-published length — while every prefix view
+// stays a stable, immutable relation. The caller must treat the view as
+// read-only (never AppendRow to it) and must guarantee the parent never
+// mutates rows below n in place.
+func (t *Table) Prefix(n int) *Table {
+	if n < 0 || n > t.n {
+		panic(fmt.Sprintf("dataset: prefix %d out of range [0, %d]", n, t.n))
+	}
+	nt := &Table{
+		Name:   t.Name,
+		schema: t.schema,
+		floats: make(map[int][]float64, len(t.floats)),
+		ints:   make(map[int][]int64, len(t.ints)),
+		strs:   make(map[int][]string, len(t.strs)),
+		n:      n,
+	}
+	for i, c := range t.floats {
+		nt.floats[i] = c[:n]
+	}
+	for i, c := range t.ints {
+		nt.ints[i] = c[:n]
+	}
+	for i, c := range t.strs {
+		nt.strs[i] = c[:n]
+	}
+	return nt
+}
+
 // Features extracts the named numeric columns into row-major feature
 // vectors, the format consumed by internal/learn classifiers.
 func (t *Table) Features(cols ...string) ([][]float64, error) {

@@ -1,0 +1,63 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseDelta feeds arbitrary bytes through both delta decoders and
+// applies every parsed batch to a real keyed table: the parser and
+// Table.Apply must never panic, a reported success must leave the table
+// consistent with the returned summary, and storage invariants (key index
+// covering exactly the live rows) must hold afterwards.
+func FuzzParseDelta(f *testing.F) {
+	f.Add([]byte("id,x,tag\n1,1.5,a\n2,2.5,b\n"), true)
+	f.Add([]byte("id,x,tag\n1,notanumber,a\n"), true)
+	f.Add([]byte(`{"op":"append","row":{"id":1,"x":1.5,"tag":"a"}}`), false)
+	f.Add([]byte(`{"op":"update","key":1,"row":{"id":1,"x":2.5,"tag":"b"}}`), false)
+	f.Add([]byte(`{"op":"delete","key":1}`), false)
+	f.Add([]byte("{\"op\":\"append\",\"row\":{\"id\":1,\"x\":1e309,\"tag\":\"a\"}}\n{\"op\":\"delete\",\"key\":1}"), false)
+	f.Add([]byte("\xff\xfe{]"), false)
+	f.Add([]byte("id,x,tag\n9223372036854775807,0,z\n"), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, asCSV bool) {
+		format := NDJSON
+		if asCSV {
+			format = CSV
+		}
+		lt, err := New("F", testSchema, "id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Seed a few rows so updates/deletes can hit existing keys.
+		for i := int64(0); i < 4; i++ {
+			if err := lt.Append(i, float64(i), "seed"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum, err := ParseDelta(testSchema, format, bytes.NewReader(data), 3, func(b *Batch) error {
+			_, aerr := lt.Apply(b)
+			return aerr
+		})
+		// Whether or not parsing succeeded, committed batches must leave a
+		// consistent table: live rows = seeds + appended − deleted, and a
+		// snapshot must materialize without panicking.
+		want := 4 + sum.Appended - sum.Deleted
+		if got := lt.NumRows(); got != want {
+			t.Fatalf("live rows = %d, want %d (summary %+v, err %v)", got, want, sum, err)
+		}
+		s := lt.Snapshot()
+		if s.Tab.NumRows() != want {
+			t.Fatalf("snapshot rows = %d, want %d", s.Tab.NumRows(), want)
+		}
+		// Every snapshot key unique (the keyed-table invariant).
+		seen := make(map[int64]bool, s.Rows)
+		for r := 0; r < s.Rows; r++ {
+			k := s.Tab.Int(r, 0)
+			if seen[k] {
+				t.Fatalf("duplicate key %d in snapshot", k)
+			}
+			seen[k] = true
+		}
+	})
+}

@@ -1,0 +1,21 @@
+package live
+
+// Mix64 hashes a sequence of 64-bit words with splitmix64 finalization at
+// every step. The refresh sampler uses it to give each (seed, purpose, key)
+// a deterministic, platform-independent uniform draw: sample membership is
+// then a pure function of the snapshot and the seed, which is what makes an
+// incremental refresh byte-identical to a cold re-estimate over the same
+// state.
+func Mix64(words ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		h ^= w
+		h += 0x9e3779b97f4a7c15
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}

@@ -1,0 +1,326 @@
+package live
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+var testSchema = dataset.Schema{
+	{Name: "id", Kind: dataset.Int},
+	{Name: "x", Kind: dataset.Float},
+	{Name: "tag", Kind: dataset.String},
+}
+
+func newTestTable(t *testing.T) *Table {
+	t.Helper()
+	lt, err := New("D", testSchema, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lt
+}
+
+func TestAppendOnlySnapshotsArePrefixes(t *testing.T) {
+	lt := newTestTable(t)
+	for i := 0; i < 10; i++ {
+		if err := lt.Append(int64(i), float64(i)*1.5, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1 := lt.Snapshot()
+	if s1.Rows != 10 || s1.Tab.NumRows() != 10 {
+		t.Fatalf("snapshot rows = %d/%d, want 10", s1.Rows, s1.Tab.NumRows())
+	}
+	for i := 0; i < 100; i++ {
+		if err := lt.Append(int64(10+i), float64(i), "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := lt.Snapshot()
+	if !PrefixExtends(s1, s2) {
+		t.Fatalf("append-only snapshots should be prefix extensions (epochs %d vs %d)", s1.Epoch, s2.Epoch)
+	}
+	if s2.Rows != 110 {
+		t.Fatalf("s2 rows = %d, want 110", s2.Rows)
+	}
+	// The older snapshot must be unaffected by later appends.
+	if s1.Tab.NumRows() != 10 {
+		t.Fatalf("s1 mutated: rows = %d", s1.Tab.NumRows())
+	}
+	for i := 0; i < 10; i++ {
+		if got := s1.Tab.Int(i, 0); got != int64(i) {
+			t.Fatalf("s1 row %d id = %d, want %d", i, got, i)
+		}
+		if got := s2.Tab.Int(i, 0); got != int64(i) {
+			t.Fatalf("s2 prefix row %d id = %d, want %d", i, got, i)
+		}
+	}
+	if s1.Version == s2.Version {
+		t.Fatal("versions must differ across batches")
+	}
+}
+
+func TestUpdateDeleteCompaction(t *testing.T) {
+	lt := newTestTable(t)
+	for i := 0; i < 5; i++ {
+		if err := lt.Append(int64(i), float64(i), "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1 := lt.Snapshot()
+	_, err := lt.Apply(&Batch{Rows: []Row{
+		{Op: OpUpdate, Key: 2, Vals: []any{int64(2), 99.0, "upd"}},
+		{Op: OpDelete, Key: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := lt.Snapshot()
+	if PrefixExtends(s1, s2) {
+		t.Fatal("update/delete must bump the epoch")
+	}
+	if s2.Rows != 4 {
+		t.Fatalf("rows after delete = %d, want 4", s2.Rows)
+	}
+	// The updated row's new values must be visible; the deleted key gone.
+	found := false
+	for r := 0; r < s2.Tab.NumRows(); r++ {
+		switch s2.Tab.Int(r, 0) {
+		case 2:
+			found = true
+			if s2.Tab.Float(r, 1) != 99.0 || s2.Tab.Str(r, 2) != "upd" {
+				t.Fatalf("update not applied: %v %q", s2.Tab.Float(r, 1), s2.Tab.Str(r, 2))
+			}
+		case 4:
+			t.Fatal("deleted key 4 still visible")
+		}
+	}
+	if !found {
+		t.Fatal("key 2 missing after update")
+	}
+	// The old snapshot still shows the original data.
+	if s1.Tab.NumRows() != 5 || s1.Tab.Float(2, 1) != 2.0 {
+		t.Fatal("old snapshot changed by compaction")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	lt := newTestTable(t)
+	if err := lt.Append(int64(1), 1.0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		b    *Batch
+		want string
+	}{
+		{"dup key", &Batch{Rows: []Row{{Op: OpAppend, Vals: []any{int64(1), 2.0, "b"}}}}, "existing key"},
+		{"update missing", &Batch{Rows: []Row{{Op: OpUpdate, Key: 9, Vals: []any{int64(9), 2.0, "b"}}}}, "unknown key"},
+		{"delete missing", &Batch{Rows: []Row{{Op: OpDelete, Key: 9}}}, "unknown key"},
+		{"key mismatch", &Batch{Rows: []Row{{Op: OpUpdate, Key: 1, Vals: []any{int64(2), 2.0, "b"}}}}, "does not match"},
+		{"bad kind", &Batch{Rows: []Row{{Op: OpAppend, Vals: []any{int64(2), "no", "b"}}}}, "wants float64"},
+		{"short row", &Batch{Rows: []Row{{Op: OpAppend, Vals: []any{int64(2)}}}}, "schema has"},
+	}
+	for _, tc := range cases {
+		v := lt.Version()
+		if _, err := lt.Apply(tc.b); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+		if lt.Version() != v {
+			t.Errorf("%s: failed batch bumped the version", tc.name)
+		}
+	}
+	// A batch that fails validation must not apply any of its rows.
+	if _, err := lt.Apply(&Batch{Rows: []Row{
+		{Op: OpAppend, Vals: []any{int64(5), 5.0, "ok"}},
+		{Op: OpAppend, Vals: []any{int64(5), 5.0, "dup"}},
+	}}); err == nil {
+		t.Fatal("want duplicate-key error")
+	}
+	if got := lt.NumRows(); got != 1 {
+		t.Fatalf("partial batch applied: rows = %d, want 1", got)
+	}
+	// Within-batch append→update→delete of the same key is legal.
+	if _, err := lt.Apply(&Batch{Rows: []Row{
+		{Op: OpAppend, Vals: []any{int64(7), 7.0, "n"}},
+		{Op: OpUpdate, Key: 7, Vals: []any{int64(7), 7.5, "n2"}},
+		{Op: OpDelete, Key: 7},
+	}}); err != nil {
+		t.Fatalf("append→update→delete in one batch: %v", err)
+	}
+	if got := lt.NumRows(); got != 1 {
+		t.Fatalf("rows = %d, want 1", got)
+	}
+}
+
+func TestKeylessTableRejectsMutations(t *testing.T) {
+	lt, err := New("E", testSchema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Append(int64(1), 1.0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Append(int64(1), 1.0, "a"); err != nil {
+		t.Fatalf("key-less table must allow duplicate values: %v", err)
+	}
+	if _, err := lt.Apply(&Batch{Rows: []Row{{Op: OpUpdate, Key: 1, Vals: []any{int64(1), 2.0, "b"}}}}); err == nil {
+		t.Fatal("update on key-less table must fail")
+	}
+	if _, err := lt.Apply(&Batch{Rows: []Row{{Op: OpDelete, Key: 1}}}); err == nil {
+		t.Fatal("delete on key-less table must fail")
+	}
+}
+
+// TestConcurrentAppendAndSnapshotReads hammers appends against snapshot
+// reads; run under -race this pins the shared-prefix publication as
+// race-clean.
+func TestConcurrentAppendAndSnapshotReads(t *testing.T) {
+	lt := newTestTable(t)
+	for i := 0; i < 64; i++ {
+		if err := lt.Append(int64(i), float64(i), "seed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 64; i < 20000; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := lt.Append(int64(i), float64(i), "w"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for k := 0; k < 50; k++ {
+				s := lt.Snapshot()
+				sum := 0.0
+				for r := 0; r < s.Tab.NumRows(); r++ {
+					sum += s.Tab.Float(r, 1)
+					if s.Tab.Int(r, 0) != int64(r) {
+						t.Errorf("row %d id = %d", r, s.Tab.Int(r, 0))
+						return
+					}
+				}
+				_ = sum
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	<-writerDone
+}
+
+func TestParseDeltaCSV(t *testing.T) {
+	lt := newTestTable(t)
+	in := "id,x,tag\n1,1.5,a\n2,2.5,b\n3,3.5,c\n"
+	sum, err := ParseDelta(testSchema, CSV, strings.NewReader(in), 2, func(b *Batch) error {
+		_, err := lt.Apply(b)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Appended != 3 || sum.Batches != 2 {
+		t.Fatalf("summary = %+v, want 3 appended in 2 batches", sum)
+	}
+	if lt.NumRows() != 3 {
+		t.Fatalf("rows = %d", lt.NumRows())
+	}
+	// Bad header, bad cell.
+	if _, err := ParseDelta(testSchema, CSV, strings.NewReader("id,y,tag\n"), 0, nil); err == nil {
+		t.Fatal("want header mismatch error")
+	}
+	if _, err := ParseDelta(testSchema, CSV, strings.NewReader("id,x,tag\nnope,1,a\n"), 0,
+		func(*Batch) error { return nil }); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestParseDeltaNDJSON(t *testing.T) {
+	lt := newTestTable(t)
+	in := `{"op":"append","row":{"id":1,"x":1.5,"tag":"a"}}
+{"row":{"id":2,"x":2.5,"tag":"b"}}
+
+{"op":"update","key":1,"row":{"id":1,"x":9.5,"tag":"a2"}}
+{"op":"delete","key":2}
+`
+	sum, err := ParseDelta(testSchema, NDJSON, strings.NewReader(in), 0, func(b *Batch) error {
+		_, err := lt.Apply(b)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Appended != 2 || sum.Updated != 1 || sum.Deleted != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	s := lt.Snapshot()
+	if s.Rows != 1 || s.Tab.Int(0, 0) != 1 || s.Tab.Float(0, 1) != 9.5 {
+		t.Fatalf("final state wrong: rows=%d", s.Rows)
+	}
+
+	bad := []string{
+		`{"op":"nope"}`,
+		`{"op":"append"}`,
+		`{"op":"update","row":{"id":1,"x":1,"tag":"a"}}`,
+		`{"op":"delete"}`,
+		`{"op":"delete","key":1,"row":{"id":1,"x":1,"tag":"a"}}`,
+		`{"op":"append","row":{"id":1,"x":1}}`,
+		`{"op":"append","row":{"id":1,"x":1,"tag":"a","extra":1}}`,
+		`{"op":"append","row":{"id":1.5,"x":1,"tag":"a"}}`,
+		`{"unknown":true}`,
+	}
+	for _, line := range bad {
+		if _, err := ParseDelta(testSchema, NDJSON, strings.NewReader(line), 0,
+			func(*Batch) error { return nil }); err == nil {
+			t.Errorf("line %q: want error", line)
+		}
+	}
+}
+
+// TestParseDeltaMidStreamFailure pins the durability contract: batches
+// applied before the failing line stay applied and are reported in the
+// summary returned alongside the error.
+func TestParseDeltaMidStreamFailure(t *testing.T) {
+	lt := newTestTable(t)
+	in := "id,x,tag\n1,1.0,a\n2,2.0,b\nbroken,x,y\n"
+	sum, err := ParseDelta(testSchema, CSV, strings.NewReader(in), 1, func(b *Batch) error {
+		_, err := lt.Apply(b)
+		return err
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if sum.Appended != 2 {
+		t.Fatalf("committed summary = %+v, want 2 appended", sum)
+	}
+	if lt.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", lt.NumRows())
+	}
+}
+
+func TestMix64Deterministic(t *testing.T) {
+	a := Mix64(1, 2, 3)
+	b := Mix64(1, 2, 3)
+	if a != b {
+		t.Fatal("Mix64 not deterministic")
+	}
+	if Mix64(1, 2, 3) == Mix64(1, 2, 4) || Mix64(0) == Mix64(1) {
+		t.Fatal("Mix64 collides on trivial inputs")
+	}
+}

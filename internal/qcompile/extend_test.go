@@ -1,0 +1,136 @@
+package qcompile
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/sql"
+)
+
+// prefixCatalog deep-copies cat truncated to rows[name] rows per table,
+// simulating an older snapshot whose storage the newer one extends.
+func prefixCatalog(t *testing.T, cat engine.Catalog, rows map[string]int) engine.Catalog {
+	t.Helper()
+	out := make(engine.Catalog, len(cat))
+	for name, tab := range cat {
+		out[name] = tab.Prefix(rows[name])
+	}
+	return out
+}
+
+// compileAt decomposes query and compiles it against cat.
+func compileAt(t *testing.T, cat engine.Catalog, query string) (*engine.Decomposed, *Program) {
+	t.Helper()
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	dec, err := engine.Decompose(engine.ExtractInner(stmt))
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	prog, err := Compile(dec, cat)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return dec, prog
+}
+
+// TestExtendMatchesFreshCompile pins the delta-patching contract: a program
+// compiled against a prefix of the data and Extended with the delta rows
+// labels every object exactly like a program compiled fresh against the
+// full data — on an equi-join query whose inner table is hash-indexed.
+func TestExtendMatchesFreshCompile(t *testing.T) {
+	const query = `SELECT d.id FROM D d, R r
+		WHERE r.key = d.id AND r.v < 5.0
+		GROUP BY d.id HAVING COUNT(*) > 2`
+
+	full := engine.Catalog{"D": buildD(t, 200, 3), "R": buildR(t, 2000, 200, 4)}
+	oldRows := map[string]int{"D": 150, "R": 1500}
+	oldCat := prefixCatalog(t, full, oldRows)
+
+	dec, patched := compileAt(t, oldCat, query)
+	if patched.Indexes() == 0 {
+		t.Fatal("test query should hash-index R")
+	}
+	if err := patched.Extend(full, oldRows); err != nil {
+		t.Fatalf("extend: %v", err)
+	}
+
+	_, fresh := compileAt(t, full, query)
+
+	ev := engine.NewEvaluator(full)
+	objects, err := ev.Run(dec.Objects, nil)
+	if err != nil {
+		t.Fatalf("objects: %v", err)
+	}
+	pb, err := patched.Bind(nil, objects)
+	if err != nil {
+		t.Fatalf("bind patched: %v", err)
+	}
+	fb, err := fresh.Bind(nil, objects)
+	if err != nil {
+		t.Fatalf("bind fresh: %v", err)
+	}
+	interp := ev.ObjectPredicate(dec, objects)
+	pe, fe := pb.NewEvalFn(), fb.NewEvalFn()
+	for i := 0; i < objects.NumRows(); i++ {
+		want, err := interp(i)
+		if err != nil {
+			t.Fatalf("interpreter failed on object %d: %v", i, err)
+		}
+		if got := pe(i); got != want {
+			t.Fatalf("object %d: patched=%v interpreted=%v", i, got, want)
+		}
+		if got := fe(i); got != want {
+			t.Fatalf("object %d: fresh=%v interpreted=%v", i, got, want)
+		}
+	}
+}
+
+// TestExtendRejectsNaNDelta pins that a delta row violating a
+// compilability invariant (NaN in an indexed float column) surfaces as
+// Unsupported, exactly as Compile would decide over the full table.
+func TestExtendRejectsNaNDelta(t *testing.T) {
+	mk := func(n int, withNaN bool) *dataset.Table {
+		tab := dataset.New("S", dataset.Schema{
+			{Name: "g", Kind: dataset.Int},
+			{Name: "w", Kind: dataset.Float},
+		})
+		r := rand.New(rand.NewSource(9))
+		for i := 0; i < n; i++ {
+			tab.MustAppendRow(int64(i%20), r.Float64())
+		}
+		if withNaN {
+			tab.MustAppendRow(int64(999), math.NaN())
+		}
+		return tab
+	}
+	obj := dataset.New("O", dataset.Schema{{Name: "id", Kind: dataset.Int}})
+	for i := 0; i < 20; i++ {
+		obj.MustAppendRow(int64(i))
+	}
+	const query = `SELECT o.id FROM O o, S s
+		WHERE s.w = o.id
+		GROUP BY o.id HAVING COUNT(*) > 1`
+
+	oldCat := engine.Catalog{"O": obj, "S": mk(100, false)}
+	dec, prog := compileAt(t, oldCat, query)
+	_ = dec
+	if prog.Indexes() == 0 {
+		t.Fatal("test query should hash-index S.w")
+	}
+	newCat := engine.Catalog{"O": obj, "S": mk(100, true)}
+	err := prog.Extend(newCat, map[string]int{"O": obj.NumRows(), "S": 100})
+	if err == nil {
+		t.Fatal("want NaN delta rejection")
+	}
+	var uns *Unsupported
+	if !errors.As(err, &uns) {
+		t.Fatalf("want *Unsupported, got %T: %v", err, err)
+	}
+}

@@ -104,6 +104,7 @@ type probePlan struct {
 // interpreter's nested loop exactly).
 type aliasPlan struct {
 	name    string
+	tabName string // catalog name of the bound table (for delta patching)
 	tab     *dataset.Table
 	probe   *probePlan // nil means scan all rows
 	filters []sql.Expr // conjuncts decided at this depth
@@ -133,6 +134,11 @@ type Program struct {
 	threshold sql.Expr // per-object-constant right-hand side
 
 	objCols []string // o.* columns the predicate reads
+
+	// floatGroupChecks are the float GROUP BY columns whose values Compile
+	// scanned for NaN/-0 (which would break the single-group plan); Extend
+	// re-runs the scan over delta rows only.
+	floatGroupChecks []refInfo
 
 	// resolution context, reused by Bind's typed lowering
 	aliasNames []string
@@ -193,7 +199,7 @@ func Compile(dec *engine.Decomposed, cat engine.Catalog) (*Program, error) {
 			return nil, unsupportedf("duplicate FROM alias %q", name)
 		}
 		seen[name] = true
-		p.aliases = append(p.aliases, aliasPlan{name: name, tab: tab})
+		p.aliases = append(p.aliases, aliasPlan{name: name, tabName: tr.Name, tab: tab})
 		p.aliasNames = append(p.aliasNames, name)
 	}
 
@@ -313,6 +319,7 @@ func Compile(dec *engine.Decomposed, cat engine.Catalog) (*Program, error) {
 					return nil, unsupportedf("GROUP BY column %s contains NaN or -0", cr.String())
 				}
 			}
+			p.floatGroupChecks = append(p.floatGroupChecks, ref)
 		}
 	}
 

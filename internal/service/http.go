@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 
 	"repro/lsample"
 )
@@ -13,8 +14,12 @@ import (
 //
 //	POST /v1/count     JSON CountRequest -> CountResult
 //	GET  /v1/datasets  list registered datasets
-//	POST /v1/datasets  upload a CSV dataset (?name=D&schema=id:int,x:float)
-//	GET  /v1/stats     metrics snapshot
+//	POST /v1/datasets  upload a CSV dataset (?name=D&schema=id:int,x:float);
+//	                   add &live=1 (and optionally &key=id) to register it
+//	                   as a live dataset accepting /v1/ingest deltas
+//	POST /v1/ingest    stream a delta batch into a live dataset
+//	                   (?name=D, body text/csv or application/x-ndjson)
+//	GET  /v1/stats     metrics snapshot (including ingest counters)
 //	GET  /healthz      liveness probe
 //
 // Every error response is the JSON envelope
@@ -28,6 +33,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/count", s.handleCount)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -56,21 +62,69 @@ func (s *Service) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Service) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
+	qp := r.URL.Query()
+	name := qp.Get("name")
 	if name == "" {
 		writeError(w, badf("missing ?name="))
 		return
 	}
-	t, err := lsample.ReadCSV(name, r.URL.Query().Get("schema"),
-		http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	if qp.Get("live") == "1" || qp.Get("live") == "true" {
+		// Live upload: the CSV seeds a mutable dataset that /v1/ingest can
+		// keep appending to. The body is stream-parsed in bounded batches,
+		// never buffered whole.
+		lt, err := lsample.NewLiveTable(name, qp.Get("schema"), qp.Get("key"))
+		if err != nil {
+			writeError(w, mapSDKErr(err))
+			return
+		}
+		if _, err := lt.ApplyDelta("csv", body, 0); err != nil {
+			writeError(w, mapSDKErr(err))
+			return
+		}
+		v := s.RegisterLiveTable(lt)
+		writeJSON(w, http.StatusOK, DatasetInfo{
+			Name: name, Rows: lt.NumRows(), Cols: lt.NumCols(), Version: v, Live: true,
+		})
+		return
+	}
+	t, err := lsample.ReadCSV(name, qp.Get("schema"), body)
 	if err != nil {
 		writeError(w, mapSDKErr(err))
 		return
 	}
-	v := s.Registry.Register(t)
+	v := s.RegisterTable(t)
 	writeJSON(w, http.StatusOK, DatasetInfo{
 		Name: name, Rows: t.NumRows(), Cols: t.NumCols(), Version: v,
 	})
+}
+
+// handleIngest streams a delta into a live dataset. The format comes from
+// ?format= when present, otherwise from the Content-Type (text/csv or
+// application/x-ndjson; CSV is the default). The body is parsed and applied
+// in bounded batches under the usual upload size cap.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	name := qp.Get("name")
+	if name == "" {
+		writeError(w, badf("missing ?name="))
+		return
+	}
+	format := qp.Get("format")
+	if format == "" {
+		switch ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";"); strings.TrimSpace(ct) {
+		case "application/x-ndjson", "application/ndjson", "application/jsonl":
+			format = "ndjson"
+		default:
+			format = "csv"
+		}
+	}
+	res, err := s.Ingest(name, format, http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -16,6 +16,10 @@ type Metrics struct {
 	PredicateEvals atomic.Int64 // expensive-predicate evaluations spent
 	EstimateNanos  atomic.Int64 // wall time spent inside estimation
 	PredicateNanos atomic.Int64 // wall time spent inside the predicate q
+	IngestRequests atomic.Int64 // /v1/ingest requests received
+	IngestRows     atomic.Int64 // delta rows committed (appends+updates+deletes)
+	IngestBatches  atomic.Int64 // delta batches committed
+	IngestErrors   atomic.Int64 // ingest requests that failed (possibly mid-stream)
 }
 
 // MetricsSnapshot is the JSON form of Metrics.
@@ -29,6 +33,10 @@ type MetricsSnapshot struct {
 	PredicateEvals int64   `json:"predicate_evals"`
 	EstimateMS     float64 `json:"estimate_ms"`
 	PredicateMS    float64 `json:"predicate_ms"` // cumulative wall time inside q
+	IngestRequests int64   `json:"ingest_requests"`
+	IngestRows     int64   `json:"ingest_rows"`
+	IngestBatches  int64   `json:"ingest_batches"`
+	IngestErrors   int64   `json:"ingest_errors"`
 }
 
 // Snapshot copies the current counter values.
@@ -43,5 +51,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		PredicateEvals: m.PredicateEvals.Load(),
 		EstimateMS:     float64(m.EstimateNanos.Load()) / 1e6,
 		PredicateMS:    float64(m.PredicateNanos.Load()) / 1e6,
+		IngestRequests: m.IngestRequests.Load(),
+		IngestRows:     m.IngestRows.Load(),
+		IngestBatches:  m.IngestBatches.Load(),
+		IngestErrors:   m.IngestErrors.Load(),
 	}
 }

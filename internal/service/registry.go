@@ -9,10 +9,14 @@ import (
 	"repro/lsample"
 )
 
-// Registry is the shared, thread-safe dataset catalog. Tables are immutable
-// once registered (the engine only reads them); replacing a table under the
-// same name bumps a monotonic version, which cache keys incorporate so
-// stale results can never be served after a reload.
+// Registry is the shared, thread-safe dataset catalog. Served tables are
+// immutable snapshots (the engine only reads them); replacing a table under
+// the same name bumps a monotonic version, which cache keys incorporate so
+// stale results can never be served after a reload. Live datasets register
+// their mutable LiveTable alongside the current pinned snapshot: ingestion
+// applies deltas to the live table and Repin publishes the new snapshot
+// under a fresh version, giving streaming updates the same cache-soundness
+// as full re-registration.
 type Registry struct {
 	mu      sync.RWMutex
 	tables  map[string]*tableEntry
@@ -22,6 +26,7 @@ type Registry struct {
 type tableEntry struct {
 	t       *lsample.Table
 	version uint64
+	live    *lsample.LiveTable // nil for static registrations
 }
 
 // NewRegistry returns an empty registry.
@@ -37,6 +42,44 @@ func (r *Registry) Register(t *lsample.Table) uint64 {
 	r.tables[t.Name()] = &tableEntry{t: t, version: v}
 	r.mu.Unlock()
 	return v
+}
+
+// RegisterLive adds or replaces a live dataset, serving its current pinned
+// snapshot. Later ingests mutate the live table and Repin the entry.
+func (r *Registry) RegisterLive(lt *lsample.LiveTable) uint64 {
+	v := r.counter.Add(1)
+	r.mu.Lock()
+	r.tables[lt.Name()] = &tableEntry{t: lt.Snapshot(), version: v, live: lt}
+	r.mu.Unlock()
+	return v
+}
+
+// Live returns the named dataset's live table, if it was registered live.
+func (r *Registry) Live(name string) (*lsample.LiveTable, bool) {
+	r.mu.RLock()
+	e, ok := r.tables[name]
+	r.mu.RUnlock()
+	if !ok || e.live == nil {
+		return nil, false
+	}
+	return e.live, true
+}
+
+// Repin publishes the live dataset's newest snapshot under a fresh
+// version; requests started against the previous pin keep their snapshot.
+// lt must still be the registered live table — a mismatch means the
+// dataset was re-registered concurrently (the ingested rows went to an
+// orphaned table) and Repin refuses rather than publishing the wrong data.
+func (r *Registry) Repin(name string, lt *lsample.LiveTable) (uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.tables[name]
+	if !ok || e.live == nil || e.live != lt {
+		return 0, false
+	}
+	v := r.counter.Add(1)
+	r.tables[name] = &tableEntry{t: e.live.Snapshot(), version: v, live: e.live}
+	return v, true
 }
 
 // Get returns the named table and its registration version.
@@ -56,6 +99,7 @@ type DatasetInfo struct {
 	Rows    int    `json:"rows"`
 	Cols    int    `json:"cols"`
 	Version uint64 `json:"version"`
+	Live    bool   `json:"live,omitempty"` // accepts /v1/ingest deltas
 }
 
 // List returns all registered tables, sorted by name.
@@ -68,6 +112,7 @@ func (r *Registry) List() []DatasetInfo {
 			Rows:    e.t.NumRows(),
 			Cols:    e.t.NumCols(),
 			Version: e.version,
+			Live:    e.live != nil,
 		})
 	}
 	r.mu.RUnlock()

@@ -537,11 +537,7 @@ func (s *Service) prepared(versions, fp0, sqlText string, snap map[string]*lsamp
 		// Drop entries pinning table snapshots the registry has since
 		// replaced (their versioned keys can never be requested again), and
 		// bound the map crudely — entries are per (data version, query).
-		for k := range s.preps {
-			if s.stalePrep(k) {
-				delete(s.preps, k)
-			}
-		}
+		s.dropStalePrepsLocked()
 		if len(s.preps) >= 64 {
 			clear(s.preps)
 		}
@@ -549,6 +545,34 @@ func (s *Service) prepared(versions, fp0, sqlText string, snap map[string]*lsamp
 	}
 	s.prepMu.Unlock()
 	return prep, nil
+}
+
+// dropStalePreps evicts prepared queries whose keys reference dataset
+// versions the registry no longer serves. It runs on every registration and
+// ingest (not just lazily inside prepared), so superseded snapshots are
+// released as soon as they are superseded — the registry's memory footprint
+// stays proportional to the live version set, not the update history.
+func (s *Service) dropStalePreps() {
+	s.prepMu.Lock()
+	s.dropStalePrepsLocked()
+	s.prepMu.Unlock()
+}
+
+func (s *Service) dropStalePrepsLocked() {
+	for k := range s.preps {
+		if s.stalePrep(k) {
+			delete(s.preps, k)
+		}
+	}
+}
+
+// retainedPrepSnapshots reports how many prepared-query entries (each
+// pinning one consistent set of table snapshots) the service currently
+// retains; tests bound it under repeated re-registration.
+func (s *Service) retainedPrepSnapshots() int {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	return len(s.preps)
 }
 
 // stalePrep reports whether a prepared-query key references any table

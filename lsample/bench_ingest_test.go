@@ -1,0 +1,70 @@
+package lsample
+
+import (
+	"context"
+	"testing"
+)
+
+// The ingest benchmarks answer the PR's headline question: after a 1%
+// append delta, what does a fresh estimate cost? BenchmarkRefreshDelta
+// maintains one LiveQuery and refreshes after each delta — label cost
+// proportional to the delta. BenchmarkReregisterDelta is the pre-live
+// workflow: throw the prepared state away, re-prepare against the new
+// snapshot, estimate from scratch — label cost proportional to the table.
+// Predicate evaluations per op are the paper's cost unit.
+
+const (
+	benchIngestRows  = 3000
+	benchIngestDelta = 30 // 1% per op
+)
+
+// BenchmarkRefreshDelta: one append delta + one incremental Refresh per op.
+func BenchmarkRefreshDelta(b *testing.B) {
+	w := newLiveWorkload(b, benchIngestRows, 61)
+	sess := w.session(b, WithMethod("lss"), WithBudget(0.1), WithSeed(17), WithParallelism(1))
+	lq, err := sess.PrepareLive(liveQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := lq.Refresh(context.Background(), nil); err != nil {
+		b.Fatal(err) // cold start outside the timed loop
+	}
+	b.ResetTimer()
+	var evals int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w.appendItems(b, benchIngestDelta)
+		b.StartTimer()
+		res, err := lq.Refresh(context.Background(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += res.FreshLabels
+	}
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+}
+
+// BenchmarkReregisterDelta: one append delta + one from-scratch estimate
+// per op (fresh session over re-pinned snapshots, as a naive re-register
+// deployment would do).
+func BenchmarkReregisterDelta(b *testing.B) {
+	w := newLiveWorkload(b, benchIngestRows, 61)
+	b.ResetTimer()
+	var evals int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w.appendItems(b, benchIngestDelta)
+		b.StartTimer()
+		frozen := NewMemorySource(w.items.Snapshot(), w.events.Snapshot())
+		sess, err := NewSession(frozen, WithMethod("lss"), WithBudget(0.1), WithSeed(17), WithParallelism(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sess.Count(context.Background(), liveQuery, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += res.SamplesUsed
+	}
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+}

@@ -88,6 +88,10 @@
 //	WithExact(true)       also compute the exact count (slow; for tests)
 //	WithCompilation(b)    predicate compilation for SQL queries (default
 //	                      enabled; disable to force the interpreter)
+//	WithChurnThreshold(f) live refresh only: retrain the classifier/strata
+//	                      when the learn sample drifted past f (default 0.1)
+//	WithRelabel(true)     live refresh only: bypass the label memo — the
+//	                      cold baseline refresh savings are measured against
 //
 // # Predicate compilation
 //
@@ -117,7 +121,50 @@
 // by returning a new *Table and let callers re-Prepare. Shipped
 // implementations: NewMemorySource (in-memory tables), NewCSVSource
 // (lazily loaded CSV files), NewWorkloadSource (the paper's synthetic
-// sports/neighbors generators).
+// sports/neighbors generators), NewLiveSource (live tables resolved to
+// their current pinned snapshot).
+//
+// # Live data and refresh
+//
+// A LiveTable accepts append/update/delete batches (Apply, or streaming
+// CSV/NDJSON via ApplyDelta) while publishing immutable MVCC snapshots:
+// every batch bumps the version, Snapshot pins the current state forever,
+// and appends publish in O(columns) by sharing columnar storage. Register
+// live tables in a LiveSource and use Session.PrepareLive/LiveQuery.Refresh
+// (or the Session.Refresh one-shot) to maintain an estimate across data
+// changes at a labeling price proportional to the delta:
+//
+//	lq, _ := sess.PrepareLive(`SELECT i.id FROM items i, events e
+//		WHERE e.item = i.id GROUP BY i.id HAVING COUNT(*) > 4`)
+//	r, _ := lq.Refresh(ctx, nil) // cold: labels ≈ budget, trains classifier
+//	// ...batches arrive...
+//	r, _ = lq.Refresh(ctx, nil)  // warm: labels ≈ O(delta), memo answers the rest
+//
+// Refresh samples by per-key hashing (not an RNG stream), so sample
+// membership is a pure function of (snapshot, seed) and changes only where
+// the data changed; memoized labels fill everything the delta provably
+// left alone. The label-reuse contract, in decreasing reuse:
+//
+//   - Appends to tables whose every Q3 alias is equality-pinned
+//     (transitively) to the object key — e.g. the injected GL = o.key
+//     correlation, or equi-joins on it — invalidate only the objects the
+//     new rows name: the refresh labels the delta's objects and nothing
+//     else, and compiled hash indexes and feature matrices are patched in
+//     place rather than rebuilt.
+//   - Appends touching an alias that is not key-pinned (e.g. the second
+//     alias of a self-join) may flip any label: the memo is discarded and
+//     that refresh is priced like a cold estimate (InvalidatedAll).
+//   - Updates and deletes compact row storage into a new epoch: likewise a
+//     cold-priced refresh.
+//   - Changing bound parameter values changes the predicate itself: all
+//     maintained state resets.
+//
+// The classifier and strata are retrained only when the learn sample
+// drifts past WithChurnThreshold (so refreshed estimates between retrains
+// are byte-identical to a WithRelabel(true) cold run over the same state);
+// Refresh reports Retrained, InvalidatedAll, FreshLabels, and ReusedLabels
+// so the delta pricing is always visible. Refresh supports methods srs,
+// lss, and oracle — the oracle variant is a delta-priced exact count.
 //
 // # Cancellation and determinism
 //

@@ -1,0 +1,534 @@
+package lsample
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// liveWorkload is the streaming test fixture: an items object table whose
+// label is determined by how many events reference it, so the predicate is
+// hash-indexable, key-correlated, and learnable from (f1, f2).
+type liveWorkload struct {
+	items  *LiveTable
+	events *LiveTable
+	rng    *rand.Rand
+	nextID int64
+}
+
+const liveQuery = `SELECT i.id FROM items i, events e WHERE e.item = i.id GROUP BY i.id HAVING COUNT(*) > 4`
+
+func newLiveWorkload(t testing.TB, n int, seed int64) *liveWorkload {
+	t.Helper()
+	items, err := NewLiveTable("items", "id:int,f1:float,f2:float", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := NewLiveTable("events", "item:int,v:float", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &liveWorkload{items: items, events: events, rng: rand.New(rand.NewSource(seed))}
+	w.appendItems(t, n)
+	return w
+}
+
+// appendItems appends n new items plus their events: item i gets
+// round(f1/12) events, so "more than 4 events" ≈ "f1 ≥ 54" — learnable.
+func (w *liveWorkload) appendItems(t testing.TB, n int) {
+	t.Helper()
+	var ib, eb DeltaBatch
+	for i := 0; i < n; i++ {
+		id := w.nextID
+		w.nextID++
+		f1 := w.rng.Float64() * 100
+		f2 := w.rng.Float64() * 100
+		ib.Append(id, f1, f2)
+		for e := 0; e < int(f1/12); e++ {
+			eb.Append(id, w.rng.Float64()*10)
+		}
+	}
+	if _, err := w.items.Apply(&ib); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Len() > 0 {
+		if _, err := w.events.Apply(&eb); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// addEventsFor appends extra events referencing existing items (which can
+// flip those items' labels).
+func (w *liveWorkload) addEventsFor(t testing.TB, ids []int64, perID int) {
+	t.Helper()
+	var eb DeltaBatch
+	for _, id := range ids {
+		for e := 0; e < perID; e++ {
+			eb.Append(id, w.rng.Float64()*10)
+		}
+	}
+	if _, err := w.events.Apply(&eb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (w *liveWorkload) session(t testing.TB, opts ...Option) *Session {
+	t.Helper()
+	src := NewLiveSource()
+	src.AddLive(w.items)
+	src.AddLive(w.events)
+	sess, err := NewSession(src, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// TestRefreshDeltaPricedAndMatchesCold is the PR's acceptance criterion: on
+// a 1% append delta a refresh spends ≤ 5% of the predicate evaluations of a
+// cold re-estimate over the same state (WithRelabel) while returning the
+// byte-identical estimate.
+func TestRefreshDeltaPricedAndMatchesCold(t *testing.T) {
+	w := newLiveWorkload(t, 3000, 11)
+	sess := w.session(t, WithMethod("lss"), WithBudget(0.1), WithSeed(7), WithParallelism(1))
+	lq, err := sess.PrepareLive(liveQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cold, err := lq.Refresh(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Retrained {
+		t.Fatalf("first refresh must train fresh: %+v", cold)
+	}
+	if cold.FreshLabels < int64(cold.Budget)/2 {
+		t.Fatalf("cold refresh labels = %d, budget %d", cold.FreshLabels, cold.Budget)
+	}
+
+	w.appendItems(t, 30) // 1% append delta
+
+	inc, err := lq.Refresh(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.InvalidatedAll {
+		t.Fatal("append delta must not invalidate the memo")
+	}
+	if inc.Retrained {
+		t.Fatal("1% churn must not retrain under the default threshold")
+	}
+	if inc.DeltaRows == 0 {
+		t.Fatal("delta rows not detected")
+	}
+
+	base, err := lq.Refresh(ctx, nil, WithRelabel(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Count != inc.Count || base.CI.Lo != inc.CI.Lo || base.CI.Hi != inc.CI.Hi {
+		t.Fatalf("refresh estimate %v %v diverged from relabeled cold estimate %v %v",
+			inc.Count, *inc.CI, base.Count, *base.CI)
+	}
+	if base.FreshLabels < int64(base.Budget)/2 {
+		t.Fatalf("relabel baseline spent only %d evals", base.FreshLabels)
+	}
+	limit := base.FreshLabels / 20 // 5%
+	if inc.FreshLabels > limit {
+		t.Fatalf("refresh spent %d evals, want ≤ %d (5%% of cold %d)", inc.FreshLabels, limit, base.FreshLabels)
+	}
+	if inc.ReusedLabels == 0 {
+		t.Fatal("refresh reused no labels")
+	}
+}
+
+// TestRefreshKeyCorrelatedInvalidation pins the join-index insight: events
+// appended for existing items invalidate exactly those items' labels, so
+// the refreshed estimate still matches the relabeled baseline byte for
+// byte while spending only delta-proportional evaluations.
+func TestRefreshKeyCorrelatedInvalidation(t *testing.T) {
+	w := newLiveWorkload(t, 2000, 13)
+	sess := w.session(t, WithMethod("lss"), WithBudget(0.1), WithSeed(3), WithParallelism(1))
+	lq, err := sess.PrepareLive(liveQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := lq.Refresh(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Push 6 extra events to 40 existing items: enough to flip any of them
+	// positive regardless of their old event count.
+	ids := make([]int64, 40)
+	for i := range ids {
+		ids[i] = int64(i * 37 % 2000)
+	}
+	w.addEventsFor(t, ids, 6)
+
+	inc, err := lq.Refresh(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.InvalidatedAll {
+		t.Fatal("key-correlated event appends must not invalidate everything")
+	}
+	base, err := lq.Refresh(ctx, nil, WithRelabel(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Count != base.Count {
+		t.Fatalf("incremental %v != relabeled %v after label-flipping delta", inc.Count, base.Count)
+	}
+	if inc.FreshLabels > base.FreshLabels/5 {
+		t.Fatalf("affected-key refresh spent %d of %d cold evals", inc.FreshLabels, base.FreshLabels)
+	}
+}
+
+// TestRefreshUncorrelatedInvalidatesAll uses a self-join (skyband) query:
+// one alias of D is not pinned to the object key, so any append may flip
+// any label and the refresh must discard the memo — and still match the
+// relabeled baseline.
+func TestRefreshUncorrelatedInvalidatesAll(t *testing.T) {
+	d, err := NewLiveTable("D", "id:int,x:float,y:float", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var b DeltaBatch
+	for i := 0; i < 400; i++ {
+		b.Append(int64(i), rng.Float64()*100, rng.Float64()*100)
+	}
+	if _, err := d.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	src := NewLiveSource()
+	src.AddLive(d)
+	sess, err := NewSession(src, WithMethod("lss"), WithBudget(0.2), WithSeed(9), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sky = `SELECT o1.id FROM D o1, D o2
+		WHERE o2.x >= o1.x AND o2.y >= o1.y AND (o2.x > o1.x OR o2.y > o1.y)
+		GROUP BY o1.id HAVING COUNT(*) < 25`
+	lq, err := sess.PrepareLive(sky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := lq.Refresh(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	var b2 DeltaBatch
+	for i := 400; i < 420; i++ {
+		b2.Append(int64(i), rng.Float64()*100, rng.Float64()*100)
+	}
+	if _, err := d.Apply(&b2); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := lq.Refresh(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.InvalidatedAll {
+		t.Fatal("self-join append must invalidate all labels")
+	}
+	base, err := lq.Refresh(ctx, nil, WithRelabel(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Count != base.Count {
+		t.Fatalf("estimate %v != relabeled %v", inc.Count, base.Count)
+	}
+}
+
+// TestRefreshUpdateDeleteCoarsePath: updates/deletes compact storage (a new
+// epoch), which refresh prices as a cold re-estimate — memo discarded,
+// classifier retrained — but the estimate stays correct.
+func TestRefreshUpdateDeleteCoarsePath(t *testing.T) {
+	w := newLiveWorkload(t, 1000, 17)
+	sess := w.session(t, WithMethod("srs"), WithBudget(0.2), WithSeed(21))
+	lq, err := sess.PrepareLive(liveQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := lq.Refresh(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	var b DeltaBatch
+	b.Update(3, int64(3), 99.0, 1.0)
+	b.Delete(5)
+	if _, err := w.items.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := lq.Refresh(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.InvalidatedAll {
+		t.Fatal("compaction must invalidate the memo")
+	}
+	if inc.Objects != 999 {
+		t.Fatalf("objects = %d, want 999 after one delete", inc.Objects)
+	}
+	base, err := lq.Refresh(ctx, nil, WithRelabel(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Count != base.Count {
+		t.Fatalf("estimate %v != relabeled %v", inc.Count, base.Count)
+	}
+}
+
+// TestRefreshOracleDeltaPriced: the oracle refresh is a delta-priced exact
+// count — after an append delta it matches WithExact ground truth while
+// evaluating only delta-affected objects.
+func TestRefreshOracleDeltaPriced(t *testing.T) {
+	w := newLiveWorkload(t, 800, 23)
+	sess := w.session(t, WithMethod("oracle"), WithSeed(2))
+	lq, err := sess.PrepareLive(liveQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cold, err := lq.Refresh(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FreshLabels != 800 {
+		t.Fatalf("cold oracle labels = %d, want 800", cold.FreshLabels)
+	}
+	w.appendItems(t, 25)
+	inc, err := lq.Refresh(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.FreshLabels != 25 {
+		t.Fatalf("oracle refresh labeled %d objects, want exactly the 25 new ones", inc.FreshLabels)
+	}
+	// Ground truth via a frozen one-shot estimate on the same data.
+	frozen := NewMemorySource(w.items.Snapshot(), w.events.Snapshot())
+	fsess, err := NewSession(frozen, WithMethod("oracle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := fsess.Count(ctx, liveQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Count != truth.Count {
+		t.Fatalf("oracle refresh count %v != ground truth %v", inc.Count, truth.Count)
+	}
+}
+
+// TestRefreshDeterministicAcrossParallelism pins the determinism contract:
+// identical live histories refreshed at p=1, p=4, and p=NumCPU produce
+// byte-identical estimates at every step.
+func TestRefreshDeterministicAcrossParallelism(t *testing.T) {
+	type step struct {
+		count, lo, hi float64
+		fresh         int64
+	}
+	run := func(p int) []step {
+		w := newLiveWorkload(t, 1200, 31)
+		sess := w.session(t, WithMethod("lss"), WithBudget(0.1), WithSeed(19), WithParallelism(p))
+		lq, err := sess.PrepareLive(liveQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []step
+		for i := 0; i < 3; i++ {
+			r, err := lq.Refresh(context.Background(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, step{r.Count, r.CI.Lo, r.CI.Hi, r.FreshLabels})
+			w.appendItems(t, 12)
+		}
+		return out
+	}
+	p1 := run(1)
+	for _, p := range []int{4, runtime.NumCPU()} {
+		got := run(p)
+		for i := range p1 {
+			if got[i] != p1[i] {
+				t.Fatalf("p=%d step %d: %+v != p=1 %+v", p, i, got[i], p1[i])
+			}
+		}
+	}
+}
+
+// TestRefreshChurnThresholdRetrains: with threshold 0 any learn-sample
+// churn retrains; with threshold 1 nothing does.
+func TestRefreshChurnThresholdRetrains(t *testing.T) {
+	w := newLiveWorkload(t, 1000, 37)
+	sess := w.session(t, WithMethod("lss"), WithBudget(0.1), WithSeed(4), WithParallelism(1))
+	lq, err := sess.PrepareLive(liveQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := lq.Refresh(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Large delta: 30% new objects — past the default 0.1 threshold.
+	w.appendItems(t, 300)
+	r, err := lq.Refresh(ctx, nil, WithChurnThreshold(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Retrained {
+		t.Fatal("threshold 0 must retrain on any churn")
+	}
+	w.appendItems(t, 300)
+	r, err = lq.Refresh(ctx, nil, WithChurnThreshold(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retrained {
+		t.Fatal("threshold 1 must never retrain")
+	}
+}
+
+// TestSessionRefreshOneShot: the Session.Refresh convenience maintains one
+// LiveQuery per query text across calls.
+func TestSessionRefreshOneShot(t *testing.T) {
+	w := newLiveWorkload(t, 1000, 41)
+	sess := w.session(t, WithMethod("lss"), WithBudget(0.1), WithSeed(6), WithParallelism(1))
+	ctx := context.Background()
+	r1, err := sess.Refresh(ctx, liveQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.appendItems(t, 10)
+	r2, err := sess.Refresh(ctx, liveQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.FreshLabels*10 > r1.FreshLabels {
+		t.Fatalf("second Session.Refresh did not reuse state: %d vs cold %d", r2.FreshLabels, r1.FreshLabels)
+	}
+	if len(r2.Versions) == 0 {
+		t.Fatal("refresh must report pinned live versions")
+	}
+}
+
+// TestPreparedQueryPinnedDuringIngest: a PreparedQuery binds a snapshot;
+// later ingest must not change its results, while a new Prepare sees the
+// new data.
+func TestPreparedQueryPinnedDuringIngest(t *testing.T) {
+	w := newLiveWorkload(t, 500, 43)
+	sess := w.session(t, WithMethod("oracle"))
+	q1, err := sess.Prepare(liveQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	before, err := q1.Execute(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.appendItems(t, 100)
+	after, err := q1.Execute(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Count != after.Count || after.Objects != 500 {
+		t.Fatalf("prepared query not pinned: %v/%d then %v/%d", before.Count, before.Objects, after.Count, after.Objects)
+	}
+	q2, err := sess.Prepare(liveQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := q2.Execute(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Objects != 600 {
+		t.Fatalf("fresh prepare sees %d objects, want 600", fresh.Objects)
+	}
+}
+
+// TestRefreshRejectsUnsupported: grouped queries and non-refreshable
+// methods fail early with ErrInvalid.
+func TestRefreshRejectsUnsupported(t *testing.T) {
+	w := newLiveWorkload(t, 100, 47)
+	sess := w.session(t)
+	if _, err := sess.PrepareLive(`SELECT f1, COUNT(*) FROM (` + liveQuery + `) GROUP BY f1`); err == nil {
+		t.Fatal("grouped queries must be rejected by PrepareLive")
+	}
+	lq, err := sess.PrepareLive(liveQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lq.Refresh(context.Background(), nil, WithMethod("lws")); err == nil {
+		t.Fatal("lws must be rejected by Refresh")
+	}
+}
+
+// TestRefreshParamChangeResetsState: changing bound parameter values
+// changes the predicate, so memoized labels must not be reused.
+func TestRefreshParamChangeResetsState(t *testing.T) {
+	items, err := NewLiveTable("items", "id:int,f1:float,f2:float", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := NewLiveTable("events", "item:int,v:float", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	var ib, eb DeltaBatch
+	for i := 0; i < 600; i++ {
+		f1 := rng.Float64() * 100
+		ib.Append(int64(i), f1, rng.Float64()*100)
+		for e := 0; e < int(f1/12); e++ {
+			eb.Append(int64(i), rng.Float64()*10)
+		}
+	}
+	if _, err := items.Apply(&ib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := events.Apply(&eb); err != nil {
+		t.Fatal(err)
+	}
+	src := NewLiveSource()
+	src.AddLive(items)
+	src.AddLive(events)
+	sess, err := NewSession(src, WithMethod("srs"), WithBudget(0.3), WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT i.id FROM items i, events e WHERE e.item = i.id GROUP BY i.id HAVING COUNT(*) > k`
+	lq, err := sess.PrepareLive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	r1, err := lq.Refresh(ctx, map[string]any{"k": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := lq.Refresh(ctx, map[string]any{"k": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ReusedLabels != 0 {
+		t.Fatal("changed parameter value must reset the label memo")
+	}
+	r3, err := lq.Refresh(ctx, map[string]any{"k": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.FreshLabels != 0 || r3.Count != r2.Count {
+		t.Fatalf("stable params must fully reuse: fresh=%d count %v vs %v", r3.FreshLabels, r3.Count, r2.Count)
+	}
+	_ = r1
+	_ = fmt.Sprint()
+}

@@ -57,7 +57,17 @@ type config struct {
 	seed        uint64
 	interval    Interval
 	exact       bool
-	noCompile   bool // disable predicate compilation (keep the interpreter)
+	noCompile   bool    // disable predicate compilation (keep the interpreter)
+	churn       float64 // refresh retrain threshold; <0 means the default 0.1
+	relabel     bool    // refresh only: bypass the label memo (cold baseline)
+}
+
+// churnThreshold resolves the refresh retraining threshold.
+func (c config) churnThreshold() float64 {
+	if c.churn < 0 {
+		return 0.1
+	}
+	return c.churn
 }
 
 func defaultConfig() config {
@@ -66,6 +76,7 @@ func defaultConfig() config {
 		classifier: "rf",
 		strata:     4,
 		budget:     0.02,
+		churn:      -1,
 	}
 }
 
@@ -189,6 +200,35 @@ func WithInterval(iv Interval) Option {
 			return badf("unknown interval %d", int(iv))
 		}
 		c.interval = iv
+		return nil
+	}
+}
+
+// WithChurnThreshold sets the live-refresh retraining policy: the
+// classifier and strata are retrained when the fraction of the learn
+// sample that is new or invalidated since the last training exceeds f.
+// The default is 0.1; 0 retrains on any churn (every refresh whose learn
+// sample moved at all), 1 effectively never retrains. Only Refresh reads
+// this knob.
+func WithChurnThreshold(f float64) Option {
+	return func(c *config) error {
+		if !(f >= 0 && f <= 1) { // NaN fails both comparisons
+			return badf("churn threshold %v outside [0, 1]", f)
+		}
+		c.churn = f
+		return nil
+	}
+}
+
+// WithRelabel makes a Refresh call bypass the label memo: every sampled
+// object is labeled by a fresh predicate evaluation (memo entries are
+// overwritten with the — identical — results). The estimate is
+// byte-identical to the memoized refresh over the same state; the cost is
+// the full cold labeling bill, which makes WithRelabel(true) the baseline
+// refresh savings are measured against. Only Refresh reads this knob.
+func WithRelabel(relabel bool) Option {
+	return func(c *config) error {
+		c.relabel = relabel
 		return nil
 	}
 }

@@ -1,0 +1,1110 @@
+package lsample
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/estimate"
+	"repro/internal/learn"
+	"repro/internal/live"
+	"repro/internal/predicate"
+	"repro/internal/qcompile"
+	"repro/internal/sql"
+)
+
+// tags feed Mix64 so the learn sample, the estimation sample, and
+// classifier seeds draw from independent hash streams.
+const (
+	hashTagLearn  = 0x4c4541524e // "LEARN"
+	hashTagSample = 0x53414d504c // "SAMPL"
+	hashTagTrain  = 0x545241494e // "TRAIN"
+)
+
+// PrepareLive analyzes a counting query for incremental re-estimation over
+// changing data: like Prepare it parses and decomposes once, but instead of
+// binding a fixed snapshot it returns a LiveQuery whose Refresh pins the
+// newest published snapshots on every call and re-estimates at a price
+// proportional to the delta, not the table. Grouped (GROUP BY counting)
+// queries are not supported live; the object key must be a unique integer
+// column (the same restriction the feature path has always had).
+func (s *Session) PrepareLive(sqlText string, opts ...Option) (*LiveQuery, error) {
+	cfg, err := newConfig(s.base, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sqlText == "" {
+		return nil, badf("missing sql")
+	}
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, badf("parse: %v", err)
+	}
+	if gInner, _, gerr := engine.ExtractGroups(stmt); gerr != nil {
+		return nil, badf("%v", gerr)
+	} else if gInner != nil {
+		return nil, badf("GROUP BY counting queries are not supported by PrepareLive")
+	}
+	inner := engine.ExtractInner(stmt)
+	for _, tr := range inner.From {
+		if tr.Subquery != nil {
+			return nil, badf("FROM subqueries are not supported")
+		}
+	}
+	names := sql.Tables(inner)
+	if len(names) == 0 {
+		return nil, badf("query has no FROM clause")
+	}
+	dec, err := engine.Decompose(inner)
+	if err != nil {
+		return nil, badf("decompose: %v", err)
+	}
+	if len(dec.GroupCols) != 1 {
+		return nil, badf("live queries must GROUP BY a single key column; got %d", len(dec.GroupCols))
+	}
+	// Pin one catalog now for schema-dependent analysis (schemas are fixed
+	// for a table's lifetime even when its rows are not).
+	cat := make(engine.Catalog, len(names))
+	for _, name := range names {
+		t, err := s.src.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		cat[name] = t.tab
+	}
+	objName := dec.Objects.From[0].Name
+	keyRef, ok := dec.Objects.Select[0].Expr.(*sql.ColumnRef)
+	if !ok {
+		return nil, badf("object key is not a column reference")
+	}
+	ltab := cat[objName]
+	ci := ltab.ColIndex(keyRef.Name)
+	if ci < 0 {
+		return nil, badf("table %q has no column %q", objName, keyRef.Name)
+	}
+	if ltab.Schema()[ci].Kind != dataset.Int {
+		return nil, badf("live queries require an integer object key; %q.%q is %s",
+			objName, keyRef.Name, ltab.Schema()[ci].Kind)
+	}
+	return &LiveQuery{
+		sess:      s,
+		text:      sqlText,
+		cfg:       cfg,
+		inner:     inner,
+		dec:       dec,
+		names:     names,
+		objName:   objName,
+		keyCol:    keyRef.Name,
+		corrCols:  analyzeCorrelation(dec, cat),
+		aliasTabs: q3AliasTables(dec),
+	}, nil
+}
+
+// Refresh is the one-shot maintained-estimate API: the session keeps one
+// LiveQuery per query text, created on first use, and each call refreshes
+// it against the newest data. Use PrepareLive directly to control the
+// LiveQuery's lifetime (or to maintain several with different options).
+func (s *Session) Refresh(ctx context.Context, sqlText string, params map[string]any, opts ...Option) (*RefreshEstimate, error) {
+	s.liveMu.Lock()
+	if s.liveQs == nil {
+		s.liveQs = make(map[string]*LiveQuery)
+	}
+	lq, ok := s.liveQs[sqlText]
+	s.liveMu.Unlock()
+	if !ok {
+		fresh, err := s.PrepareLive(sqlText)
+		if err != nil {
+			return nil, err
+		}
+		s.liveMu.Lock()
+		if cur, again := s.liveQs[sqlText]; again {
+			lq = cur // a concurrent caller won the race; share its state
+		} else {
+			// Crude bound, mirroring the service's prepared-query cache: a
+			// caller funneling unbounded distinct query texts through the
+			// one-shot API must not grow O(table)-sized refresh states
+			// forever. Evicted queries just refresh cold next time; use
+			// PrepareLive directly to control LiveQuery lifetimes.
+			if len(s.liveQs) >= 64 {
+				clear(s.liveQs)
+			}
+			s.liveQs[sqlText] = fresh
+			lq = fresh
+		}
+		s.liveMu.Unlock()
+	}
+	return lq.Refresh(ctx, params, opts...)
+}
+
+// LiveQuery is a counting query maintained across data changes: Refresh
+// pins the newest snapshots of every referenced table and re-estimates,
+// reusing everything the delta provably did not touch — memoized labels,
+// classifier and strata, hash indexes, feature matrices. Refresh calls are
+// serialized per LiveQuery; concurrent callers simply queue.
+//
+// See the package documentation ("Live data and refresh") for the exact
+// label-reuse contract.
+type LiveQuery struct {
+	sess      *Session
+	text      string
+	cfg       config
+	inner     *sql.SelectStmt
+	dec       *engine.Decomposed
+	names     []string
+	objName   string
+	keyCol    string
+	corrCols  map[string][]int // Q3 table → correlated column per alias (nil entry list impossible; absent = uncorrelated)
+	aliasTabs map[string]bool  // tables bound by Q3 FROM aliases
+
+	mu sync.Mutex
+	st *refreshState
+}
+
+// refreshState is everything a LiveQuery carries between refreshes.
+type refreshState struct {
+	sig   string            // (query, param values) identity the memo is valid for
+	snaps map[string]*Table // snapshots pinned by the previous refresh
+
+	prog     *qcompile.Program
+	progErr  string
+	progRows map[string]int // rows per table when prog's indexes were built
+
+	featCols []string
+	keyIdx   map[int64]int // object-table key → row
+	feats    [][]float64   // per object-table row, aligned with keyIdx
+	ltabRows int
+	ltabSnap *Table
+
+	clf        learn.Classifier
+	cutScores  []float64
+	scores     map[int64]float64
+	labels     map[int64]bool
+	trainKeys  map[int64]bool
+	trainEpoch uint64
+	trainDirty int // train-sample keys invalidated since the last training
+
+	// validated reports that the current program already passed the
+	// interpreter cross-check (whose interpreted reference evaluation costs
+	// a full join scan); later refreshes of the same program skip it.
+	validated bool
+}
+
+// SQL returns the query text as prepared.
+func (q *LiveQuery) SQL() string { return q.text }
+
+// Tables returns the names of all tables the query references, sorted.
+func (q *LiveQuery) Tables() []string {
+	out := append([]string(nil), q.names...)
+	sort.Strings(out)
+	return out
+}
+
+// Invalidate drops all maintained state — label memo, classifier, strata,
+// indexes — so the next Refresh runs cold. Mainly useful in tests and
+// benchmarks comparing refresh against from-scratch estimation.
+func (q *LiveQuery) Invalidate() {
+	q.mu.Lock()
+	q.st = nil
+	q.mu.Unlock()
+}
+
+// RefreshEstimate is the outcome of one Refresh: a regular Estimate plus
+// the delta accounting that makes the incremental price visible.
+// SamplesUsed (and FreshLabels) count only the predicate evaluations this
+// refresh actually spent; ReusedLabels counts sample members answered from
+// the label memo.
+type RefreshEstimate struct {
+	// Estimate is the regular estimation result (count, CI, budget,
+	// fingerprint, labeling path, timings).
+	Estimate
+	// Versions records the pinned version of every live table the refresh
+	// ran against (static tables are omitted).
+	Versions map[string]uint64
+	// DeltaRows is the number of rows identified as appended since the
+	// previous refresh across all referenced tables.
+	DeltaRows int
+	// FreshLabels is the number of predicate evaluations spent this
+	// refresh (equal to SamplesUsed).
+	FreshLabels int64
+	// ReusedLabels is the number of sampled objects whose label came from
+	// the memo instead of a predicate evaluation.
+	ReusedLabels int
+	// Retrained reports that this refresh retrained the classifier and
+	// redesigned the strata (always true on the first refresh of a
+	// learned method).
+	Retrained bool
+	// InvalidatedAll reports that the delta could not be attributed to
+	// specific objects (an update/delete compaction, or a change to an
+	// inner table that is not key-correlated), so every memoized label was
+	// discarded and this refresh was priced like a cold estimate.
+	InvalidatedAll bool
+}
+
+// Refresh pins the newest snapshots and re-estimates the count. Options
+// apply to this call only; changing parameter values (which change the
+// predicate) resets the label memo and learned state. The estimate is a
+// deterministic function of (pinned snapshots, seed, options, classifier
+// epoch): a WithRelabel(true) call on the same state returns the
+// byte-identical estimate while paying full labeling price, which is the
+// cold baseline refresh is measured against.
+func (q *LiveQuery) Refresh(ctx context.Context, params map[string]any, opts ...Option) (*RefreshEstimate, error) {
+	cfg, err := newConfig(q.cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.method {
+	case "srs", "lss", "oracle":
+	default:
+		return nil, badf("method %q does not support live refresh (want srs, lss, or oracle)", cfg.method)
+	}
+	vals, strs, err := convertParams(params)
+	if err != nil {
+		return nil, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+
+	t0 := time.Now()
+	out := &RefreshEstimate{Versions: make(map[string]uint64)}
+	fp := sql.Fingerprint(q.inner, strs)
+
+	// 1. Pin the newest snapshot of every referenced table.
+	snaps := make(map[string]*Table, len(q.names))
+	cat := make(engine.Catalog, len(q.names))
+	for _, name := range q.names {
+		t, err := q.sess.src.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		snaps[name] = t
+		cat[name] = t.tab
+		if t.live != nil {
+			out.Versions[name] = t.live.version
+		}
+	}
+
+	// 2. Delta analysis against the previous refresh.
+	st := q.st
+	if st != nil && st.sig != fp {
+		st = nil // different query/parameter identity: memoized labels do not apply
+	}
+	invalidateAll := false
+	var affected []int64
+	if st == nil {
+		st = &refreshState{
+			sig:      fp,
+			progRows: make(map[string]int),
+			scores:   make(map[int64]float64),
+			labels:   make(map[int64]bool),
+		}
+		q.st = st
+	} else {
+		for _, name := range q.names {
+			prev, cur := st.snaps[name], snaps[name]
+			switch snapshotChange(prev, cur) {
+			case snapUnchanged:
+			case snapAppended:
+				out.DeltaRows += cur.live.rows - prev.live.rows
+				if q.aliasTabs[name] {
+					cols, ok := q.corrCols[name]
+					if !ok {
+						// The predicate joins this table without pinning it
+						// to the object key: any new row may flip any label.
+						invalidateAll = true
+						continue
+					}
+					for _, c := range cols {
+						ints := cur.tab.IntsAt(c)
+						affected = append(affected, ints[prev.live.rows:cur.live.rows]...)
+					}
+				}
+			default: // replaced, compacted, or otherwise untraceable
+				invalidateAll = true
+			}
+		}
+	}
+	if invalidateAll {
+		st.labels = make(map[int64]bool)
+		st.scores = make(map[int64]float64)
+		st.clf = nil
+		st.cutScores = nil
+		st.trainKeys = nil
+		st.trainDirty = 0
+		st.prog = nil
+		st.progErr = ""
+		st.progRows = make(map[string]int)
+		st.validated = false
+		st.keyIdx = nil
+		st.feats = nil
+		st.ltabRows = 0
+		st.ltabSnap = nil
+		out.InvalidatedAll = true
+	} else {
+		for _, k := range affected {
+			if _, ok := st.labels[k]; ok {
+				delete(st.labels, k)
+				if st.trainKeys[k] {
+					st.trainDirty++
+				}
+			}
+		}
+	}
+
+	// 3. Compiled-predicate maintenance: patch hash indexes with the delta
+	// rows, or recompile from scratch when patching is not possible.
+	q.maintainProgram(st, cat, snaps)
+
+	// 4. Enumerate the objects (Q2) over the pinned catalog.
+	ev := engine.NewEvaluator(cat)
+	for name, v := range vals {
+		ev.SetParam(name, v)
+	}
+	objects, err := ev.Run(q.dec.Objects, nil)
+	if err != nil {
+		return nil, badf("enumerating objects: %v", err)
+	}
+	n := objects.NumRows()
+	out.Method = cfg.method
+	out.Fingerprint = fp
+	out.Objects = n
+	out.Seed = cfg.seed
+	alpha := cfg.alpha
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	if n == 0 {
+		st.snaps = snaps
+		out.CI = &ConfidenceInterval{Level: 1 - alpha}
+		return out, nil
+	}
+	keys := make([]int64, n)
+	for i := 0; i < n; i++ {
+		v := objects.Value(i, 0)
+		if v.Kind != engine.KInt {
+			return nil, badf("object key is not an integer")
+		}
+		keys[i] = v.I
+	}
+	posByKey := make(map[int64]int, n)
+	for i, k := range keys {
+		posByKey[k] = i
+	}
+
+	// 5. Feature/key-index maintenance over the object table.
+	useFeatures := needsFeatures(cfg.method)
+	var features [][]float64
+	if useFeatures {
+		if err := q.maintainFeatures(st, snaps[q.objName], strs); err != nil {
+			return nil, err
+		}
+		features = make([][]float64, n)
+		for i, k := range keys {
+			r, ok := st.keyIdx[k]
+			if !ok {
+				return nil, badf("object key %d not found in %q", k, q.objName)
+			}
+			features[i] = st.feats[r]
+		}
+		out.FeatureColumns = st.featCols
+	}
+
+	// 6. Build the expensive predicate for this refresh: compiled when the
+	// maintained program allows, interpreted otherwise. The interpreter
+	// cross-check (one full interpreted join scan) runs once per compiled
+	// program; subsequent refreshes of an already-validated program bind
+	// the compiled path directly.
+	var (
+		basePred predicate.Predicate
+		labeling Labeling
+	)
+	if st.validated && st.prog != nil && !cfg.noCompile && n > 0 {
+		if bound, berr := st.prog.Bind(vals, objects); berr == nil {
+			cp := predicate.NewCompiled(bound.NewEvalFn, cfg.parallelism)
+			basePred, labeling = cp, Labeling{Compiled: true, Workers: cp.Workers()}
+		}
+	}
+	if basePred == nil {
+		basePred, labeling, err = buildEnginePredicate(ev, q.dec, objects, st.prog, st.progErr, vals, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if labeling.Compiled {
+			// Only set, never clear: a per-call fallback (say,
+			// WithCompilation(false)) must not make the next compiled
+			// refresh re-pay an already-passed cross-check.
+			st.validated = true
+		}
+	}
+	tp := &timedPredicate{p: basePred}
+	out.Labeling = labeling
+
+	memo := &labelMemo{
+		st:       st,
+		keys:     keys,
+		pred:     tp,
+		relabel:  cfg.relabel,
+		posByKey: posByKey,
+	}
+	budget := cfg.budgetFor(n)
+	out.Budget = budget
+
+	// 7. Estimate by method.
+	switch cfg.method {
+	case "oracle":
+		labels, err := memo.label(ctx, allPositions(n))
+		if err != nil {
+			return nil, err
+		}
+		c := 0
+		for _, b := range labels {
+			if b {
+				c++
+			}
+		}
+		out.Count = float64(c)
+		out.CI = &ConfidenceInterval{Lo: float64(c), Hi: float64(c), Level: 1 - alpha}
+		tc := c
+		out.TrueCount = &tc
+
+	case "srs":
+		sel := bottomK(keys, budget, cfg.seed, hashTagSample)
+		labels, err := memo.label(ctx, positionsOf(sel, posByKey))
+		if err != nil {
+			return nil, err
+		}
+		pos := 0
+		for _, b := range labels {
+			if b {
+				pos++
+			}
+		}
+		var res estimate.Result
+		if cfg.interval == Wilson {
+			res = estimate.ProportionWilson(pos, len(sel), n, alpha)
+		} else {
+			res = estimate.Proportion(pos, len(sel), n, alpha)
+		}
+		out.Count = res.Count
+		out.CI = &ConfidenceInterval{Lo: res.CI.Lo, Hi: res.CI.Hi, Level: 1 - alpha}
+
+	case "lss":
+		if err := q.refreshLSS(ctx, cfg, st, memo, keys, features, budget, alpha, out); err != nil {
+			return nil, err
+		}
+	}
+
+	out.Proportion = out.Count / float64(n)
+	out.FreshLabels = basePred.Evals()
+	out.SamplesUsed = out.FreshLabels
+	out.ReusedLabels = memo.reused
+	out.Timings = PhaseTimings{Sample: time.Since(t0), Predicate: tp.dur}
+	st.snaps = snaps
+	return out, nil
+}
+
+// refreshLSS runs the learned stratified refresh: a hash-selected learn
+// sample trains (or reuses) the classifier, every object is scored once per
+// classifier epoch, equal-count score strata fixed at training time receive
+// proportional allocations, and each stratum's sample is the hash-bottom
+// n_h of its members — so sample membership, and with it the label bill,
+// moves only where the data moved.
+func (q *LiveQuery) refreshLSS(ctx context.Context, cfg config, st *refreshState, memo *labelMemo,
+	keys []int64, features [][]float64, budget int, alpha float64, out *RefreshEstimate) error {
+
+	n := len(keys)
+	kLearn := int(math.Round(0.25 * float64(budget)))
+	if kLearn < 2 {
+		kLearn = 2
+	}
+	if kLearn > budget-2 {
+		kLearn = budget - 2
+	}
+	if kLearn < 2 {
+		return badf("budget %d too small for a live lss refresh", budget)
+	}
+
+	learnSel := bottomK(keys, kLearn, cfg.seed, hashTagLearn)
+	learnLabels, err := memo.label(ctx, positionsOf(learnSel, memo.posByKey))
+	if err != nil {
+		return err
+	}
+
+	// Churn-threshold retraining policy: retrain when the learn sample has
+	// drifted (new members, or members whose labels the delta invalidated)
+	// past the threshold since the classifier was last fit.
+	churn := st.trainDirty
+	for _, k := range learnSel {
+		if !st.trainKeys[k] {
+			churn++
+		}
+	}
+	retrain := st.clf == nil || float64(churn) > cfg.churnThreshold()*float64(len(learnSel))
+	if retrain {
+		newClf, err := cfg.buildClassifier()
+		if err != nil {
+			return err
+		}
+		X := make([][]float64, len(learnSel))
+		for j, k := range learnSel {
+			X[j] = features[memo.posByKey[k]]
+		}
+		st.trainEpoch++
+		clf := newClf(live.Mix64(cfg.seed, hashTagTrain, st.trainEpoch))
+		if err := clf.Fit(X, learnLabels); err != nil {
+			return fmt.Errorf("lsample: training refresh classifier: %w", err)
+		}
+		st.clf = clf
+		st.trainKeys = make(map[int64]bool, len(learnSel))
+		for _, k := range learnSel {
+			st.trainKeys[k] = true
+		}
+		st.trainDirty = 0
+		st.scores = make(map[int64]float64, n)
+		out.Retrained = true
+	}
+
+	// Score maintenance: only keys without a score for the current
+	// classifier epoch are scored (all of them right after a retrain, just
+	// the delta's new objects otherwise).
+	var missKeys []int64
+	var missX [][]float64
+	for i, k := range keys {
+		if _, ok := st.scores[k]; !ok {
+			missKeys = append(missKeys, k)
+			missX = append(missX, features[i])
+		}
+	}
+	if len(missKeys) > 0 {
+		scored := learn.ScoreAll(st.clf, missX)
+		for j, k := range missKeys {
+			st.scores[k] = scored[j]
+		}
+	}
+	if retrain {
+		// Strata are designed at training time and stay fixed until the
+		// next retrain: equal-count cuts over the sorted score distribution.
+		H := cfg.strata
+		if H < 2 {
+			H = 4
+		}
+		sorted := make([]float64, 0, n)
+		for _, k := range keys {
+			sorted = append(sorted, st.scores[k])
+		}
+		sort.Float64s(sorted)
+		cuts := make([]float64, 0, H-1)
+		for j := 1; j < H; j++ {
+			pos := j * n / H
+			if pos > 0 {
+				pos--
+			}
+			cuts = append(cuts, sorted[pos])
+		}
+		st.cutScores = cuts
+	}
+
+	H := len(st.cutScores) + 1
+	members := make([][]int64, H)
+	sizes := make([]int, H)
+	for _, k := range keys {
+		h := sort.SearchFloat64s(st.cutScores, st.scores[k])
+		if h >= H {
+			h = H - 1
+		}
+		members[h] = append(members[h], k)
+		sizes[h]++
+	}
+	alloc := estimate.ProportionalAllocation(sizes, budget-len(learnSel), 2)
+
+	strata := make([]estimate.StratumSample, H)
+	for h := 0; h < H; h++ {
+		sel := bottomK(members[h], alloc[h], cfg.seed, hashTagSample+uint64(h)+1)
+		labels, err := memo.label(ctx, positionsOf(sel, memo.posByKey))
+		if err != nil {
+			return err
+		}
+		pos := 0
+		for _, b := range labels {
+			if b {
+				pos++
+			}
+		}
+		strata[h] = estimate.StratumSample{N: sizes[h], Sampled: len(sel), Positives: pos}
+	}
+	res, err := estimate.Stratified(strata, alpha)
+	if err != nil {
+		return badf("%v", err)
+	}
+	out.Count = res.Count
+	out.CI = &ConfidenceInterval{Lo: res.CI.Lo, Hi: res.CI.Hi, Level: 1 - alpha}
+	return nil
+}
+
+// maintainProgram keeps the compiled predicate's hash indexes in sync with
+// the pinned catalog: prefix-extended tables patch their indexes with the
+// delta rows; anything else recompiles from scratch. A predicate outside
+// the compilable subset records its reason once and stays interpreted.
+func (q *LiveQuery) maintainProgram(st *refreshState, cat engine.Catalog, snaps map[string]*Table) {
+	if st.progErr != "" {
+		return // permanently interpreted (shape outside the subset)
+	}
+	if st.prog != nil {
+		extendable := true
+		for _, name := range q.names {
+			t := snaps[name]
+			old, ok := st.progRows[name]
+			if !ok || t.tab.NumRows() < old {
+				extendable = false
+				break
+			}
+			if t.tab.NumRows() != old {
+				// Rows changed: patching is only sound for prefix extensions.
+				prev, hadPrev := st.snaps[name]
+				if !hadPrev || snapshotChange(prev, t) != snapAppended {
+					extendable = false
+					break
+				}
+			}
+		}
+		if extendable {
+			if err := st.prog.Extend(cat, st.progRows); err == nil {
+				for _, name := range q.names {
+					st.progRows[name] = cat[name].NumRows()
+				}
+				return
+			}
+			// A failed Extend leaves the program partially patched: discard
+			// and fall through to a fresh compile.
+		}
+		st.prog = nil
+	}
+	st.validated = false
+	prog, err := qcompile.Compile(q.dec, cat)
+	if err != nil {
+		st.prog, st.progErr = nil, err.Error()
+		return
+	}
+	st.prog = prog
+	st.progRows = make(map[string]int, len(q.names))
+	for _, name := range q.names {
+		st.progRows[name] = cat[name].NumRows()
+	}
+}
+
+// maintainFeatures keeps the object table's unique-key index and feature
+// matrix in sync with its newest snapshot, extending both in place for
+// prefix-extended snapshots and rebuilding otherwise.
+func (q *LiveQuery) maintainFeatures(st *refreshState, ltab *Table, strs map[string]string) error {
+	if st.featCols == nil {
+		skip := make(map[string]bool, len(strs))
+		for name := range strs {
+			skip[name] = true
+		}
+		cols, err := engine.NumericFeatureColumns(ltab.tab, q.dec.FeatureCols, skip)
+		if err != nil {
+			return badf("%v", err)
+		}
+		st.featCols = cols
+	}
+	start := 0
+	if st.keyIdx != nil && st.ltabSnap != nil && snapshotChange(st.ltabSnap, ltab) != snapReplaced {
+		start = st.ltabRows
+		if ltab.tab.NumRows() == start {
+			st.ltabSnap = ltab
+			return nil
+		}
+	} else {
+		st.keyIdx = make(map[int64]int, ltab.tab.NumRows())
+		st.feats = nil
+	}
+	ci := ltab.tab.ColIndex(q.keyCol)
+	cols := make([]int, len(st.featCols))
+	kinds := make([]dataset.Kind, len(st.featCols))
+	for j, name := range st.featCols {
+		cols[j] = ltab.tab.ColIndex(name)
+		kinds[j] = ltab.tab.Schema()[cols[j]].Kind
+	}
+	for r := start; r < ltab.tab.NumRows(); r++ {
+		k := ltab.tab.Int(r, ci)
+		if _, dup := st.keyIdx[k]; dup {
+			// Do not leave the index half-extended: a poisoned keyIdx would
+			// make every later refresh re-report rows this pass inserted as
+			// the duplicates. A clean reset rebuilds (and re-errors
+			// accurately) next time.
+			st.keyIdx, st.feats, st.ltabRows, st.ltabSnap = nil, nil, 0, nil
+			return badf("group key %q is not unique in %q (value %d repeats); cannot derive per-object features", q.keyCol, q.objName, k)
+		}
+		st.keyIdx[k] = r
+		v := make([]float64, len(cols))
+		for j, c := range cols {
+			if kinds[j] == dataset.Float {
+				v[j] = ltab.tab.Float(r, c)
+			} else {
+				v[j] = float64(ltab.tab.Int(r, c))
+			}
+		}
+		st.feats = append(st.feats, v)
+	}
+	st.ltabRows = ltab.tab.NumRows()
+	st.ltabSnap = ltab
+	return nil
+}
+
+// snapChange classifies how a table moved between two pinned snapshots.
+type snapChange int
+
+const (
+	snapUnchanged snapChange = iota
+	snapAppended             // same storage epoch, rows grew: a literal prefix extension
+	snapReplaced             // anything else: compaction, re-registration, unknown provenance
+)
+
+// snapshotChange compares two pins of the same table name.
+func snapshotChange(old, new *Table) snapChange {
+	if old == nil || new == nil {
+		return snapReplaced
+	}
+	if old.tab == new.tab {
+		return snapUnchanged
+	}
+	if old.live == nil || new.live == nil || old.live.src != new.live.src {
+		return snapReplaced
+	}
+	if old.live.version == new.live.version {
+		return snapUnchanged
+	}
+	if old.live.epoch == new.live.epoch && old.live.rows <= new.live.rows {
+		return snapAppended
+	}
+	return snapReplaced
+}
+
+// labelMemo answers label queries from the per-key memo, evaluating the
+// expensive predicate only for keys the memo cannot answer (or for all of
+// them under WithRelabel). Labels are pure functions of (snapshot, key), so
+// a memo hit is byte-identical to a fresh evaluation.
+type labelMemo struct {
+	st       *refreshState
+	keys     []int64
+	posByKey map[int64]int
+	pred     predicate.Predicate
+	relabel  bool
+	reused   int
+}
+
+// label returns labels for the objects at the given positions, spending
+// predicate evaluations only on memo misses. Misses are labeled in
+// ascending object order through the predicate's batch path when it has
+// one, so the result is byte-identical at any parallelism.
+func (m *labelMemo) label(ctx context.Context, positions []int) ([]bool, error) {
+	out := make([]bool, len(positions))
+	var missing []int
+	for _, p := range positions {
+		if _, ok := m.st.labels[m.keys[p]]; !ok || m.relabel {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		missing = dedupSortedInts(missing)
+		fresh, err := labelIndices(ctx, m.pred, missing)
+		if err != nil {
+			return nil, err
+		}
+		for j, p := range missing {
+			m.st.labels[m.keys[p]] = fresh[j]
+		}
+	}
+	for j, p := range positions {
+		out[j] = m.st.labels[m.keys[p]]
+	}
+	m.reused += len(positions) - len(missing)
+	return out, nil
+}
+
+// labelIndices labels a pre-chosen object set, through the predicate's
+// batch path (bounded chunks with a cancellation check between them) when
+// it has one, sequentially with a per-evaluation check otherwise.
+func labelIndices(ctx context.Context, pred predicate.Predicate, idxs []int) ([]bool, error) {
+	ctxErr := func() error {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("lsample: refresh canceled: %w", err)
+			}
+		}
+		return nil
+	}
+	if err := ctxErr(); err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(idxs))
+	if bp, ok := predicate.AsBatch(pred); ok {
+		if err := predicate.EvalBatchChunked(bp, idxs, out, ctxErr); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	for j, i := range idxs {
+		if err := ctxErr(); err != nil {
+			return nil, err
+		}
+		out[j] = pred.Eval(i)
+	}
+	return out, nil
+}
+
+// bottomK deterministically samples k of the given keys: the k smallest by
+// the (Mix64(seed, tag, key), key) order. Under appends the selection
+// changes only near the threshold — expected O(k·delta/N) membership churn
+// — which is what keeps a refresh's label bill proportional to the delta.
+func bottomK(keys []int64, k int, seed, tag uint64) []int64 {
+	if k >= len(keys) {
+		out := append([]int64(nil), keys...)
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out
+	}
+	if k <= 0 {
+		return nil
+	}
+	type hk struct {
+		h uint64
+		k int64
+	}
+	hs := make([]hk, len(keys))
+	for i, key := range keys {
+		hs[i] = hk{h: live.Mix64(seed, tag, uint64(key)), k: key}
+	}
+	sort.Slice(hs, func(a, b int) bool {
+		if hs[a].h != hs[b].h {
+			return hs[a].h < hs[b].h
+		}
+		return hs[a].k < hs[b].k
+	})
+	out := make([]int64, k)
+	for i := 0; i < k; i++ {
+		out[i] = hs[i].k
+	}
+	return out
+}
+
+// positionsOf maps keys back to object positions.
+func positionsOf(keys []int64, posByKey map[int64]int) []int {
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = posByKey[k]
+	}
+	return out
+}
+
+// allPositions returns [0, n).
+func allPositions(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func dedupSortedInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// q3AliasTables collects the tables bound by Q3 FROM aliases (the tables
+// whose row changes can flip existing labels).
+func q3AliasTables(dec *engine.Decomposed) map[string]bool {
+	out := make(map[string]bool)
+	sub, ok := dec.Predicate.(*sql.SubqueryExpr)
+	if !ok || sub.Query == nil {
+		return out
+	}
+	for _, tr := range sub.Query.From {
+		if tr.Subquery == nil {
+			out[tr.Name] = true
+		}
+	}
+	return out
+}
+
+// analyzeCorrelation inspects Q3's WHERE conjuncts for equality chains that
+// pin inner-table columns (transitively) to the object key. A table whose
+// every Q3 alias carries such a column is "key-correlated": a delta row in
+// it can only flip the label of the object whose key equals the row's
+// correlated-column value — the join-index maintenance insight that lets a
+// refresh invalidate per key instead of wholesale. The result maps table
+// name → one correlated int-column index per alias; tables absent from the
+// map are uncorrelated (their changes invalidate every label).
+func analyzeCorrelation(dec *engine.Decomposed, cat engine.Catalog) map[string][]int {
+	sub, ok := dec.Predicate.(*sql.SubqueryExpr)
+	if !ok || sub.Query == nil || len(dec.GroupCols) != 1 {
+		return nil
+	}
+	q3 := sub.Query
+	type aliasInfo struct {
+		bind    string
+		tabName string
+		tab     *dataset.Table
+	}
+	var aliases []aliasInfo
+	for _, tr := range q3.From {
+		if tr.Subquery != nil {
+			return nil
+		}
+		tab, ok := cat[tr.Name]
+		if !ok {
+			return nil
+		}
+		aliases = append(aliases, aliasInfo{bind: tr.BindName(), tabName: tr.Name, tab: tab})
+	}
+	keyName := dec.GroupCols[0]
+
+	// Union-find over node ids: "o" is the object key, "a<i>.<col>" an
+	// alias column.
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+
+	// resolveID maps a column reference to a node id, or "" when it is not
+	// usable for correlation (parameters, ambiguity).
+	resolveID := func(cr *sql.ColumnRef) string {
+		if cr.Qualifier == engine.ObjectAlias {
+			if cr.Name == keyName {
+				return "o"
+			}
+			return ""
+		}
+		if cr.Qualifier != "" {
+			for i, a := range aliases {
+				if a.bind == cr.Qualifier {
+					if a.tab.ColIndex(cr.Name) < 0 {
+						return ""
+					}
+					return fmt.Sprintf("a%d.%d", i, a.tab.ColIndex(cr.Name))
+				}
+			}
+			return ""
+		}
+		hit, hits := "", 0
+		for i, a := range aliases {
+			if ci := a.tab.ColIndex(cr.Name); ci >= 0 {
+				hit = fmt.Sprintf("a%d.%d", i, ci)
+				hits++
+			}
+		}
+		if hits == 1 {
+			return hit
+		}
+		if hits == 0 && cr.Name == keyName {
+			return "o"
+		}
+		return ""
+	}
+
+	for _, c := range sql.SplitConjuncts(q3.Where) {
+		be, ok := c.(*sql.BinaryExpr)
+		if !ok || be.Op != "=" {
+			continue
+		}
+		l, lok := be.L.(*sql.ColumnRef)
+		r, rok := be.R.(*sql.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		lid, rid := resolveID(l), resolveID(r)
+		if lid != "" && rid != "" {
+			union(lid, rid)
+		}
+	}
+
+	keyRoot := find("o")
+	out := make(map[string][]int)
+	colsByTable := make(map[string][][]int) // per table: per alias, candidate cols
+	for i, a := range aliases {
+		var corr []int
+		for ci := 0; ci < a.tab.NumCols(); ci++ {
+			if a.tab.Schema()[ci].Kind != dataset.Int {
+				continue
+			}
+			if find(fmt.Sprintf("a%d.%d", i, ci)) == keyRoot {
+				corr = append(corr, ci)
+			}
+		}
+		colsByTable[a.tabName] = append(colsByTable[a.tabName], corr)
+	}
+	for name, perAlias := range colsByTable {
+		cols := make([]int, 0, len(perAlias))
+		ok := true
+		for _, corr := range perAlias {
+			if len(corr) == 0 {
+				ok = false
+				break
+			}
+			cols = append(cols, corr[0])
+		}
+		if ok {
+			out[name] = cols
+		}
+	}
+	return out
+}
+
+// timedPredicate accumulates wall time spent inside the expensive
+// predicate, preserving the batch path of the wrapped predicate.
+type timedPredicate struct {
+	p   predicate.Predicate
+	dur time.Duration
+}
+
+func (tp *timedPredicate) Eval(i int) bool {
+	t0 := time.Now()
+	v := tp.p.Eval(i)
+	tp.dur += time.Since(t0)
+	return v
+}
+
+func (tp *timedPredicate) Evals() int64 { return tp.p.Evals() }
+func (tp *timedPredicate) ResetCount()  { tp.p.ResetCount() }
+
+// AsBatch exposes the wrapped predicate's batch path, timing whole batches.
+func (tp *timedPredicate) AsBatch() (predicate.BatchPredicate, bool) {
+	bp, ok := predicate.AsBatch(tp.p)
+	if !ok {
+		return nil, false
+	}
+	return &timedBatchPredicate{tp: tp, bp: bp}, true
+}
+
+type timedBatchPredicate struct {
+	tp *timedPredicate
+	bp predicate.BatchPredicate
+}
+
+func (tb *timedBatchPredicate) Eval(i int) bool { return tb.tp.Eval(i) }
+func (tb *timedBatchPredicate) Evals() int64    { return tb.tp.Evals() }
+func (tb *timedBatchPredicate) ResetCount()     { tb.tp.ResetCount() }
+
+func (tb *timedBatchPredicate) EvalBatch(idxs []int, out []bool) {
+	t0 := time.Now()
+	tb.bp.EvalBatch(idxs, out)
+	tb.tp.dur += time.Since(t0)
+}

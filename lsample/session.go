@@ -18,11 +18,15 @@ import (
 
 // Session is the SDK entry point for SQL counting queries: it binds a
 // DataSource to a default option set and prepares queries against it. A
-// Session is cheap (two words) and safe for concurrent use; create as many
-// as convenient.
+// Session is cheap and safe for concurrent use; create as many as
+// convenient. Sessions over changing data additionally maintain one
+// LiveQuery per Refresh-ed query text (see Session.Refresh).
 type Session struct {
 	src  DataSource
 	base config
+
+	liveMu sync.Mutex
+	liveQs map[string]*LiveQuery // lazily created by Session.Refresh
 }
 
 // NewSession returns a session over src. The options become defaults for
@@ -330,8 +334,16 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 // error the interpreter itself would not produce.
 func (q *PreparedQuery) buildPredicate(ev *engine.Evaluator, objects *engine.ResultSet,
 	vals map[string]engine.Value, cfg config) (predicate.Predicate, Labeling, error) {
+	return buildEnginePredicate(ev, q.dec, objects, q.prog, q.progErr, vals, cfg)
+}
 
-	ep, err := predicate.NewEngineExists(ev, q.dec, objects)
+// buildEnginePredicate is the shared predicate-construction path behind
+// PreparedQuery.Execute and LiveQuery.Refresh (see buildPredicate for the
+// contract).
+func buildEnginePredicate(ev *engine.Evaluator, dec *engine.Decomposed, objects *engine.ResultSet,
+	prog *qcompile.Program, progErr string, vals map[string]engine.Value, cfg config) (predicate.Predicate, Labeling, error) {
+
+	ep, err := predicate.NewEngineExists(ev, dec, objects)
 	if err != nil {
 		return nil, Labeling{}, badf("%v", err)
 	}
@@ -340,11 +352,11 @@ func (q *PreparedQuery) buildPredicate(ev *engine.Evaluator, objects *engine.Res
 		lab.Fallback = "compilation disabled"
 		return ep, lab, nil
 	}
-	if q.prog == nil {
-		lab.Fallback = q.progErr
+	if prog == nil {
+		lab.Fallback = progErr
 		return ep, lab, nil
 	}
-	bound, err := q.prog.Bind(vals, objects)
+	bound, err := prog.Bind(vals, objects)
 	if err != nil {
 		lab.Fallback = err.Error()
 		return ep, lab, nil

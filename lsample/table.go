@@ -7,15 +7,28 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/live"
 )
 
 // Table is an immutable, typed, named relation — the unit of data every
 // DataSource serves. Build one in memory with NewTable/AppendRow, load one
-// from CSV with ReadCSV/OpenCSV, or generate one of the paper's synthetic
-// datasets with SyntheticTable. Once a table has been handed to a DataSource
-// or Session it must not be modified.
+// from CSV with ReadCSV/OpenCSV, generate one of the paper's synthetic
+// datasets with SyntheticTable, or pin one from a LiveTable with Snapshot.
+// Once a table has been handed to a DataSource or Session it must not be
+// modified.
 type Table struct {
-	tab *dataset.Table
+	tab  *dataset.Table
+	live *liveMeta // non-nil when the table is a pinned live snapshot
+}
+
+// liveMeta identifies which live table a snapshot came from and where in
+// its history it was pinned; Session.Refresh uses it to price deltas
+// (same epoch ⇒ the newer snapshot is a literal prefix-extension).
+type liveMeta struct {
+	src     *live.Table
+	version uint64
+	epoch   uint64
+	rows    int
 }
 
 // NewTable creates an empty table with the given name and schema. The
@@ -34,7 +47,12 @@ func NewTable(name, schema string) (*Table, error) {
 
 // AppendRow appends one row; values must match the schema kinds in order
 // (int64 or int for int columns, float64 for float, string for string).
+// Tables pinned from a LiveTable are immutable snapshots and reject
+// appends — apply a delta to the live table instead.
 func (t *Table) AppendRow(vals ...any) error {
+	if t.live != nil {
+		return badf("table %q is a pinned live snapshot; apply deltas to the LiveTable instead", t.Name())
+	}
 	return t.tab.AppendRow(vals...)
 }
 
