@@ -15,8 +15,11 @@
 #                      emitted as BENCH_PR4.json
 #   make bench-ingest  refresh-vs-reregister after 1% append deltas
 #                      (evals/op and wall time), emitted as BENCH_PR5.json
+#   make bench-wal     durable-vs-memory ingest overhead and WAL recovery
+#                      time, emitted as BENCH_PR6.json
 #   make fuzz-smoke    brief run of every native fuzzer (parser round-trip,
-#                      lexer, live delta parser) — the CI crash gate
+#                      lexer, live delta parser, WAL reader) — the CI crash
+#                      gate
 #   make bench-full    3-second benchmark pass (slow; for recorded numbers)
 
 GO ?= go
@@ -26,7 +29,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate bench-ingest fuzz-smoke
+.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate bench-ingest bench-wal fuzz-smoke
 
 check: build vet api-check docs-check race
 
@@ -93,15 +96,24 @@ bench-ingest:
 		| $(GO) run ./tools/benchjson > BENCH_PR5.json
 	@cat BENCH_PR5.json
 
+# Write-ahead-log benchmarks: ingest overhead of durable (fsync-batched)
+# vs memory-only apply, and cold-start recovery time replaying a 100k-row
+# log with no checkpoint.
+bench-wal:
+	$(GO) test -run '^$$' -bench '^BenchmarkIngest(Memory|Durable|DurableDisk)$$|^BenchmarkWALRecovery$$' -benchtime 3x ./internal/live/ \
+		| $(GO) run ./tools/benchjson > BENCH_PR6.json
+	@cat BENCH_PR6.json
+
 # Brief run of each native fuzzer: the parser/renderer round-trip property,
-# lexer crash-safety, and the live delta-batch parser (CSV + NDJSON)
-# against a real keyed table. Failures persist a reproducer under the
-# package's testdata/fuzz/.
+# lexer crash-safety, the live delta-batch parser (CSV + NDJSON) against a
+# real keyed table, and the WAL reader against arbitrary segment bytes.
+# Failures persist a reproducer under the package's testdata/fuzz/.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/sql/
 	$(GO) test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/sql/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseDelta$$' -fuzztime $(FUZZTIME) ./internal/live/
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReader$$' -fuzztime $(FUZZTIME) ./internal/wal/
 
 # One pass over the counting-service benchmark (cold vs warm cache),
 # emitted as BENCH_serve.json.

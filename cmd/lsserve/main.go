@@ -27,6 +27,15 @@
 // estimate, CI, sampled), estimated from one shared sample and cached like
 // any other request. Request knobs: method, budget, classifier, strata,
 // interval (wald|wilson), seed, exact, no_cache.
+//
+// With -data-dir set, live datasets are durable: uploads and ingests are
+// write-ahead logged and fsynced before they are acknowledged, startup
+// recovers every dataset found under the directory (replaying the newest
+// checkpoint plus the log tail, truncating any torn tail from a crash),
+// and graceful shutdown drains in-flight estimations then flushes and
+// checkpoints each dataset. When the log cannot acknowledge a write the
+// server answers 503 with error code unavailable_durability and a
+// Retry-After hint; nothing is half-applied.
 package main
 
 import (
@@ -58,6 +67,7 @@ func main() {
 		para      = flag.Int("p", 1, "classifier parallelism per request (requests already run concurrently)")
 		budget    = flag.Float64("budget", 0.02, "default labeling budget fraction")
 		method    = flag.String("method", "lss", "default estimation method")
+		dataDir   = flag.String("data-dir", "", "directory for durable live datasets: uploads and ingests are write-ahead logged, and restart recovers them (empty = memory-only)")
 	)
 	flag.Parse()
 
@@ -74,7 +84,16 @@ func main() {
 		DefaultMethod: *method,
 		DefaultBudget: *budget,
 		Parallelism:   *para,
+		DataDir:       *dataDir,
 	})
+	recovered, err := svc.RecoverDatasets()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lsserve: recovering %s: %v\n", *dataDir, err)
+		os.Exit(2)
+	}
+	for _, d := range recovered {
+		fmt.Printf("lsserve: recovered live dataset %q (%d rows) at version %d\n", d.Name, d.Rows, d.Version)
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -104,6 +123,19 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "lsserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	// Drain in-flight estimations, then flush and checkpoint every durable
+	// live dataset so the next start replays a checkpoint instead of the
+	// whole log. A drain timeout is reported but does not skip persistence.
+	persisted, err := svc.Shutdown(shutCtx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lsserve: shutdown: %v\n", err)
+	}
+	if len(persisted) > 0 {
+		fmt.Printf("lsserve: persisted %d durable dataset(s): %s\n", len(persisted), strings.Join(persisted, ", "))
+	}
+	if err != nil {
 		os.Exit(1)
 	}
 }

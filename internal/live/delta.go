@@ -275,4 +275,3 @@ func decodeRow(schema dataset.Schema, raw json.RawMessage) ([]any, error) {
 	}
 	return vals, nil
 }
-

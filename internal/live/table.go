@@ -23,10 +23,12 @@
 package live
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/wal"
 )
 
 // Op is one mutation kind within a Batch.
@@ -106,6 +108,11 @@ type Table struct {
 	appended, updated, deleted uint64 // lifetime counters
 
 	snap *Snapshot // cached snapshot for the current version
+
+	// Durability (nil/zero for memory-only tables; see OpenDurable).
+	log      *wal.Log
+	autoCkpt int64 // checkpoint when the log grows past this many bytes
+	closed   bool
 }
 
 // Snapshot is one immutable published state of a live table. Tab satisfies
@@ -195,15 +202,63 @@ func (t *Table) Append(vals ...any) error {
 // mutation. Appends of an existing key (on keyed tables) and
 // updates/deletes of a missing key are errors; updates and deletes on
 // key-less tables are errors.
+//
+// On a durable table (OpenDurable) the batch is written and fsynced to the
+// write-ahead log BEFORE any in-memory mutation: a nil return means the
+// batch will survive a crash, and a durability error (wrapping
+// wal.ErrUnavailable) means nothing was applied at all — memory and disk
+// never diverge.
 func (t *Table) Apply(b *Batch) (Summary, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.applyLocked(b, true)
+}
+
+// applyLocked runs the validate → log → mutate pipeline. logIt is false
+// only during recovery replay, where the record being applied is already on
+// disk.
+func (t *Table) applyLocked(b *Batch, logIt bool) (Summary, error) {
+	if t.closed {
+		return Summary{}, fmt.Errorf("live: table %q is closed: %w", t.name, wal.ErrUnavailable)
+	}
+	if t.log != nil && logIt {
+		if err := t.log.Err(); err != nil {
+			return Summary{}, fmt.Errorf("live: table %q: %w", t.name, err)
+		}
+	}
 	if len(b.Rows) == 0 {
 		return Summary{}, nil
 	}
+	sum, err := t.validateLocked(b)
+	if err != nil {
+		return Summary{}, err
+	}
+	if t.log != nil && logIt {
+		// Write-ahead: the record must be durable before memory changes, so
+		// an fsync failure leaves the table exactly as it was and the
+		// client is never acknowledged for data disk does not have.
+		if err := t.log.Append(wal.KindBatch, t.version+1, encodeBatch(t.schema, b)); err != nil {
+			return Summary{}, fmt.Errorf("live: logging batch for %q: %w", t.name, err)
+		}
+		if err := t.log.Commit(); err != nil {
+			return Summary{}, fmt.Errorf("live: committing batch for %q: %w", t.name, err)
+		}
+	}
+	t.mutateLocked(b, sum)
+	sum.Batches = 1
+	if t.log != nil && logIt && t.autoCkpt > 0 && t.log.SizeSinceCheckpoint() > t.autoCkpt {
+		// Bound replay cost. The batch above is already durable and
+		// acknowledged; a checkpoint failure turns the log sticky-failed
+		// and surfaces on the next Apply.
+		t.checkpointLocked() //nolint:errcheck
+	}
+	return sum, nil
+}
 
-	// Validation pass: check every row against the schema and the key index
-	// as it will be at that point in the batch, without mutating storage.
+// validateLocked checks every row against the schema and the key index as
+// it will be at that point in the batch, without mutating storage, and
+// returns the would-be summary.
+func (t *Table) validateLocked(b *Batch) (Summary, error) {
 	// pendKeys tracks key liveness changes earlier batch rows would make.
 	pendKeys := make(map[int64]bool) // key -> alive after the pending ops
 	alive := func(k int64) bool {
@@ -255,8 +310,12 @@ func (t *Table) Apply(b *Batch) (Summary, error) {
 			return Summary{}, fmt.Errorf("live: batch row %d: unknown op %d", ri, int(r.Op))
 		}
 	}
+	return sum, nil
+}
 
-	// Mutation pass: validated above, so storage errors are impossible.
+// mutateLocked applies a validated batch: storage errors are impossible
+// here, so the batch can never half-apply.
+func (t *Table) mutateLocked(b *Batch, sum Summary) {
 	for _, r := range b.Rows {
 		switch r.Op {
 		case OpAppend:
@@ -284,8 +343,6 @@ func (t *Table) Apply(b *Batch) (Summary, error) {
 	t.deleted += uint64(sum.Deleted)
 	t.version++
 	t.snap = nil
-	sum.Batches = 1
-	return sum, nil
 }
 
 // checkVals validates a full row against the schema (same kinds as
@@ -342,7 +399,11 @@ func (t *Table) Snapshot() *Snapshot {
 }
 
 // compactLocked rewrites storage with live rows only, preserving order, and
-// bumps the epoch. Caller holds t.mu.
+// bumps the epoch. On durable tables it appends (without fsync — the record
+// piggybacks on the next batch commit) a compaction record so replay
+// reproduces the same epoch numbering; losing the record in a crash only
+// shifts recovered epochs, never content, because compaction preserves
+// live-row order. Caller holds t.mu.
 func (t *Table) compactLocked() {
 	n := t.store.NumRows()
 	fresh := dataset.New(t.name, t.schema)
@@ -363,6 +424,13 @@ func (t *Table) compactLocked() {
 	t.tomb = make([]bool, fresh.NumRows())
 	t.nTomb = 0
 	t.epoch++
+	if t.log != nil && !t.closed {
+		var payload [8]byte
+		binary.LittleEndian.PutUint64(payload[:], t.epoch)
+		// Best-effort: an error turns the log sticky-failed and surfaces on
+		// the next Apply; the snapshot itself is still consistent.
+		t.log.Append(wal.KindCompact, t.version, payload[:]) //nolint:errcheck
+	}
 }
 
 // PrefixExtends reports whether newer extends older as a literal prefix:

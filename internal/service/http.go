@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/lsample"
 )
@@ -27,7 +29,10 @@ import (
 //	{"error": {"code": "...", "message": "..."}}
 //
 // with codes bad_request (400), payload_too_large (413), canceled (499),
-// unavailable (503), and internal (500).
+// overloaded (503, admission control), unavailable_durability (503, the
+// write-ahead log cannot acknowledge writes — nothing was applied, retry
+// after the Retry-After hint), and internal (500). Both 503s carry a
+// Retry-After header with a wait hint in seconds.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/count", s.handleCount)
@@ -46,12 +51,12 @@ func (s *Service) handleCount(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, clientErr("invalid JSON body", err))
+		s.writeError(w, clientErr("invalid JSON body", err))
 		return
 	}
 	res, err := s.CountCtx(r.Context(), &req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -65,21 +70,22 @@ func (s *Service) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	qp := r.URL.Query()
 	name := qp.Get("name")
 	if name == "" {
-		writeError(w, badf("missing ?name="))
+		s.writeError(w, badf("missing ?name="))
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
 	if qp.Get("live") == "1" || qp.Get("live") == "true" {
 		// Live upload: the CSV seeds a mutable dataset that /v1/ingest can
 		// keep appending to. The body is stream-parsed in bounded batches,
-		// never buffered whole.
-		lt, err := lsample.NewLiveTable(name, qp.Get("schema"), qp.Get("key"))
+		// never buffered whole. With a data directory configured the dataset
+		// is durable: the seed rows are logged and fsynced as they apply.
+		lt, err := s.openLiveUpload(name, qp.Get("schema"), qp.Get("key"))
 		if err != nil {
-			writeError(w, mapSDKErr(err))
+			s.writeError(w, mapSDKErr(err))
 			return
 		}
 		if _, err := lt.ApplyDelta("csv", body, 0); err != nil {
-			writeError(w, mapSDKErr(err))
+			s.writeError(w, mapSDKErr(err))
 			return
 		}
 		v := s.RegisterLiveTable(lt)
@@ -90,7 +96,7 @@ func (s *Service) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := lsample.ReadCSV(name, qp.Get("schema"), body)
 	if err != nil {
-		writeError(w, mapSDKErr(err))
+		s.writeError(w, mapSDKErr(err))
 		return
 	}
 	v := s.RegisterTable(t)
@@ -107,7 +113,7 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	qp := r.URL.Query()
 	name := qp.Get("name")
 	if name == "" {
-		writeError(w, badf("missing ?name="))
+		s.writeError(w, badf("missing ?name="))
 		return
 	}
 	format := qp.Get("format")
@@ -121,7 +127,7 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Ingest(name, format, http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -169,7 +175,7 @@ type errorBody struct {
 // is unlikely to be delivered anyway.
 const statusClientClosedRequest = 499
 
-func writeError(w http.ResponseWriter, err error) {
+func (s *Service) writeError(w http.ResponseWriter, err error) {
 	var tooBig *http.MaxBytesError
 	status, code := http.StatusInternalServerError, "internal"
 	switch {
@@ -177,10 +183,17 @@ func writeError(w http.ResponseWriter, err error) {
 		status, code = http.StatusRequestEntityTooLarge, "payload_too_large"
 	case errors.Is(err, ErrBadRequest):
 		status, code = http.StatusBadRequest, "bad_request"
+	case errors.Is(err, ErrDurability):
+		// Storage cannot acknowledge writes right now; nothing was applied,
+		// so the identical request is safe to retry after a short wait.
+		status, code = http.StatusServiceUnavailable, "unavailable_durability"
 	case errors.Is(err, ErrBusy):
-		status, code = http.StatusServiceUnavailable, "unavailable"
+		status, code = http.StatusServiceUnavailable, "overloaded"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		status, code = statusClientClosedRequest, "canceled"
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int(max(1, s.opts.RetryAfter/time.Second))))
 	}
 	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: err.Error()}})
 }

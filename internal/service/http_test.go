@@ -291,9 +291,13 @@ func TestHTTPErrorEnvelope(t *testing.T) {
 	}
 
 	svc.sem <- struct{}{} // saturate admission
-	_, body = postJSON(t, ts.URL+"/v1/count", &CountRequest{SQL: skybandQuery, Params: map[string]any{"k": 8}})
-	if code, _ := decode(body); code != "unavailable" {
-		t.Errorf("saturated envelope code = %q, want unavailable", code)
+	resp503, body := postJSON(t, ts.URL+"/v1/count", &CountRequest{SQL: skybandQuery, Params: map[string]any{"k": 8}})
+	if code, _ := decode(body); code != "overloaded" {
+		t.Errorf("saturated envelope code = %q, want overloaded", code)
+	}
+	if resp503.StatusCode != http.StatusServiceUnavailable || resp503.Header.Get("Retry-After") == "" {
+		t.Errorf("saturated response = %d with Retry-After %q, want 503 with a hint",
+			resp503.StatusCode, resp503.Header.Get("Retry-After"))
 	}
 	<-svc.sem
 

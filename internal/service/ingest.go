@@ -27,17 +27,21 @@ func (s *Service) RegisterLiveTable(lt *lsample.LiveTable) uint64 {
 }
 
 // IngestResult reports one ingest request: what was committed and the
-// dataset version serving it.
+// dataset version serving it. On durable datasets Durable is true and
+// DurableVersion is the table version the write-ahead log had fsynced
+// before this response was sent — everything up to it survives a crash.
 type IngestResult struct {
-	Name       string  `json:"name"`
-	Format     string  `json:"format"`
-	Appended   int     `json:"appended"`
-	Updated    int     `json:"updated"`
-	Deleted    int     `json:"deleted"`
-	Batches    int     `json:"batches"`
-	Rows       int     `json:"rows"` // live rows after the ingest
-	Version    uint64  `json:"version"`
-	DurationMS float64 `json:"duration_ms"`
+	Name           string  `json:"name"`
+	Format         string  `json:"format"`
+	Appended       int     `json:"appended"`
+	Updated        int     `json:"updated"`
+	Deleted        int     `json:"deleted"`
+	Batches        int     `json:"batches"`
+	Rows           int     `json:"rows"` // live rows after the ingest
+	Version        uint64  `json:"version"`
+	Durable        bool    `json:"durable,omitempty"`
+	DurableVersion uint64  `json:"durable_version,omitempty"`
+	DurationMS     float64 `json:"duration_ms"`
 }
 
 // Ingest stream-parses a delta (format "csv" or "ndjson") into the named
@@ -58,7 +62,13 @@ func (s *Service) Ingest(name, format string, r io.Reader) (*IngestResult, error
 		return nil, badf("unknown dataset %q", name)
 	}
 	t0 := time.Now()
-	sum, ierr := lt.ApplyDelta(format, r, 0)
+	apply := s.ingestApply
+	if apply == nil {
+		apply = func(lt *lsample.LiveTable, format string, r io.Reader) (lsample.DeltaSummary, error) {
+			return lt.ApplyDelta(format, r, 0)
+		}
+	}
+	sum, ierr := apply(lt, format, r)
 	version := uint64(0)
 	repinned := true
 	if sum.Batches > 0 {
@@ -80,7 +90,7 @@ func (s *Service) Ingest(name, format string, r io.Reader) (*IngestResult, error
 		s.Metrics.IngestErrors.Add(1)
 		return nil, badf("dataset %q was replaced during the ingest; the delta was not published — retry against the new dataset", name)
 	}
-	return &IngestResult{
+	out := &IngestResult{
 		Name:       name,
 		Format:     format,
 		Appended:   sum.Appended,
@@ -90,5 +100,12 @@ func (s *Service) Ingest(name, format string, r io.Reader) (*IngestResult, error
 		Rows:       lt.NumRows(),
 		Version:    version,
 		DurationMS: float64(time.Since(t0)) / 1e6,
-	}, nil
+	}
+	if lt.Durable() {
+		// Every applied batch was fsynced before ApplyDelta returned it as
+		// committed, so the summary's table version is the durable one.
+		out.Durable = true
+		out.DurableVersion = sum.Version
+	}
+	return out, nil
 }

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"runtime/debug"
 	"strconv"
@@ -53,6 +54,8 @@ type Options struct {
 	DefaultBudget  float64       // budget fraction when omitted (default 0.02)
 	Parallelism    int           // per-request classifier parallelism (0 default 1, <0 all cores)
 	MaxUploadBytes int64         // CSV upload limit (0 default 64 MiB)
+	DataDir        string        // root for durable live datasets ("" = memory-only)
+	RetryAfter     time.Duration // Retry-After hint on 503 responses (default 1s)
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +89,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxUploadBytes == 0 {
 		o.MaxUploadBytes = 64 << 20
 	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
 	return o
 }
 
@@ -103,6 +109,10 @@ type Service struct {
 
 	prepMu sync.Mutex
 	preps  map[string]*lsample.PreparedQuery
+
+	// ingestApply overrides how Ingest applies a delta to a live table; nil
+	// means lt.ApplyDelta. Tests inject durability faults through it.
+	ingestApply func(lt *lsample.LiveTable, format string, r io.Reader) (lsample.DeltaSummary, error)
 }
 
 // flight is one in-progress estimation that concurrent identical requests
@@ -185,11 +195,16 @@ func badf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
 }
 
-// mapSDKErr converts lsample client errors into service bad requests so the
-// HTTP layer's status mapping has a single error vocabulary.
+// mapSDKErr converts lsample errors into the service's error vocabulary so
+// the HTTP layer's status mapping has a single set of sentinels: client
+// errors become ErrBadRequest (400), durability failures ErrDurability
+// (503 + Retry-After).
 func mapSDKErr(err error) error {
 	if err == nil {
 		return nil
+	}
+	if errors.Is(err, lsample.ErrUnavailable) {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
 	}
 	if errors.Is(err, lsample.ErrInvalid) {
 		// Double-wrap: callers branch on ErrBadRequest, but the underlying

@@ -1,0 +1,260 @@
+// Package faultfs is an in-memory filesystem implementing wal.FS with
+// injectable faults: crash-at-offset write budgets, torn writes, short
+// reads, and fsync failures. It models the durability semantics a WAL
+// relies on — data written but not synced may vanish (or partially survive,
+// torn) at a crash — so recovery code can be driven through every failure
+// the real filesystem produces, deterministically and without disk.
+//
+// The crash model: each file tracks its full content and the length that a
+// Sync has made durable. Crash rolls every file back to its durable prefix
+// (optionally keeping a torn fragment of the unsynced tail); Snapshot and
+// DurableSnapshot export images that FromMap turns back into a filesystem,
+// letting a test recover from the same crash image any number of times.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// ErrInjected is the error returned by every injected fault.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FS is an in-memory fault-injecting filesystem. The zero value is not
+// usable; construct with New or FromMap. Safe for concurrent use.
+type FS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+
+	failSyncs  int   // fail this many more Syncs (-1: all)
+	writeLimit int64 // total write budget; -1: unlimited
+	written    int64
+	shortRead  int64 // cap ReadFile results; 0: off
+
+	syncs  int64 // lifetime successful Sync count
+	writes int64 // lifetime Write call count
+}
+
+type memFile struct {
+	data   []byte
+	synced int // durable prefix length
+}
+
+// New returns an empty filesystem with no faults armed.
+func New() *FS {
+	return &FS{files: make(map[string]*memFile), dirs: make(map[string]bool), failSyncs: 0, writeLimit: -1}
+}
+
+// FromMap returns a filesystem whose files have the given contents, all
+// fully durable — the shape of a machine that just rebooted from a crash
+// image.
+func FromMap(m map[string][]byte) *FS {
+	f := New()
+	for name, data := range m {
+		f.files[name] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+		f.dirs[path.Dir(name)] = true
+	}
+	return f
+}
+
+// FailSyncs arms the next n Sync calls to fail (n < 0: every Sync fails
+// until re-armed with 0).
+func (f *FS) FailSyncs(n int) {
+	f.mu.Lock()
+	f.failSyncs = n
+	f.mu.Unlock()
+}
+
+// SetWriteLimit allows at most n more bytes of writes in total; the write
+// that crosses the budget is torn — its prefix up to the budget is kept,
+// the rest dropped, and an error returned. n < 0 removes the limit.
+func (f *FS) SetWriteLimit(n int64) {
+	f.mu.Lock()
+	f.writeLimit, f.written = n, 0
+	f.mu.Unlock()
+}
+
+// ShortReads caps every ReadFile result at n bytes (0 disables), modeling a
+// file whose tail cannot be read back.
+func (f *FS) ShortReads(n int64) {
+	f.mu.Lock()
+	f.shortRead = n
+	f.mu.Unlock()
+}
+
+// Syncs returns the number of successful Sync calls.
+func (f *FS) Syncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// Crash simulates power loss in place: every file reverts to its durable
+// prefix plus at most torn bytes of the unsynced tail (torn = 0 is a clean
+// cut at the last fsync). Open handles on the old state keep writing into
+// the void of their detached files; reopen everything after a crash.
+func (f *FS) Crash(torn int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for name, mf := range f.files {
+		keep := mf.synced + min(torn, len(mf.data)-mf.synced)
+		f.files[name] = &memFile{data: append([]byte(nil), mf.data[:keep]...), synced: keep}
+	}
+}
+
+// Snapshot exports the full current contents (synced or not) of every file.
+func (f *FS) Snapshot() map[string][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]byte, len(f.files))
+	for name, mf := range f.files {
+		out[name] = append([]byte(nil), mf.data...)
+	}
+	return out
+}
+
+// DurableSnapshot exports only what a crash is guaranteed to preserve: each
+// file's synced prefix.
+func (f *FS) DurableSnapshot() map[string][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]byte, len(f.files))
+	for name, mf := range f.files {
+		out[name] = append([]byte(nil), mf.data[:mf.synced]...)
+	}
+	return out
+}
+
+// MkdirAll implements wal.FS.
+func (f *FS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	f.dirs[path.Clean(dir)] = true
+	f.mu.Unlock()
+	return nil
+}
+
+// Create implements wal.FS: it truncates any existing file.
+func (f *FS) Create(name string) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf := &memFile{}
+	f.files[path.Clean(name)] = mf
+	f.dirs[path.Dir(path.Clean(name))] = true
+	return &handle{fs: f, f: mf}, nil
+}
+
+// ReadFile implements wal.FS, honoring the short-read cap.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf, ok := f.files[path.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: %s: no such file", name)
+	}
+	data := mf.data
+	if f.shortRead > 0 && int64(len(data)) > f.shortRead {
+		data = data[:f.shortRead]
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// ReadDir implements wal.FS: base names of files directly under dir,
+// sorted.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir = path.Clean(dir)
+	var names []string
+	for name := range f.files {
+		if path.Dir(name) == dir {
+			names = append(names, path.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements wal.FS. It is modeled as atomic and durable (a
+// journaled metadata operation), matching what WriteAtomic relies on.
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf, ok := f.files[path.Clean(oldname)]
+	if !ok {
+		return fmt.Errorf("faultfs: %s: no such file", oldname)
+	}
+	delete(f.files, path.Clean(oldname))
+	f.files[path.Clean(newname)] = mf
+	return nil
+}
+
+// Remove implements wal.FS.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.files[path.Clean(name)]; !ok {
+		return fmt.Errorf("faultfs: %s: no such file", name)
+	}
+	delete(f.files, path.Clean(name))
+	return nil
+}
+
+// handle is an open file. Writes append (the WAL never seeks); a write that
+// crosses the write budget is torn.
+type handle struct {
+	fs     *FS
+	f      *memFile
+	closed bool
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fmt.Errorf("faultfs: write to closed file")
+	}
+	h.fs.writes++
+	n := len(p)
+	if h.fs.writeLimit >= 0 {
+		room := h.fs.writeLimit - h.fs.written
+		if room < int64(len(p)) {
+			n = int(max(room, 0))
+			h.f.data = append(h.f.data, p[:n]...)
+			h.fs.written += int64(n)
+			return n, fmt.Errorf("%w: write budget exhausted (torn write, %d of %d bytes)", ErrInjected, n, len(p))
+		}
+	}
+	h.f.data = append(h.f.data, p...)
+	h.fs.written += int64(n)
+	return n, nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("faultfs: sync of closed file")
+	}
+	if h.fs.failSyncs != 0 {
+		if h.fs.failSyncs > 0 {
+			h.fs.failSyncs--
+		}
+		return fmt.Errorf("%w: fsync failed", ErrInjected)
+	}
+	h.f.synced = len(h.f.data)
+	h.fs.syncs++
+	return nil
+}
+
+func (h *handle) Close() error {
+	h.fs.mu.Lock()
+	h.closed = true
+	h.fs.mu.Unlock()
+	return nil
+}

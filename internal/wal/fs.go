@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable handle the log needs: sequential writes, a durability
+// barrier, and close. The log never seeks — segments are append-only and
+// reads go through FS.ReadFile.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync blocks until every byte written so far is durable. A Sync error
+	// means durability is unknown; the log treats it as fatal (see Log.Err).
+	Sync() error
+}
+
+// FS is the filesystem surface the log runs on. The production
+// implementation is OS; tests inject faultfs.FS to simulate crashes, torn
+// writes, short reads, and fsync failures. Semantics the log relies on:
+//
+//   - Create truncates; writes become durable only after Sync.
+//   - Rename is atomic and, on the real OS, journaled: after a crash the
+//     name refers to either the old or the new file, never a mix.
+//   - ReadDir returns file names sorted lexically.
+type FS interface {
+	MkdirAll(dir string) error
+	Create(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(dir string) ([]string, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o777) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+// WriteAtomic writes data under name via a temp file, a sync, and an atomic
+// rename, so a crash at any point leaves either the old content or the new —
+// never a torn file. It is how checkpoints, metadata, and truncated-tail
+// rewrites reach disk.
+func WriteAtomic(fsys FS, name string, data []byte) error {
+	tmp := name + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("wal: publishing %s: %w", filepath.Base(name), err)
+	}
+	return nil
+}

@@ -1,0 +1,397 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/wal"
+	"repro/internal/wal/faultfs"
+)
+
+// appendCommitted appends one batch record and commits it.
+func appendCommitted(t *testing.T, l *wal.Log, version uint64, payload []byte) {
+	t.Helper()
+	if err := l.Append(wal.KindBatch, version, payload); err != nil {
+		t.Fatalf("Append(%d): %v", version, err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit(%d): %v", version, err)
+	}
+}
+
+func payload(v uint64) []byte { return []byte(fmt.Sprintf("payload-%d", v)) }
+
+func TestLogRoundTrip(t *testing.T) {
+	fs := faultfs.New()
+	l, rec, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if rec.Checkpoint != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh log recovered state: %+v", rec)
+	}
+	for v := uint64(1); v <= 5; v++ {
+		appendCommitted(t, l, v, payload(v))
+	}
+	if err := l.Append(wal.KindCompact, 5, []byte("epoch")); err != nil {
+		t.Fatalf("Append compact: %v", err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, rec, err = wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := len(rec.Records); got != 6 {
+		t.Fatalf("recovered %d records, want 6", got)
+	}
+	for i, r := range rec.Records[:5] {
+		if r.Kind != wal.KindBatch || r.Version != uint64(i+1) || !bytes.Equal(r.Payload, payload(uint64(i+1))) {
+			t.Errorf("record %d = kind %d version %d payload %q", i, r.Kind, r.Version, r.Payload)
+		}
+	}
+	if last := rec.Records[5]; last.Kind != wal.KindCompact || last.Version != 5 || string(last.Payload) != "epoch" {
+		t.Errorf("compact record = %+v", last)
+	}
+	if rec.LastVersion() != 5 {
+		t.Errorf("LastVersion = %d, want 5", rec.LastVersion())
+	}
+	if rec.TornBytes != 0 {
+		t.Errorf("TornBytes = %d on a clean log", rec.TornBytes)
+	}
+}
+
+func TestLogSegmentRotation(t *testing.T) {
+	fs := faultfs.New()
+	l, _, err := wal.Open(fs, "d", wal.Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 50
+	for v := uint64(1); v <= n; v++ {
+		appendCommitted(t, l, v, payload(v))
+	}
+	l.Close()
+
+	segs := 0
+	for name := range fs.Snapshot() {
+		if bytes.Contains([]byte(name), []byte(".seg")) {
+			segs++
+		}
+	}
+	if segs < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", segs)
+	}
+	_, rec, err := wal.Open(fs, "d", wal.Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(rec.Records) != n || rec.LastVersion() != n {
+		t.Fatalf("recovered %d records last %d, want %d", len(rec.Records), rec.LastVersion(), n)
+	}
+}
+
+func TestLogCheckpointPrunesSegments(t *testing.T) {
+	fs := faultfs.New()
+	l, _, err := wal.Open(fs, "d", wal.Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for v := uint64(1); v <= 20; v++ {
+		appendCommitted(t, l, v, payload(v))
+	}
+	if err := l.Checkpoint(20, []byte("state@20")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for v := uint64(21); v <= 25; v++ {
+		appendCommitted(t, l, v, payload(v))
+	}
+	if err := l.Checkpoint(23, []byte("state@23")); err == nil {
+		// A checkpoint below the tip keeps the segments carrying 24..25.
+	} else {
+		t.Fatalf("Checkpoint(23): %v", err)
+	}
+	l.Close()
+
+	_, rec, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if rec.CheckpointVersion != 23 || string(rec.Checkpoint) != "state@23" {
+		t.Fatalf("checkpoint = %d %q", rec.CheckpointVersion, rec.Checkpoint)
+	}
+	want := []uint64{24, 25}
+	var got []uint64
+	for _, r := range rec.Records {
+		got = append(got, r.Version)
+	}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("post-checkpoint records = %v, want %v", got, want)
+	}
+	// The superseded checkpoint file is pruned (at latest by reopen).
+	for name := range fs.Snapshot() {
+		if bytes.Contains([]byte(name), []byte("ckpt-")) && !bytes.Contains([]byte(name), []byte("17")) {
+			// ckpt-0000000000000017.ckpt is version 23 in hex.
+			t.Errorf("unexpected checkpoint file %s", name)
+		}
+	}
+}
+
+func TestLogTornTailTruncatedAndIdempotent(t *testing.T) {
+	fs := faultfs.New()
+	l, _, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for v := uint64(1); v <= 3; v++ {
+		appendCommitted(t, l, v, payload(v))
+	}
+	// A fourth record is appended but the crash hits mid-write: only a
+	// torn fragment of it survives.
+	if err := l.Append(wal.KindBatch, 4, payload(4)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	fs.Crash(5) // keep 5 bytes of the unsynced tail
+
+	_, rec, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(rec.Records) != 3 || rec.LastVersion() != 3 {
+		t.Fatalf("recovered %d records last %d, want 3/3", len(rec.Records), rec.LastVersion())
+	}
+	if rec.TornBytes != 5 {
+		t.Errorf("TornBytes = %d, want 5", rec.TornBytes)
+	}
+
+	// Double replay: recovery rewrote the torn segment, so a second open
+	// sees a clean log with the same records.
+	_, rec2, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("second recover: %v", err)
+	}
+	if len(rec2.Records) != 3 || rec2.TornBytes != 0 {
+		t.Fatalf("second recovery: %d records, %d torn bytes; want 3, 0", len(rec2.Records), rec2.TornBytes)
+	}
+}
+
+func TestLogRejectsCorruptSealedSegment(t *testing.T) {
+	fs := faultfs.New()
+	l, _, err := wal.Open(fs, "d", wal.Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for v := uint64(1); v <= 20; v++ {
+		appendCommitted(t, l, v, payload(v))
+	}
+	l.Close()
+
+	// Flip a byte in the middle of the FIRST (sealed) segment.
+	img := fs.Snapshot()
+	var first string
+	for name := range img {
+		if bytes.Contains([]byte(name), []byte(".seg")) && (first == "" || name < first) {
+			first = name
+		}
+	}
+	data := img[first]
+	data[len(data)/2] ^= 0xFF
+	img[first] = data
+	_, _, err = wal.Open(faultfs.FromMap(img), "d", wal.Options{})
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("corrupt sealed segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLogRejectsVersionGap(t *testing.T) {
+	fs := faultfs.New()
+	l, _, err := wal.Open(fs, "d", wal.Options{SegmentBytes: 1}) // every record its own segment
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for v := uint64(1); v <= 4; v++ {
+		appendCommitted(t, l, v, payload(v))
+	}
+	l.Close()
+
+	// Drop the segment holding version 2 entirely: the versions 3..4 are
+	// unreachable without it and recovery must refuse.
+	img := fs.Snapshot()
+	var segs []string
+	for name := range img {
+		if bytes.Contains([]byte(name), []byte(".seg")) {
+			segs = append(segs, name)
+		}
+	}
+	if len(segs) < 4 {
+		t.Fatalf("expected one segment per record, got %d", len(segs))
+	}
+	// Segments sort by sequence; segment[1] holds version 2.
+	var names []string
+	for _, s := range segs {
+		names = append(names, s)
+	}
+	sortStrings(names)
+	delete(img, names[1])
+	_, _, err = wal.Open(faultfs.FromMap(img), "d", wal.Options{})
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("version gap: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestLogFsyncFailureIsSticky(t *testing.T) {
+	fs := faultfs.New()
+	l, _, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendCommitted(t, l, 1, payload(1))
+
+	fs.FailSyncs(-1)
+	if err := l.Append(wal.KindBatch, 2, payload(2)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Commit(); !errors.Is(err, wal.ErrUnavailable) {
+		t.Fatalf("Commit under failed fsync: err = %v, want ErrUnavailable", err)
+	}
+	// Sticky: even after fsyncs recover, the log refuses writes.
+	fs.FailSyncs(0)
+	if err := l.Append(wal.KindBatch, 3, payload(3)); !errors.Is(err, wal.ErrUnavailable) {
+		t.Fatalf("Append after failure: err = %v, want ErrUnavailable", err)
+	}
+	if err := l.Err(); !errors.Is(err, wal.ErrUnavailable) {
+		t.Fatalf("Err() = %v, want ErrUnavailable", err)
+	}
+
+	// Recovery sees only the durable prefix: version 1.
+	fs.Crash(0)
+	_, rec, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rec.LastVersion() != 1 {
+		t.Fatalf("recovered version %d, want 1", rec.LastVersion())
+	}
+}
+
+func TestLogWriteErrorIsSticky(t *testing.T) {
+	fs := faultfs.New()
+	l, _, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendCommitted(t, l, 1, payload(1))
+	fs.SetWriteLimit(4) // the next record write tears after 4 bytes
+	if err := l.Append(wal.KindBatch, 2, payload(2)); !errors.Is(err, wal.ErrUnavailable) {
+		t.Fatalf("torn write: err = %v, want ErrUnavailable", err)
+	}
+	fs.SetWriteLimit(-1)
+	if err := l.Append(wal.KindBatch, 2, payload(2)); !errors.Is(err, wal.ErrUnavailable) {
+		t.Fatalf("append after torn write: err = %v, want ErrUnavailable", err)
+	}
+
+	// The torn image still recovers to the durable prefix.
+	fs.Crash(2)
+	_, rec, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rec.LastVersion() != 1 || len(rec.Records) != 1 {
+		t.Fatalf("recovered %d records last %d, want 1/1", len(rec.Records), rec.LastVersion())
+	}
+}
+
+func TestLogShortReadRecoversCleanPrefix(t *testing.T) {
+	fs := faultfs.New()
+	l, _, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for v := uint64(1); v <= 3; v++ {
+		appendCommitted(t, l, v, payload(v))
+	}
+	l.Close()
+
+	// Reads cut off mid-file: recovery treats the unreadable tail as torn
+	// and yields the clean prefix rather than failing or fabricating data.
+	fs.ShortReads(60)
+	_, rec, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("recover under short reads: %v", err)
+	}
+	if len(rec.Records) > 3 {
+		t.Fatalf("short read fabricated records: %d", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		if r.Version != uint64(i+1) {
+			t.Fatalf("record %d has version %d", i, r.Version)
+		}
+	}
+}
+
+func TestCheckpointCorruptionRejected(t *testing.T) {
+	fs := faultfs.New()
+	l, _, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendCommitted(t, l, 1, payload(1))
+	if err := l.Checkpoint(1, []byte("state@1")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	l.Close()
+
+	img := fs.Snapshot()
+	for name, data := range img {
+		if bytes.Contains([]byte(name), []byte("ckpt-")) {
+			data[len(data)-1] ^= 0xFF
+			img[name] = data
+		}
+	}
+	_, _, err = wal.Open(faultfs.FromMap(img), "d", wal.Options{})
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("corrupt checkpoint: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCommitBatchesFsyncs(t *testing.T) {
+	fs := faultfs.New()
+	l, _, err := wal.Open(fs, "d", wal.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	base := fs.Syncs()
+	for v := uint64(1); v <= 100; v++ {
+		if err := l.Append(wal.KindBatch, v, payload(v)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if got := fs.Syncs() - base; got != 1 {
+		t.Fatalf("100 appends + 1 commit issued %d fsyncs, want 1", got)
+	}
+	// An empty commit does not fsync again.
+	if err := l.Commit(); err != nil {
+		t.Fatalf("empty Commit: %v", err)
+	}
+	if got := fs.Syncs() - base; got != 1 {
+		t.Fatalf("empty commit fsynced: %d total", got)
+	}
+}

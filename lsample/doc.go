@@ -166,6 +166,28 @@
 // so the delta pricing is always visible. Refresh supports methods srs,
 // lss, and oracle — the oracle variant is a delta-priced exact count.
 //
+// # Durability
+//
+// Live tables are memory-only by default. OpenLiveTable (or OpenLiveDir,
+// which reads the identity stored in the directory) roots a LiveTable in a
+// data directory backed by a checksummed write-ahead log: every Apply and
+// ApplyDelta batch is logged and fsynced BEFORE it mutates the table, so a
+// nil error is a durability acknowledgment — the batch survives any crash
+// — and a failure to persist (ErrUnavailable) applies nothing at all.
+// Periodic checkpoints (automatic past a log-size threshold, explicit via
+// Checkpoint, and on Close) bound recovery time by snapshotting the full
+// columnar state and pruning the log behind it.
+//
+// The recovery contract: reopening a directory restores the newest valid
+// checkpoint and replays every durable batch after it, yielding exactly
+// the state whose batches were acknowledged. A torn tail from a crash
+// mid-write is truncated (it was never acknowledged); corruption anywhere
+// else — a failed record checksum in a sealed segment, an invalid
+// checkpoint — fails the open rather than loading garbage. Because
+// estimates are a pure function of (snapshot, seed), an estimate prepared
+// over a recovered table is byte-identical to one prepared before the
+// crash at the same version, at any parallelism.
+//
 // # Cancellation and determinism
 //
 // Every estimation takes a context.Context and observes cancellation

@@ -1,0 +1,91 @@
+package lsample
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/live"
+	"repro/internal/wal"
+)
+
+// ErrUnavailable marks durability failures: the write-ahead log behind a
+// durable live table could not make a batch durable (fsync error, closed
+// table, or a previous sticky failure). The mutation was NOT applied —
+// memory and disk never diverge — so the operation is safe to retry once
+// the table (or its disk) recovers, typically by reopening the data
+// directory. Distinct from ErrInvalid: the request was fine, the storage
+// was not.
+var ErrUnavailable = errors.New("lsample: durability unavailable")
+
+// OpenLiveTable opens (creating if absent) a durable live table rooted at
+// dir. schema uses the compact "name:kind,name:kind" syntax and keyCol the
+// same contract as NewLiveTable. The directory holds the table's identity
+// (meta.json), a checksummed write-ahead log, and periodic checkpoints;
+// reopening after a crash recovers exactly the state whose batches were
+// acknowledged — Apply and ApplyDelta return only after their batch is
+// fsync-durable.
+//
+// Opening an existing directory verifies name, schema, and key column
+// against what was stored; a mismatch is an ErrInvalid error rather than a
+// silent reinterpretation.
+func OpenLiveTable(dir, name, schema, keyCol string) (*LiveTable, error) {
+	sch, err := parseSchema(schema)
+	if err != nil {
+		return nil, err
+	}
+	lt, err := live.OpenDurable(dir, &live.Spec{Name: name, Schema: sch, KeyCol: keyCol}, live.DurableOptions{})
+	if err != nil {
+		return nil, liveErr(err)
+	}
+	return &LiveTable{lt: lt}, nil
+}
+
+// OpenLiveDir reopens the durable live table stored at dir, taking name,
+// schema, and key column from the directory's own meta.json. Use it at
+// startup to recover tables whose identity the caller does not restate.
+func OpenLiveDir(dir string) (*LiveTable, error) {
+	lt, err := live.OpenDurable(dir, nil, live.DurableOptions{})
+	if err != nil {
+		return nil, liveErr(err)
+	}
+	return &LiveTable{lt: lt}, nil
+}
+
+// Durable reports whether the table persists batches to a write-ahead log
+// (tables from OpenLiveTable/OpenLiveDir) or lives in memory only
+// (NewLiveTable).
+func (t *LiveTable) Durable() bool { return t.lt.Durable() }
+
+// Checkpoint compacts the table and atomically persists its full state,
+// pruning the write-ahead log it covers; recovery cost restarts from zero.
+// Durable tables also checkpoint automatically as the log grows and on
+// Close, so explicit calls are only needed to bound recovery time at
+// chosen moments (for example before a planned restart). No-op on
+// memory-only tables.
+func (t *LiveTable) Checkpoint() error {
+	if err := t.lt.Checkpoint(); err != nil {
+		return liveErr(err)
+	}
+	return nil
+}
+
+// Close checkpoints (when the log is healthy) and releases the write-ahead
+// log. Further mutations fail with ErrUnavailable; existing snapshots
+// remain valid forever. Closing a memory-only table just rejects further
+// mutations.
+func (t *LiveTable) Close() error {
+	if err := t.lt.Close(); err != nil {
+		return liveErr(err)
+	}
+	return nil
+}
+
+// liveErr classifies an internal/live error for SDK callers: durability
+// failures test true against ErrUnavailable, everything else is a caller
+// error under ErrInvalid.
+func liveErr(err error) error {
+	if errors.Is(err, wal.ErrUnavailable) {
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return badf("%v", err)
+}

@@ -1,12 +1,14 @@
 package lsample
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 
 	"repro/internal/live"
+	"repro/internal/wal"
 )
 
 // LiveTable is a mutable dataset: it accepts append/update/delete batches
@@ -57,20 +59,24 @@ func (t *LiveTable) NumRows() int { return t.lt.NumRows() }
 func (t *LiveTable) NumCols() int { return len(t.lt.Schema()) }
 
 // Append applies a single-row append batch; values must match the schema
-// kinds in order. For keyed tables the key must be new.
+// kinds in order. For keyed tables the key must be new. On durable tables
+// a nil return means the row is fsync-durable; a durability failure is
+// reported via ErrUnavailable and applies nothing.
 func (t *LiveTable) Append(vals ...any) error {
 	if err := t.lt.Append(vals...); err != nil {
-		return badf("%v", err)
+		return liveErr(err)
 	}
 	return nil
 }
 
 // Apply applies one delta batch atomically (all rows validate before any
-// applies) and returns what changed.
+// applies) and returns what changed. On durable tables the batch is logged
+// and fsynced before it applies: a nil error means it survives a crash,
+// and an ErrUnavailable error means nothing was applied.
 func (t *LiveTable) Apply(b *DeltaBatch) (DeltaSummary, error) {
 	sum, err := t.lt.Apply(&b.b)
 	if err != nil {
-		return DeltaSummary{}, badf("%v", err)
+		return DeltaSummary{}, liveErr(err)
 	}
 	return DeltaSummary{
 		Appended: sum.Appended,
@@ -125,10 +131,14 @@ func (t *LiveTable) ApplyDeltaStep(format string, r io.Reader, batchRows int, st
 		Version:  t.lt.Version(),
 	}
 	if perr != nil {
-		// Double-wrap: callers branch on ErrInvalid, but the underlying
-		// error (e.g. an http.MaxBytesError from a capped ingest body) must
-		// stay reachable through the chain too.
-		return out, fmt.Errorf("%w: applying %s delta to %q: %w", ErrInvalid, format, t.Name(), perr)
+		// Double-wrap: callers branch on ErrInvalid / ErrUnavailable, but
+		// the underlying error (e.g. an http.MaxBytesError from a capped
+		// ingest body) must stay reachable through the chain too.
+		mark := ErrInvalid
+		if errors.Is(perr, wal.ErrUnavailable) {
+			mark = ErrUnavailable
+		}
+		return out, fmt.Errorf("%w: applying %s delta to %q: %w", mark, format, t.Name(), perr)
 	}
 	return out, nil
 }
