@@ -17,6 +17,9 @@
 #                      (evals/op and wall time), emitted as BENCH_PR5.json
 #   make bench-wal     durable-vs-memory ingest overhead and WAL recovery
 #                      time, emitted as BENCH_PR6.json
+#   make bench-catalog cross-query reuse catalog: cold vs direct-reuse vs
+#                      budget-extension estimation cost (evals/op),
+#                      emitted as BENCH_PR7.json
 #   make fuzz-smoke    brief run of every native fuzzer (parser round-trip,
 #                      lexer, live delta parser, WAL reader) — the CI crash
 #                      gate
@@ -29,7 +32,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate bench-ingest bench-wal fuzz-smoke
+.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate bench-ingest bench-wal bench-catalog fuzz-smoke
 
 check: build vet api-check docs-check race
 
@@ -103,6 +106,14 @@ bench-wal:
 	$(GO) test -run '^$$' -bench '^BenchmarkIngest(Memory|Durable|DurableDisk)$$|^BenchmarkWALRecovery$$' -benchtime 3x ./internal/live/ \
 		| $(GO) run ./tools/benchjson > BENCH_PR6.json
 	@cat BENCH_PR6.json
+
+# Reuse-catalog benchmarks: predicate evaluations and wall time for a
+# from-scratch estimate (base and double budget) vs a direct-reuse rerun
+# vs a budget extension over materialized artifacts.
+bench-catalog:
+	$(GO) test -run '^$$' -bench '^BenchmarkCatalog(Cold|Cold2x|Direct|Extension)$$' -benchtime 3x ./lsample/ \
+		| $(GO) run ./tools/benchjson > BENCH_PR7.json
+	@cat BENCH_PR7.json
 
 # Brief run of each native fuzzer: the parser/renderer round-trip property,
 # lexer crash-safety, the live delta-batch parser (CSV + NDJSON) against a

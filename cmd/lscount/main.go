@@ -40,8 +40,11 @@
 // -interval wald|wilson (Wilson score intervals for the srs proportion
 // estimator, per WithInterval), -p parallelism. Calibrated mode adds
 // -dataset, -rows, -size, -expensive; ad-hoc mode adds -sql, -csv,
-// -schema, -param (repeatable), -exact, -aux; delta replay adds -delta,
-// -delta-format, -delta-batch, -key. Run lscount -h for details.
+// -schema, -param (repeatable), -exact, -aux, and -repeat N (run the query
+// N times through a shared reuse catalog, printing each run's reuse path —
+// direct, extension, or none — and the cumulative predicate evaluations
+// saved); delta replay adds -delta, -delta-format, -delta-batch, -key.
+// Run lscount -h for details.
 package main
 
 import (
@@ -78,6 +81,7 @@ func main() {
 		csvPath   = flag.String("csv", "", "ad-hoc mode: CSV file with a header row")
 		schemaStr = flag.String("schema", "", "ad-hoc mode: CSV schema, e.g. id:int,x:float,y:float")
 		exact     = flag.Bool("exact", false, "ad-hoc mode: also compute the true count (evaluates q on every object)")
+		repeat    = flag.Int("repeat", 1, "ad-hoc mode: execute the query N times through a shared reuse catalog, printing each run's reuse path and the cumulative predicate evaluations saved")
 
 		deltaPath   = flag.String("delta", "", "delta replay mode: change stream to replay against the -csv table (CSV or NDJSON)")
 		deltaFormat = flag.String("delta-format", "", "delta format: csv or ndjson (default: by -delta file extension)")
@@ -113,7 +117,7 @@ func main() {
 				*deltaPath, *deltaFormat, *deltaBatch, aux, params, opts)
 			return
 		}
-		runSQL(ctx, *sqlQuery, *csvPath, *schemaStr, params, *exact, opts)
+		runSQL(ctx, *sqlQuery, *csvPath, *schemaStr, params, *exact, *repeat, opts)
 		return
 	}
 
@@ -197,8 +201,10 @@ func (p *paramFlags) Set(s string) error {
 // runSQL is the ad-hoc mode: estimate a counting query over a CSV file
 // entirely through the SDK — load the CSV as the query's first table,
 // prepare once, execute once. The -expensive flag has no meaning here: the
-// ad-hoc predicate always runs through the engine.
-func runSQL(ctx context.Context, query, csvPath, schemaStr string, params map[string]any, exact bool, opts []lsample.Option) {
+// ad-hoc predicate always runs through the engine. With -repeat N > 1 the
+// session gets a reuse catalog and the query runs N times, demonstrating
+// the catalog's warm-start economics run over run.
+func runSQL(ctx context.Context, query, csvPath, schemaStr string, params map[string]any, exact bool, repeat int, opts []lsample.Option) {
 	if csvPath == "" || schemaStr == "" {
 		fatalf("-sql requires -csv and -schema")
 	}
@@ -210,6 +216,9 @@ func runSQL(ctx context.Context, query, csvPath, schemaStr string, params map[st
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if repeat > 1 {
+		opts = append(append([]lsample.Option(nil), opts...), lsample.WithCatalogBudget(0))
+	}
 	sess, err := lsample.NewSession(lsample.NewMemorySource(tb), opts...)
 	if err != nil {
 		fatalf("%v", err)
@@ -219,7 +228,14 @@ func runSQL(ctx context.Context, query, csvPath, schemaStr string, params map[st
 		fatalf("%v", err)
 	}
 	if q.IsGrouped() {
+		if repeat > 1 {
+			fatalf("-repeat needs a plain counting query (the reuse catalog does not serve GROUP BY estimates)")
+		}
 		runGroupedSQL(ctx, q, tb, csvPath, params, exact)
+		return
+	}
+	if repeat > 1 {
+		runRepeatSQL(ctx, q, tb, csvPath, params, exact, repeat)
 		return
 	}
 	t0 := time.Now()
@@ -247,6 +263,51 @@ func runSQL(ctx context.Context, query, csvPath, schemaStr string, params map[st
 	fmt.Printf("evals used  %d\n", res.SamplesUsed)
 	printLabeling(res.Labeling, res.Timings)
 	fmt.Printf("duration    %.1fms\n", float64(dur)/1e6)
+}
+
+// runRepeatSQL executes the prepared query repeat times against a session
+// with a reuse catalog attached. The first run pays the cold price and
+// materializes its sample, labels, and classifier; later identical runs are
+// served by direct reuse and should spend (close to) zero fresh predicate
+// evaluations. Each line reports the run's reuse path and cost; the final
+// line totals the evaluations saved against the cold-every-time bill.
+func runRepeatSQL(ctx context.Context, q *lsample.PreparedQuery, tb *lsample.Table, csvPath string, params map[string]any, exact bool, repeat int) {
+	fmt.Printf("dataset     %s (%d rows from %s)\n", tb.Name(), tb.NumRows(), csvPath)
+	fmt.Printf("query       %s\n", q.SQL())
+	fmt.Printf("runs        %d through a shared reuse catalog\n\n", repeat)
+
+	fmt.Printf("%4s  %-10s %12s %8s %10s %12s %10s\n",
+		"run", "reuse", "estimate", "evals", "memoized", "cum. saved", "ms")
+	var cold, total, saved int64
+	t0 := time.Now()
+	for i := 1; i <= repeat; i++ {
+		tr := time.Now()
+		res, err := q.Execute(ctx, params, lsample.WithExact(exact))
+		if err != nil {
+			fatalf("run %d: %v", i, err)
+		}
+		evals := int64(res.SamplesUsed)
+		if i == 1 {
+			cold = evals
+		}
+		total += evals
+		saved += cold - evals
+		reuse := res.Reuse
+		if reuse == "" {
+			reuse = lsample.ReuseNone
+		}
+		fmt.Printf("%4d  %-10s %12.1f %8d %10d %12d %10.1f\n",
+			i, reuse, res.Count, evals, res.ReusedLabels, saved,
+			float64(time.Since(tr))/1e6)
+	}
+	fmt.Println()
+	coldBill := cold * int64(repeat)
+	pct := 0.0
+	if coldBill > 0 {
+		pct = 100 * float64(coldBill-total) / float64(coldBill)
+	}
+	fmt.Printf("evals       %d total vs %d cold-every-time (%.1f%% saved)\n", total, coldBill, pct)
+	fmt.Printf("duration    %.1fms\n", float64(time.Since(t0))/1e6)
 }
 
 // printLabeling reports the labeling wall-time breakdown: which predicate

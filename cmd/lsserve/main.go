@@ -19,7 +19,9 @@
 //	                   new dataset version, so cached results over the old
 //	                   data are never served
 //	GET  /v1/stats     metrics: cache hits, admissions, predicate evals,
-//	                   ingest counters (requests, rows, batches, errors)
+//	                   ingest counters (requests, rows, batches, errors),
+//	                   and the reuse-catalog block (entries, bytes, hits,
+//	                   extensions, misses, evictions)
 //	GET  /healthz      liveness
 //
 // A GROUP BY request — "sql" of the form SELECT g, COUNT(*) FROM (...)
@@ -27,6 +29,13 @@
 // estimate, CI, sampled), estimated from one shared sample and cached like
 // any other request. Request knobs: method, budget, classifier, strata,
 // interval (wald|wilson), seed, exact, no_cache.
+//
+// The server keeps a cross-query reuse catalog (see lsample.Catalog) that
+// materializes learn samples, labels, and trained classifiers so repeated
+// or budget-extended queries skip most predicate evaluations; /v1/count
+// responses report the path taken in "reuse" (direct, extension, or none).
+// Size it with -catalog-mb (0 = 64 MiB default, negative disables).
+// Ingests and re-registrations evict the affected entries automatically.
 //
 // With -data-dir set, live datasets are durable: uploads and ingests are
 // write-ahead logged and fsynced before they are acknowledged, startup
@@ -68,6 +77,7 @@ func main() {
 		budget    = flag.Float64("budget", 0.02, "default labeling budget fraction")
 		method    = flag.String("method", "lss", "default estimation method")
 		dataDir   = flag.String("data-dir", "", "directory for durable live datasets: uploads and ingests are write-ahead logged, and restart recovers them (empty = memory-only)")
+		catalogMB = flag.Int64("catalog-mb", 0, "reuse-catalog budget in MiB for cross-query sample/classifier materialization (0 = default 64 MiB, negative disables)")
 	)
 	flag.Parse()
 
@@ -85,6 +95,7 @@ func main() {
 		DefaultBudget: *budget,
 		Parallelism:   *para,
 		DataDir:       *dataDir,
+		CatalogBytes:  catalogBytes(*catalogMB),
 	})
 	recovered, err := svc.RecoverDatasets()
 	if err != nil {
@@ -138,6 +149,16 @@ func main() {
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// catalogBytes maps the -catalog-mb flag onto Options.CatalogBytes:
+// MiB to bytes, with any negative value normalized to -1 (disabled) and
+// 0 passed through to mean the service default.
+func catalogBytes(mb int64) int64 {
+	if mb < 0 {
+		return -1
+	}
+	return mb << 20
 }
 
 // preloadDatasets registers builtin synthetic datasets from a

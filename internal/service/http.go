@@ -135,10 +135,11 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		Metrics     MetricsSnapshot `json:"metrics"`
-		CachedItems int             `json:"cached_items"`
-		Datasets    []DatasetInfo   `json:"datasets"`
-	}{s.Metrics.Snapshot(), s.cache.len(), s.Registry.List()})
+		Metrics     MetricsSnapshot      `json:"metrics"`
+		CachedItems int                  `json:"cached_items"`
+		Catalog     lsample.CatalogStats `json:"catalog"`
+		Datasets    []DatasetInfo        `json:"datasets"`
+	}{s.Metrics.Snapshot(), s.cache.len(), s.CatalogStats(), s.Registry.List()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -82,6 +82,18 @@ func (r *Registry) Repin(name string, lt *lsample.LiveTable) (uint64, bool) {
 	return v, true
 }
 
+// Current returns the currently served snapshot of every registered table,
+// keyed by name; reuse-catalog invalidation compares entries against it.
+func (r *Registry) Current() map[string]*lsample.Table {
+	r.mu.RLock()
+	out := make(map[string]*lsample.Table, len(r.tables))
+	for name, e := range r.tables {
+		out[name] = e.t
+	}
+	r.mu.RUnlock()
+	return out
+}
+
 // Get returns the named table and its registration version.
 func (r *Registry) Get(name string) (*lsample.Table, uint64, bool) {
 	r.mu.RLock()

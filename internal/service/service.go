@@ -56,6 +56,7 @@ type Options struct {
 	MaxUploadBytes int64         // CSV upload limit (0 default 64 MiB)
 	DataDir        string        // root for durable live datasets ("" = memory-only)
 	RetryAfter     time.Duration // Retry-After hint on 503 responses (default 1s)
+	CatalogBytes   int64         // reuse-catalog budget; 0 default 64 MiB, <0 disables
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +111,10 @@ type Service struct {
 	prepMu sync.Mutex
 	preps  map[string]*lsample.PreparedQuery
 
+	// catalog is the shared cross-query reuse catalog every prepared
+	// session executes through; nil when Options.CatalogBytes < 0.
+	catalog *lsample.Catalog
+
 	// ingestApply overrides how Ingest applies a delta to a live table; nil
 	// means lt.ApplyDelta. Tests inject durability faults through it.
 	ingestApply func(lt *lsample.LiveTable, format string, r io.Reader) (lsample.DeltaSummary, error)
@@ -127,6 +132,10 @@ type flight struct {
 // New returns a Service over reg with the given options.
 func New(reg *Registry, opts Options) *Service {
 	o := opts.withDefaults()
+	var cat *lsample.Catalog
+	if o.CatalogBytes >= 0 {
+		cat = lsample.NewCatalog(o.CatalogBytes)
+	}
 	return &Service{
 		Registry: reg,
 		Metrics:  &Metrics{},
@@ -135,7 +144,17 @@ func New(reg *Registry, opts Options) *Service {
 		sem:      make(chan struct{}, o.MaxInFlight),
 		flights:  make(map[string]*flight),
 		preps:    make(map[string]*lsample.PreparedQuery),
+		catalog:  cat,
 	}
+}
+
+// CatalogStats returns the reuse catalog's accounting (zero when the
+// catalog is disabled).
+func (s *Service) CatalogStats() lsample.CatalogStats {
+	if s.catalog == nil {
+		return lsample.CatalogStats{}
+	}
+	return s.catalog.Stats()
 }
 
 // CountRequest is one estimation request.
@@ -174,6 +193,7 @@ type CountResult struct {
 	DurationMS  float64    `json:"duration_ms"`
 	PredicateMS float64    `json:"predicate_ms"` // wall time inside the expensive predicate
 	Compiled    bool       `json:"compiled"`     // labeling ran through the compiled predicate engine
+	Reuse       string     `json:"reuse"`        // catalog reuse path: "direct", "extension", or "none"
 	Cached      bool       `json:"cached"`
 }
 
@@ -427,6 +447,12 @@ func (s *Service) execOptions(method, clfName string, strata int, iv lsample.Int
 		lsample.WithParallelism(s.opts.Parallelism),
 		lsample.WithExact(req.Exact),
 	}
+	// NoCache promises a full recomputation, so it bypasses the reuse
+	// catalog too — concurrent no-cache clients verifying bit-identical
+	// answers must all pay (and report) the same full evaluation bill.
+	if req.NoCache {
+		opts = append(opts, lsample.WithCatalog(nil))
+	}
 	// Applying the options to a throwaway estimator surfaces unknown
 	// method/classifier names now, so bad requests never occupy an
 	// admission slot.
@@ -464,6 +490,7 @@ func (s *Service) estimate(ctx context.Context, req *CountRequest, versions, fp0
 			Seed:        ge.Seed,
 			PredicateMS: float64(ge.Timings.Predicate) / 1e6,
 			Compiled:    ge.Labeling.Compiled,
+			Reuse:       lsample.ReuseNone, // grouped plans are outside the catalog's contract
 		}
 		trueTotal := 0
 		for i, g := range ge.Groups {
@@ -509,6 +536,10 @@ func (s *Service) estimate(ctx context.Context, req *CountRequest, versions, fp0
 		Seed:        est.Seed,
 		PredicateMS: float64(est.Timings.Predicate) / 1e6,
 		Compiled:    est.Labeling.Compiled,
+		Reuse:       est.Reuse,
+	}
+	if out.Reuse == "" {
+		out.Reuse = lsample.ReuseNone // classic path: no catalog in play
 	}
 	if est.CI != nil {
 		out.CILo, out.CIHi = est.CI.Lo, est.CI.Hi
@@ -534,7 +565,8 @@ func (s *Service) prepared(versions, fp0, sqlText string, snap map[string]*lsamp
 	for _, t := range snap {
 		tables = append(tables, t)
 	}
-	sess, err := lsample.NewSession(lsample.NewMemorySource(tables...))
+	sess, err := lsample.NewSession(lsample.NewMemorySource(tables...),
+		lsample.WithCatalog(s.catalog))
 	if err != nil {
 		return nil, err
 	}
@@ -566,11 +598,17 @@ func (s *Service) prepared(versions, fp0, sqlText string, snap map[string]*lsamp
 // versions the registry no longer serves. It runs on every registration and
 // ingest (not just lazily inside prepared), so superseded snapshots are
 // released as soon as they are superseded — the registry's memory footprint
-// stays proportional to the live version set, not the update history.
+// stays proportional to the live version set, not the update history. The
+// same hook evicts reuse-catalog entries keyed to superseded snapshots, so
+// a live Repin or re-registration can never leave a stale catalog entry
+// serving an old data version.
 func (s *Service) dropStalePreps() {
 	s.prepMu.Lock()
 	s.dropStalePrepsLocked()
 	s.prepMu.Unlock()
+	if s.catalog != nil {
+		s.catalog.EvictStale(s.Registry.Current())
+	}
 }
 
 func (s *Service) dropStalePrepsLocked() {

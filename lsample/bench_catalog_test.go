@@ -1,0 +1,122 @@
+package lsample
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// The catalog benchmarks answer this PR's headline question: what does a
+// repeated (or budget-extended) query cost once its learn-phase artifacts
+// are materialized? BenchmarkCatalogCold is the from-scratch bill at the
+// base budget, BenchmarkCatalogCold2x at double budget; CatalogDirect
+// reruns a materialized plan (sampling and learning skipped entirely) and
+// CatalogExtension tops the materialized sample up to double budget.
+// Predicate evaluations per op are the paper's cost unit.
+
+const (
+	benchCatalogRows   = 2000
+	benchCatalogBudget = 0.1
+)
+
+func benchCatalogTable(b *testing.B) *Table {
+	b.Helper()
+	r := xrand.New(61)
+	tb, err := NewTable("D", "id:int,x:float,y:float")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchCatalogRows; i++ {
+		if err := tb.AppendRow(int64(i), r.Float64()*100, r.Float64()*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func benchCatalogQuery(b *testing.B, tb *Table, cat *Catalog) *PreparedQuery {
+	b.Helper()
+	sess, err := NewSession(NewMemorySource(tb),
+		WithCatalog(cat), WithMethod("lss"), WithSeed(17), WithParallelism(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sess.Prepare(skybandQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+func benchCatalogRun(b *testing.B, q *PreparedQuery, budget float64, wantReuse string) int64 {
+	b.Helper()
+	res, err := q.Execute(context.Background(), map[string]any{"k": 8}, WithBudget(budget))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Reuse != wantReuse {
+		b.Fatalf("reuse = %q, want %q", res.Reuse, wantReuse)
+	}
+	return res.SamplesUsed
+}
+
+// BenchmarkCatalogCold: one from-scratch estimate per op (fresh empty
+// catalog each time) at the base budget.
+func BenchmarkCatalogCold(b *testing.B) {
+	tb := benchCatalogTable(b)
+	b.ResetTimer()
+	var evals int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		q := benchCatalogQuery(b, tb, NewCatalog(0))
+		b.StartTimer()
+		evals += benchCatalogRun(b, q, benchCatalogBudget, ReuseNone)
+	}
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+}
+
+// BenchmarkCatalogCold2x: the from-scratch bill at double budget — the
+// baseline the extension path is measured against.
+func BenchmarkCatalogCold2x(b *testing.B) {
+	tb := benchCatalogTable(b)
+	b.ResetTimer()
+	var evals int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		q := benchCatalogQuery(b, tb, NewCatalog(0))
+		b.StartTimer()
+		evals += benchCatalogRun(b, q, 2*benchCatalogBudget, ReuseNone)
+	}
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+}
+
+// BenchmarkCatalogDirect: rerun of a materialized plan — sampling and
+// learning skipped, every label answered from the memo.
+func BenchmarkCatalogDirect(b *testing.B) {
+	q := benchCatalogQuery(b, benchCatalogTable(b), NewCatalog(0))
+	benchCatalogRun(b, q, benchCatalogBudget, ReuseNone) // materialize outside the timed loop
+	b.ResetTimer()
+	var evals int64
+	for i := 0; i < b.N; i++ {
+		evals += benchCatalogRun(b, q, benchCatalogBudget, ReuseDirect)
+	}
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+}
+
+// BenchmarkCatalogExtension: double the budget over a plan materialized at
+// the base budget — the hash bottom-k sample is topped up (strict prefix
+// extension) and only the new keys pay for labels.
+func BenchmarkCatalogExtension(b *testing.B) {
+	tb := benchCatalogTable(b)
+	b.ResetTimer()
+	var evals int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		q := benchCatalogQuery(b, tb, NewCatalog(0))
+		benchCatalogRun(b, q, benchCatalogBudget, ReuseNone)
+		b.StartTimer()
+		evals += benchCatalogRun(b, q, 2*benchCatalogBudget, ReuseExtension)
+	}
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+}

@@ -92,6 +92,11 @@
 //	                      when the learn sample drifted past f (default 0.1)
 //	WithRelabel(true)     live refresh only: bypass the label memo — the
 //	                      cold baseline refresh savings are measured against
+//	WithCatalog(c)        attach a cross-query reuse catalog to SQL
+//	                      executions (nil detaches); see "Cross-query reuse
+//	                      catalog" below
+//	WithCatalogBudget(b)  shorthand: attach a fresh catalog bounded to b
+//	                      bytes (<= 0 selects the 64 MiB default)
 //
 // # Predicate compilation
 //
@@ -165,6 +170,39 @@
 // Refresh reports Retrained, InvalidatedAll, FreshLabels, and ReusedLabels
 // so the delta pricing is always visible. Refresh supports methods srs,
 // lss, and oracle — the oracle variant is a delta-priced exact count.
+//
+// # Cross-query reuse catalog
+//
+// A Catalog (NewCatalog, attached via WithCatalog or WithCatalogBudget)
+// materializes learn-phase artifacts — per-key labels, the trained
+// classifier, its score strata — and reuses them across executions,
+// sessions, and queries that share table snapshots. Entries are keyed by
+// (snapshots, object-enumeration shape, feature columns, plan); the
+// labeling budget is deliberately not part of the key. On Execute (methods
+// srs, lss, oracle; queries with a unique integer object key — everything
+// else transparently takes the classic path):
+//
+//   - Direct reuse: the materialized plan covers the request — sampling
+//     and learning are skipped outright, and a rerun of the originating
+//     request spends zero fresh predicate evaluations. A request whose
+//     predicate differs only in Q3-bound parameters shares the entry and
+//     its classifier, relabeling under the new predicate.
+//   - Extension: only the budget grew — the hash bottom-k sample is topped
+//     up (bottom-k at a larger k is a strict superset, so only new keys
+//     pay for labels) and the classifier is retrained at the new learn
+//     size.
+//   - Materialization on a miss, with size-weighted LFU eviction under the
+//     catalog's byte budget and automatic invalidation when a snapshot is
+//     superseded (EvictStale; the HTTP service wires this to ingest and
+//     re-registration).
+//
+// The determinism contract extends to the catalog: for a fixed
+// (snapshots, query, params, method, budget, seed) the estimate is
+// byte-identical no matter what the catalog holds, because reused state is
+// only memoized labels (pure functions of snapshot, key, and predicate)
+// and classifiers the cold path would have trained identically. Estimate
+// reports the path taken in Reuse (ReuseDirect, ReuseExtension, ReuseNone)
+// and the memo's contribution in ReusedLabels.
 //
 // # Durability
 //

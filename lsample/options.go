@@ -60,6 +60,7 @@ type config struct {
 	noCompile   bool    // disable predicate compilation (keep the interpreter)
 	churn       float64 // refresh retrain threshold; <0 means the default 0.1
 	relabel     bool    // refresh only: bypass the label memo (cold baseline)
+	catalog     *Catalog // cross-query reuse catalog; nil disables reuse
 }
 
 // churnThreshold resolves the refresh retraining threshold.
@@ -229,6 +230,35 @@ func WithChurnThreshold(f float64) Option {
 func WithRelabel(relabel bool) Option {
 	return func(c *config) error {
 		c.relabel = relabel
+		return nil
+	}
+}
+
+// WithCatalog attaches a cross-query reuse catalog: SQL executions of the
+// srs, lss, and oracle methods materialize their learn-phase artifacts
+// (hash-selected samples as per-key labels, the trained classifier, score
+// strata) into it and later executions over the same (snapshot, Q1 shape,
+// feature set, plan) reuse them — directly when the plan matches, by
+// deterministic sample extension when only the budget grew. Estimates stay
+// byte-identical to from-scratch runs of the same plan; see the package
+// documentation ("Cross-query reuse catalog") for the exact contract.
+// A catalog is safe for concurrent use and may be shared across sessions
+// serving the same snapshots. WithCatalog(nil) detaches it.
+func WithCatalog(c *Catalog) Option {
+	return func(cfg *config) error {
+		cfg.catalog = c
+		return nil
+	}
+}
+
+// WithCatalogBudget attaches a fresh private reuse catalog bounded to the
+// given number of bytes (<= 0 selects the default 64 MiB). It is the
+// convenience form of WithCatalog for single-session use — typically a
+// NewSession option, so every query prepared through the session shares
+// the one catalog.
+func WithCatalogBudget(bytes int64) Option {
+	return func(cfg *config) error {
+		cfg.catalog = NewCatalog(bytes)
 		return nil
 	}
 }

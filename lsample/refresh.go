@@ -229,11 +229,9 @@ type RefreshEstimate struct {
 	// previous refresh across all referenced tables.
 	DeltaRows int
 	// FreshLabels is the number of predicate evaluations spent this
-	// refresh (equal to SamplesUsed).
+	// refresh (equal to SamplesUsed). ReusedLabels — promoted from
+	// Estimate — counts sample members answered from the label memo.
 	FreshLabels int64
-	// ReusedLabels is the number of sampled objects whose label came from
-	// the memo instead of a predicate evaluation.
-	ReusedLabels int
 	// Retrained reports that this refresh retrained the classifier and
 	// redesigned the strata (always true on the first refresh of a
 	// learned method).

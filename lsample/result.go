@@ -104,6 +104,16 @@ type Estimate struct {
 	// Labeling reports which predicate-evaluation path the run took
 	// (compiled vs interpreted fallback) and its labeling parallelism.
 	Labeling Labeling
+	// Reuse reports how a reuse catalog served this execution: "direct"
+	// (materialized artifacts fully covered the plan), "extension" (the
+	// sample was topped up / the classifier retrained at a new budget), or
+	// "none" (the execution materialized a fresh entry). Empty when no
+	// catalog was attached (see WithCatalog) or the path ran without one.
+	Reuse string
+	// ReusedLabels is the number of sampled objects whose label was
+	// answered from a memo — the catalog's label store or, on the Refresh
+	// path, the live label memo — instead of a predicate evaluation.
+	ReusedLabels int
 }
 
 // fromCore converts an internal result. alpha 0 means the methods' default

@@ -125,12 +125,14 @@ func (s *Session) Prepare(sqlText string, opts ...Option) (*PreparedQuery, error
 		return nil, badf("query has no FROM clause")
 	}
 	cat := make(engine.Catalog, len(names))
+	snaps := make(map[string]*Table, len(names))
 	for _, name := range names {
 		t, err := s.src.Table(name)
 		if err != nil {
 			return nil, err
 		}
 		cat[name] = t.tab
+		snaps[name] = t
 	}
 	if dec == nil {
 		dec, err = engine.Decompose(inner)
@@ -157,11 +159,30 @@ func (s *Session) Prepare(sqlText string, opts ...Option) (*PreparedQuery, error
 		dec:     dec,
 		grouped: grouped,
 		cat:     cat,
+		snaps:   snaps,
+		q2IDs:   q2Identifiers(dec.Objects),
 		ltab:    cat[dec.Objects.From[0].Name],
 		feats:   make(map[string]*featureState),
 		prog:    prog,
 		progErr: progErr,
 	}, nil
+}
+
+// q2Identifiers collects every identifier name referenced anywhere in the
+// object-enumeration query Q2 (including its subqueries). The reuse
+// catalog restricts bound parameters to this set when fingerprinting Q2:
+// parameters only the predicate Q3 reads then leave the enumeration
+// identity unchanged, so predicate variants of one query shape share a
+// catalog entry. Column names are included too — over-inclusion can only
+// split entries that could have been shared, never alias different ones.
+func q2Identifiers(objects *sql.SelectStmt) map[string]bool {
+	ids := make(map[string]bool)
+	sql.WalkStmtDeep(objects, func(e sql.Expr) {
+		if cr, ok := e.(*sql.ColumnRef); ok {
+			ids[cr.Name] = true
+		}
+	}, nil)
+	return ids
 }
 
 // PreparedQuery is a parsed, decomposed, feature-selected counting query
@@ -176,6 +197,8 @@ type PreparedQuery struct {
 	dec     *engine.Decomposed
 	grouped *engine.GroupedDecomposed // nil for plain counting queries
 	cat     engine.Catalog
+	snaps   map[string]*Table // pinned snapshots by name (catalog identity)
+	q2IDs   map[string]bool   // identifier names Q2 references (catalog key)
 	ltab    *dataset.Table
 	prog    *qcompile.Program // compiled Q3, nil when outside the subset
 	progErr string            // fallback reason when prog is nil
@@ -249,6 +272,15 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 	alpha := cfg.alpha
 	if alpha <= 0 {
 		alpha = 0.05
+	}
+
+	// Cross-query reuse: a configured catalog serves srs, lss, and oracle
+	// executions from materialized learn-phase artifacts (see
+	// executeCatalog). Shapes and methods outside its contract fall through
+	// to the classic path; errors inside it are real request errors, not
+	// fallback triggers.
+	if est, handled, err := q.executeCatalog(ctx, cfg, vals, strs, alpha); handled || err != nil {
+		return est, err
 	}
 
 	ev := engine.NewEvaluator(q.cat)

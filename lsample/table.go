@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/live"
@@ -19,6 +20,28 @@ import (
 type Table struct {
 	tab  *dataset.Table
 	live *liveMeta // non-nil when the table is a pinned live snapshot
+
+	// sid is the process-unique snapshot identity, assigned lazily on first
+	// use (0 = unassigned). Two distinct *Table pins never share an id, so
+	// catalog keys built from it can never alias different data; re-pinning
+	// the same data costs at most a catalog miss, never a wrong hit.
+	sid atomic.Uint64
+}
+
+// snapCounter feeds snapshotID; id 0 is reserved for "unassigned".
+var snapCounter atomic.Uint64
+
+// snapshotID returns the table's process-unique snapshot identity,
+// assigning one on first call.
+func (t *Table) snapshotID() uint64 {
+	for {
+		if v := t.sid.Load(); v != 0 {
+			return v
+		}
+		if t.sid.CompareAndSwap(0, snapCounter.Add(1)) {
+			return t.sid.Load()
+		}
+	}
 }
 
 // liveMeta identifies which live table a snapshot came from and where in
