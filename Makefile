@@ -20,9 +20,12 @@
 #   make bench-catalog cross-query reuse catalog: cold vs direct-reuse vs
 #                      budget-extension estimation cost (evals/op),
 #                      emitted as BENCH_PR7.json
+#   make bench-shard   sharded scatter/gather at 1/2/4/8 shards (evals/op
+#                      and wall) plus a one-shard-killed degraded run,
+#                      emitted as BENCH_PR8.json
 #   make fuzz-smoke    brief run of every native fuzzer (parser round-trip,
-#                      lexer, live delta parser, WAL reader) — the CI crash
-#                      gate
+#                      lexer, live delta parser, WAL reader, shard routing)
+#                      — the CI crash gate
 #   make bench-full    3-second benchmark pass (slow; for recorded numbers)
 
 GO ?= go
@@ -32,7 +35,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate bench-ingest bench-wal bench-catalog fuzz-smoke
+.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate bench-ingest bench-wal bench-catalog bench-shard fuzz-smoke
 
 check: build vet api-check docs-check race
 
@@ -115,9 +118,20 @@ bench-catalog:
 		| $(GO) run ./tools/benchjson > BENCH_PR7.json
 	@cat BENCH_PR7.json
 
+# Sharded scatter/gather benchmarks: evals/op and wall time for the lss
+# drive at 1/2/4/8 shards (per-worker labeling service time modeled, so
+# the scatter overlap is visible on a single-core runner), plus the
+# degraded chaos run with one shard killed mid-query under a deadline.
+bench-shard:
+	$(GO) test -run '^$$' -bench '^BenchmarkShardDrive(1|2|4|8|Degraded)$$' -benchtime 3x ./internal/shard/ \
+		| $(GO) run ./tools/benchjson > BENCH_PR8.json
+	@cat BENCH_PR8.json
+
 # Brief run of each native fuzzer: the parser/renderer round-trip property,
 # lexer crash-safety, the live delta-batch parser (CSV + NDJSON) against a
-# real keyed table, and the WAL reader against arbitrary segment bytes.
+# real keyed table, the WAL reader against arbitrary segment bytes, and the
+# consistent-hash shard routing invariants (no key lost or double-assigned,
+# minimal movement on join/leave).
 # Failures persist a reproducer under the package's testdata/fuzz/.
 FUZZTIME ?= 10s
 fuzz-smoke:
@@ -125,6 +139,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/sql/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseDelta$$' -fuzztime $(FUZZTIME) ./internal/live/
 	$(GO) test -run '^$$' -fuzz '^FuzzWALReader$$' -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz '^FuzzShardRouting$$' -fuzztime $(FUZZTIME) ./internal/shard/
 
 # One pass over the counting-service benchmark (cold vs warm cache),
 # emitted as BENCH_serve.json.

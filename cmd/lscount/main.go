@@ -38,7 +38,9 @@
 // Flags (common): -method srs|ssp|ssn|lws|lss|qlcc|qlac|oracle,
 // -budget frac, -seed n, -classifier rf|knn|nn|random, -strata h,
 // -interval wald|wilson (Wilson score intervals for the srs proportion
-// estimator, per WithInterval), -p parallelism. Calibrated mode adds
+// estimator, per WithInterval), -p parallelism, -shards n (sharded
+// execution: hash-partition the population, estimate per shard, merge
+// byte-identically; srs, lss, and oracle only). Calibrated mode adds
 // -dataset, -rows, -size, -expensive; ad-hoc mode adds -sql, -csv,
 // -schema, -param (repeatable), -exact, -aux, and -repeat N (run the query
 // N times through a shared reuse catalog, printing each run's reuse path —
@@ -75,6 +77,7 @@ func main() {
 		strata    = flag.Int("strata", 4, "strata for stratified methods")
 		interval  = flag.String("interval", "wald", "confidence interval: wald or wilson (srs)")
 		expensive = flag.Bool("expensive", false, "use the real O(N)-per-eval predicate instead of cached labels")
+		shards    = flag.Int("shards", 0, "run sharded: partition the population into N hash-aligned shards, estimate per shard, and merge (srs/lss/oracle; the answer is byte-identical at any shard count)")
 		para      = flag.Int("p", 0, "parallelism for forest training and batch scoring (0 = all cores, 1 = sequential); the estimate is identical at any value")
 
 		sqlQuery  = flag.String("sql", "", "ad-hoc mode: counting query to estimate (requires -csv and -schema)")
@@ -109,6 +112,9 @@ func main() {
 		lsample.WithSeed(*seed),
 		lsample.WithParallelism(*para),
 		lsample.WithInterval(iv),
+	}
+	if *shards > 0 {
+		opts = append(opts, lsample.WithShards(*shards))
 	}
 
 	if *sqlQuery != "" {

@@ -23,6 +23,24 @@
 //	                   and the reuse-catalog block (entries, bytes, hits,
 //	                   extensions, misses, evictions)
 //	GET  /healthz      liveness
+//	POST /v1/shard     one shard's estimation primitives (worker side of
+//	                   sharded scale-out; see -role)
+//
+// Sharded scale-out: start worker servers (-role=worker, each with the
+// same datasets) and one coordinator:
+//
+//	lsserve -role=worker -addr :8081 -preload neighbors:8000
+//	lsserve -role=worker -addr :8082 -preload neighbors:8000
+//	lsserve -role=coordinator -addr :8080 \
+//	        -workers w1=http://localhost:8081,w2=http://localhost:8082 \
+//	        -shards 4 -hedge-after 500ms -allow-degraded
+//
+// The coordinator serves POST /v1/count by scattering per-shard sampling
+// over the workers (consistent-hash routing, per-op deadlines, hedged
+// retries on stragglers) and merging the partials; the answer is
+// byte-identical to a single-process run at any worker or shard count. A
+// /v1/count request may also pass "shards": N to any standalone server
+// for in-process sharded execution.
 //
 // A GROUP BY request — "sql" of the form SELECT g, COUNT(*) FROM (...)
 // GROUP BY g — answers with one groups[] row per group (key, objects,
@@ -78,8 +96,32 @@ func main() {
 		method    = flag.String("method", "lss", "default estimation method")
 		dataDir   = flag.String("data-dir", "", "directory for durable live datasets: uploads and ingests are write-ahead logged, and restart recovers them (empty = memory-only)")
 		catalogMB = flag.Int64("catalog-mb", 0, "reuse-catalog budget in MiB for cross-query sample/classifier materialization (0 = default 64 MiB, negative disables)")
+
+		role           = flag.String("role", "", "serving role: empty (standalone: full API incl. /v1/shard), worker (same, intended behind a coordinator), or coordinator (scatter/gather /v1/count over -workers)")
+		workerSpec     = flag.String("workers", "", "coordinator role: worker roster as name=http://host:port,name=url")
+		shards         = flag.Int("shards", 0, "coordinator role: shards per query (0 = one per worker)")
+		workerDeadline = flag.Duration("worker-deadline", 15*time.Second, "coordinator role: per-shard-op deadline on one worker")
+		hedgeAfter     = flag.Duration("hedge-after", 500*time.Millisecond, "coordinator role: start a backup request to the next worker after this quiet time")
+		allowDegraded  = flag.Bool("allow-degraded", false, "coordinator role: answer with a scaled, widened-interval estimate when a shard's every candidate fails, instead of failing the query")
 	)
 	flag.Parse()
+
+	if *role == "coordinator" {
+		if err := runCoordinator(*addr, *workerSpec, service.CoordinatorOptions{
+			Shards:         *shards,
+			WorkerDeadline: *workerDeadline,
+			HedgeAfter:     *hedgeAfter,
+			AllowDegraded:  *allowDegraded,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "lsserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *role != "" && *role != "worker" {
+		fmt.Fprintf(os.Stderr, "lsserve: unknown -role %q (want worker or coordinator)\n", *role)
+		os.Exit(2)
+	}
 
 	reg := service.NewRegistry()
 	if err := preloadDatasets(reg, *preload, *seed); err != nil {
@@ -149,6 +191,48 @@ func main() {
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// runCoordinator serves the scatter/gather role: /v1/count requests are
+// split into hash-aligned shards, routed over the worker roster with
+// per-op deadlines and hedged retries, and merged byte-identically to a
+// single-process run.
+func runCoordinator(addr, roster string, opts service.CoordinatorOptions) error {
+	var workers []service.WorkerInfo
+	for _, part := range strings.Split(roster, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, base, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("-workers entry %q is not name=url", part)
+		}
+		workers = append(workers, service.WorkerInfo{Name: name, BaseURL: strings.TrimSuffix(base, "/")})
+	}
+	coord, err := service.NewCoordinator(workers, opts)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("lsserve: coordinator listening on %s (%d workers)\n", addr, len(workers))
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
 }
 
 // catalogBytes maps the -catalog-mb flag onto Options.CatalogBytes:

@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+func TestPartialAddAndMerge(t *testing.T) {
+	a := Partial{N: 10, Sampled: 4, Positives: 2}
+	a.Add(Partial{N: 5, Sampled: 1, Positives: 1})
+	if a != (Partial{N: 15, Sampled: 5, Positives: 3}) {
+		t.Fatalf("Add = %+v", a)
+	}
+
+	merged := MergePartials([][]Partial{
+		{{N: 10, Sampled: 2, Positives: 1}, {N: 20, Sampled: 5, Positives: 0}},
+		{{N: 3, Sampled: 3, Positives: 3}}, // short vector: cell 1 missing
+		nil,
+		{{N: 1, Sampled: 0, Positives: 0}, {N: 4, Sampled: 1, Positives: 1}, {N: 7, Sampled: 2, Positives: 2}},
+	})
+	want := []Partial{
+		{N: 14, Sampled: 5, Positives: 4},
+		{N: 24, Sampled: 6, Positives: 1},
+		{N: 7, Sampled: 2, Positives: 2},
+	}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d cells, want %d", len(merged), len(want))
+	}
+	for i := range want {
+		if merged[i] != want[i] {
+			t.Errorf("cell %d = %+v, want %+v", i, merged[i], want[i])
+		}
+	}
+
+	if got := MergePartials(nil); len(got) != 0 {
+		t.Fatalf("MergePartials(nil) = %v", got)
+	}
+}
+
+func TestPartialStrataSamples(t *testing.T) {
+	cells := []Partial{{N: 10, Sampled: 4, Positives: 2}, {N: 6, Sampled: 6, Positives: 0}}
+	ss := StrataSamples(cells)
+	if len(ss) != 2 {
+		t.Fatalf("got %d strata", len(ss))
+	}
+	for i, c := range cells {
+		if ss[i].N != c.N || ss[i].Sampled != c.Sampled || ss[i].Positives != c.Positives {
+			t.Errorf("stratum %d = %+v, want %+v", i, ss[i], c)
+		}
+	}
+}
+
+func TestPartialValidate(t *testing.T) {
+	ok := []Partial{{}, {N: 5, Sampled: 5, Positives: 5}, {N: 9, Sampled: 3, Positives: 0}}
+	for _, p := range ok {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%+v: unexpected error %v", p, err)
+		}
+	}
+	bad := []Partial{
+		{N: 2, Sampled: 3},
+		{N: 5, Sampled: 2, Positives: 3},
+		{N: -1},
+		{N: 1, Sampled: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v: expected validation error", p)
+		}
+	}
+}

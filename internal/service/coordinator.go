@@ -1,0 +1,521 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/lsample"
+)
+
+// ErrDataChanged marks a query that observed two different dataset
+// versions across its shard operations: an ingest or re-registration
+// landed mid-query. Nothing partial is merged; the identical request is
+// safe to retry against the new version.
+var ErrDataChanged = errors.New("service: dataset changed mid-query")
+
+// ErrNoWorkers is returned when a coordinator query finds every transport
+// candidate for some shard unreachable and degraded answers are off.
+var ErrNoWorkers = errors.New("service: no reachable workers")
+
+// WorkerInfo names one worker process serving POST /v1/shard.
+type WorkerInfo struct {
+	Name    string `json:"name"`
+	BaseURL string `json:"base_url"`
+}
+
+// CoordinatorOptions configures scatter/gather routing.
+type CoordinatorOptions struct {
+	// Shards is the shard count per query (default: the worker count).
+	// Every worker holds the full registered datasets, so the count is a
+	// parallelism knob, not a placement constraint; any worker can serve
+	// any shard, which is what makes hedging and failover sound.
+	Shards int
+	// WorkerDeadline bounds each shard operation on one worker (default
+	// 15s); a worker that misses it is treated as failed for that attempt.
+	WorkerDeadline time.Duration
+	// HedgeAfter starts a backup request to the next worker on the ring
+	// when the current one has not answered within this duration (default
+	// 500ms); the first successful answer wins. Operations are pure
+	// functions of (snapshot, arguments), so duplicated execution is
+	// harmless.
+	HedgeAfter time.Duration
+	// Replicas is the consistent-hash ring's virtual-node count per
+	// worker (default shard.DefaultReplicas).
+	Replicas int
+	// AllowDegraded answers with a scaled estimate and a widened interval
+	// when every candidate for some shard fails after the census, instead
+	// of failing the query.
+	AllowDegraded bool
+	// Client is the HTTP client for worker calls (default http.DefaultClient).
+	Client *http.Client
+}
+
+// Coordinator scatters counting queries over worker processes: each query
+// is split into hash-aligned shards, shard operations are routed over a
+// consistent-hash ring (with per-op deadlines and hedged retries on
+// stragglers), and the per-shard partials merge through the same driver
+// the in-process sharded path uses — so the answer is byte-identical to a
+// single-process run over the same data, at any worker count.
+type Coordinator struct {
+	workers map[string]WorkerInfo
+	ring    *shard.Ring // built once; read-only afterwards, safe for concurrent use
+	opts    CoordinatorOptions
+	client  *http.Client
+}
+
+// NewCoordinator builds a coordinator over the given workers.
+func NewCoordinator(workers []WorkerInfo, opts CoordinatorOptions) (*Coordinator, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("%w: coordinator needs at least one worker", ErrBadRequest)
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = len(workers)
+	}
+	if opts.WorkerDeadline <= 0 {
+		opts.WorkerDeadline = 15 * time.Second
+	}
+	if opts.HedgeAfter <= 0 {
+		opts.HedgeAfter = 500 * time.Millisecond
+	}
+	c := &Coordinator{
+		workers: make(map[string]WorkerInfo, len(workers)),
+		ring:    shard.NewRing(opts.Replicas),
+		opts:    opts,
+		client:  opts.Client,
+	}
+	if c.client == nil {
+		c.client = http.DefaultClient
+	}
+	for _, w := range workers {
+		if w.Name == "" || w.BaseURL == "" {
+			return nil, fmt.Errorf("%w: worker needs a name and a base URL", ErrBadRequest)
+		}
+		if _, dup := c.workers[w.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate worker name %q", ErrBadRequest, w.Name)
+		}
+		c.workers[w.Name] = w
+		c.ring.Add(w.Name)
+	}
+	return c, nil
+}
+
+// Count scatters one estimation request across the workers and merges the
+// per-shard partials.
+func (c *Coordinator) Count(ctx context.Context, req *CountRequest) (*CountResult, error) {
+	if req.SQL == "" {
+		return nil, badf("missing sql")
+	}
+	method := req.Method
+	if method == "" {
+		method = "lss"
+	}
+	budgetFrac := req.Budget
+	if budgetFrac == 0 {
+		budgetFrac = 0.02
+	}
+	if !(budgetFrac > 0 && budgetFrac <= 1) {
+		return nil, badf("budget %v outside (0, 1]", budgetFrac)
+	}
+	clfName := req.Classifier
+	if clfName == "" {
+		clfName = "rf"
+	}
+	strata := req.Strata
+	if strata <= 0 {
+		strata = 4
+	}
+	iv, err := lsample.ParseInterval(req.Interval)
+	if err != nil {
+		return nil, mapSDKErr(err)
+	}
+	shards := req.Shards
+	if shards <= 0 {
+		shards = c.opts.Shards
+	}
+
+	base := ShardRequest{
+		SQL:        req.SQL,
+		Params:     req.Params,
+		Method:     method,
+		Budget:     budgetFrac,
+		Classifier: clfName,
+		Strata:     strata,
+		Interval:   iv.String(),
+		Seed:       req.Seed,
+	}
+	run := &coordRun{c: c, base: base, shards: shards}
+
+	// Pre-flight: learn the query's shape (grouped? fingerprint? feature
+	// columns?) and pin the dataset versions every later op must match.
+	pre, err := run.do(ctx, 0, &ShardRequest{Op: "meta", Shard: ShardRef{Index: 0, Count: shards}})
+	if err != nil {
+		return nil, err
+	}
+	run.versions = pre.Versions
+
+	workers := make([]shard.Worker, shards)
+	for i := range workers {
+		workers[i] = &remoteWorker{run: run, idx: i}
+	}
+	const alpha = 0.05
+	plan := shard.Plan{
+		Method:        method,
+		Grouped:       len(pre.GroupCols) > 0,
+		BudgetOf:      func(n int) int { return lsample.EvalBudget(budgetFrac, n) },
+		Strata:        strata,
+		Seed:          req.Seed,
+		Alpha:         alpha,
+		Wilson:        iv == lsample.Wilson,
+		Exact:         req.Exact,
+		AllowDegraded: c.opts.AllowDegraded,
+	}
+	t0 := time.Now()
+	res, err := shard.Drive(ctx, plan, workers)
+	if err != nil {
+		if errors.Is(err, ErrDataChanged) || errors.Is(err, ErrBadRequest) {
+			return nil, err
+		}
+		if errors.Is(err, shard.ErrShardLost) {
+			return nil, fmt.Errorf("%w: %w", ErrNoWorkers, err)
+		}
+		return nil, err
+	}
+
+	out := &CountResult{
+		Fingerprint: pre.Fingerprint,
+		Method:      method,
+		Interval:    iv.String(),
+		Objects:     res.N,
+		Budget:      res.Budget,
+		Estimate:    res.Count,
+		HasCI:       res.HasCI,
+		Evals:       int64(res.SamplesUsed),
+		FeatureCols: pre.FeatureCols,
+		GroupCols:   pre.GroupCols,
+		Seed:        req.Seed,
+		DurationMS:  float64(time.Since(t0)) / 1e6,
+		Reuse:       lsample.ReuseNone,
+		Shards:      res.Shards,
+		Degraded:    res.Degraded,
+		LostShards:  res.Lost,
+	}
+	if res.HasCI {
+		out.CILo, out.CIHi = res.CILo, res.CIHi
+	}
+	if res.HasTrue {
+		tc := res.TrueCount
+		out.TrueCount = &tc
+	}
+	for _, g := range res.Groups {
+		row := GroupRow{
+			Key:      g.Parts,
+			Objects:  g.N,
+			Estimate: g.Count,
+			HasCI:    g.HasCI,
+			Sampled:  g.Sampled,
+			Exact:    g.Exact,
+		}
+		if g.HasCI {
+			row.CILo, row.CIHi = g.CILo, g.CIHi
+		}
+		if g.HasTrue {
+			tc := g.TrueCount
+			row.TrueCount = &tc
+		}
+		out.Groups = append(out.Groups, row)
+	}
+	if req.Exact && len(res.Groups) > 0 && !res.Degraded {
+		trueTotal := 0
+		for _, g := range res.Groups {
+			trueTotal += g.TrueCount
+		}
+		out.TrueCount = &trueTotal
+	}
+	return out, nil
+}
+
+// Handler exposes the coordinator over HTTP:
+//
+//	POST /v1/count  JSON CountRequest -> CountResult (scatter/gathered)
+//	GET  /healthz   liveness + worker roster
+//
+// Errors use the service envelope; data_changed (409) means an ingest
+// landed on the workers mid-query and the request should be retried.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/count", func(w http.ResponseWriter, r *http.Request) {
+		var req CountRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			c.writeError(w, clientErr("invalid JSON body", err))
+			return
+		}
+		res, err := c.Count(r.Context(), &req)
+		if err != nil {
+			c.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		roster := make([]WorkerInfo, 0, len(c.workers))
+		for _, wi := range c.workers {
+			roster = append(roster, wi)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "role": "coordinator", "workers": roster})
+	})
+	return mux
+}
+
+func (c *Coordinator) writeError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status, code = http.StatusBadRequest, "bad_request"
+	case errors.Is(err, ErrDataChanged):
+		status, code = http.StatusConflict, "data_changed"
+	case errors.Is(err, ErrNoWorkers):
+		status, code = http.StatusServiceUnavailable, "workers_unavailable"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status, code = statusClientClosedRequest, "canceled"
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: err.Error()}})
+}
+
+// coordRun is one query's scatter state: the knob base every op shares
+// and the dataset versions pinned at the census.
+type coordRun struct {
+	c        *Coordinator
+	base     ShardRequest
+	shards   int
+	versions string
+}
+
+// permanentError marks a worker answer that retrying elsewhere cannot
+// change (bad request, version conflict); the hedger stops immediately.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// do executes one shard op with routing, deadlines, and hedged retries:
+// candidates come from the ring in failover order; the primary gets
+// HedgeAfter of quiet time before a backup launches; the first success
+// wins. When every candidate fails the op resolves to a LostShardError,
+// which Drive absorbs (degraded mode) or surfaces.
+func (r *coordRun) do(ctx context.Context, shardIdx int, req *ShardRequest) (*ShardResponse, error) {
+	b := r.base
+	b.Op, b.K, b.Tag, b.Keys, b.X, b.Y, b.ClfSeed = req.Op, req.K, req.Tag, req.Keys, req.X, req.Y, req.ClfSeed
+	b.Shard = ShardRef{Index: shardIdx, Count: r.shards}
+	b.Versions = r.versions
+	body, err := json.Marshal(&b)
+	if err != nil {
+		return nil, badf("encoding shard request: %v", err)
+	}
+
+	cands := r.c.ring.Owners(fmt.Sprintf("shard/%d/%d", shardIdx, r.shards), len(r.c.workers))
+	if len(cands) == 0 {
+		return nil, &shard.LostShardError{Shard: shardIdx, Err: ErrNoWorkers}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		resp *ShardResponse
+		err  error
+	}
+	ch := make(chan outcome, len(cands))
+	launched := 0
+	launch := func() {
+		name := cands[launched]
+		launched++
+		go func() {
+			resp, perr := r.c.post(ctx, r.c.workers[name].BaseURL, body)
+			ch <- outcome{resp, perr}
+		}()
+	}
+	launch()
+	hedge := time.NewTimer(r.c.opts.HedgeAfter)
+	defer hedge.Stop()
+
+	var lastErr error
+	for done := 0; done < launched || launched < len(cands); {
+		select {
+		case out := <-ch:
+			done++
+			if out.err == nil {
+				if r.versions != "" && out.resp.Versions != r.versions {
+					// A worker with newer data answered without tripping the
+					// fence (it never saw our pinned versions — e.g. a raced
+					// hedge); refuse to merge it.
+					return nil, fmt.Errorf("%w: expected %q, worker has %q",
+						ErrDataChanged, r.versions, out.resp.Versions)
+				}
+				return out.resp, nil
+			}
+			var perm *permanentError
+			if errors.As(out.err, &perm) {
+				return nil, perm.err
+			}
+			lastErr = out.err
+			if launched < len(cands) {
+				launch()
+			}
+		case <-hedge.C:
+			if launched < len(cands) {
+				launch()
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("service: %w", ctx.Err())
+		}
+	}
+	return nil, &shard.LostShardError{Shard: shardIdx, Err: lastErr}
+}
+
+// post performs one worker call under the per-op deadline.
+func (c *Coordinator) post(ctx context.Context, baseURL string, body []byte) (*ShardResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.WorkerDeadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env errorEnvelope
+		msg := string(payload)
+		if json.Unmarshal(payload, &env) == nil && env.Error.Code != "" {
+			msg = env.Error.Message
+			switch env.Error.Code {
+			case "version_mismatch":
+				return nil, &permanentError{err: fmt.Errorf("%w: %s", ErrDataChanged, msg)}
+			case "bad_request":
+				return nil, &permanentError{err: badf("worker rejected shard op: %s", msg)}
+			}
+		}
+		return nil, fmt.Errorf("service: worker answered %d: %s", resp.StatusCode, msg)
+	}
+	var out ShardResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, fmt.Errorf("service: worker answer unreadable: %v", err)
+	}
+	return &out, nil
+}
+
+// remoteWorker adapts one shard's HTTP operations to the driver's Worker
+// interface.
+type remoteWorker struct {
+	run *coordRun
+	idx int
+}
+
+func (w *remoteWorker) Meta(ctx context.Context) (shard.Meta, error) {
+	resp, err := w.run.do(ctx, w.idx, &ShardRequest{Op: "meta"})
+	if err != nil {
+		return shard.Meta{}, err
+	}
+	if resp.Meta == nil {
+		return shard.Meta{}, fmt.Errorf("service: worker meta answer empty")
+	}
+	return shard.Meta{N: resp.Meta.N, Groups: toGroupCounts(resp.Meta.Groups)}, nil
+}
+
+func (w *remoteWorker) Cands(ctx context.Context, k int, tag uint64) ([]shard.Cand, error) {
+	resp, err := w.run.do(ctx, w.idx, &ShardRequest{Op: "cands", K: k, Tag: tag})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]shard.Cand, len(resp.Cands))
+	for i, c := range resp.Cands {
+		out[i] = shard.Cand{Hash: c.Hash, Key: c.Key}
+	}
+	return out, nil
+}
+
+func (w *remoteWorker) Label(ctx context.Context, keys []int64) ([]bool, int, error) {
+	resp, err := w.run.do(ctx, w.idx, &ShardRequest{Op: "label", Keys: keys})
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(resp.Labels) != len(keys) {
+		return nil, 0, fmt.Errorf("service: worker labeled %d of %d keys", len(resp.Labels), len(keys))
+	}
+	return resp.Labels, resp.Fresh, nil
+}
+
+func (w *remoteWorker) Features(ctx context.Context, keys []int64) ([][]float64, error) {
+	resp, err := w.run.do(ctx, w.idx, &ShardRequest{Op: "features", Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Features) != len(keys) {
+		return nil, fmt.Errorf("service: worker returned %d of %d feature rows", len(resp.Features), len(keys))
+	}
+	return resp.Features, nil
+}
+
+func (w *remoteWorker) ScoreAll(ctx context.Context, x [][]float64, y []bool, clfSeed uint64) ([]shard.Scored, error) {
+	resp, err := w.run.do(ctx, w.idx, &ShardRequest{Op: "score_all", X: x, Y: y, ClfSeed: clfSeed})
+	if err != nil {
+		return nil, err
+	}
+	return toScored(resp.Scored), nil
+}
+
+func (w *remoteWorker) GroupKeys(ctx context.Context) ([]shard.Scored, error) {
+	resp, err := w.run.do(ctx, w.idx, &ShardRequest{Op: "group_keys"})
+	if err != nil {
+		return nil, err
+	}
+	return toScored(resp.Scored), nil
+}
+
+func (w *remoteWorker) CountAll(ctx context.Context) (core.Partial, []shard.GroupCount, int, error) {
+	resp, err := w.run.do(ctx, w.idx, &ShardRequest{Op: "count_all"})
+	if err != nil {
+		return core.Partial{}, nil, 0, err
+	}
+	if resp.Tally == nil {
+		return core.Partial{}, nil, 0, fmt.Errorf("service: worker tally answer empty")
+	}
+	t := resp.Tally
+	return core.Partial{N: t.N, Sampled: t.Sampled, Positives: t.Positives},
+		toGroupCounts(t.Groups), t.Fresh, nil
+}
+
+func toGroupCounts(in []lsample.ShardGroupCount) []shard.GroupCount {
+	out := make([]shard.GroupCount, len(in))
+	for i, g := range in {
+		out[i] = shard.GroupCount{Key: g.Key, Parts: g.Parts, N: g.N, Pos: g.Pos}
+	}
+	return out
+}
+
+func toScored(in []lsample.ShardScored) []shard.Scored {
+	out := make([]shard.Scored, len(in))
+	for i, s := range in {
+		out[i] = shard.Scored{Key: s.Key, Score: s.Score, Group: s.Group}
+	}
+	return out
+}

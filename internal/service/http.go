@@ -15,6 +15,10 @@ import (
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/count     JSON CountRequest -> CountResult
+//	POST /v1/shard     one shard's estimation primitive (worker role);
+//	                   JSON ShardRequest -> ShardResponse, 409
+//	                   version_mismatch when the coordinator's pinned
+//	                   dataset versions no longer match
 //	GET  /v1/datasets  list registered datasets
 //	POST /v1/datasets  upload a CSV dataset (?name=D&schema=id:int,x:float);
 //	                   add &live=1 (and optionally &key=id) to register it
@@ -36,6 +40,7 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/count", s.handleCount)
+	mux.HandleFunc("POST /v1/shard", s.handleShard)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)

@@ -111,6 +111,13 @@ type Service struct {
 	prepMu sync.Mutex
 	preps  map[string]*lsample.PreparedQuery
 
+	// shardExecs caches per-(query, knobs, shard) executors for the
+	// /v1/shard worker endpoint; see shardapi.go.
+	shardMu     sync.Mutex
+	shardExecs  map[string]*shardExecEntry
+	shardSeq    uint64
+	shardLayout int // last served shard count; a change evicts the old layout
+
 	// catalog is the shared cross-query reuse catalog every prepared
 	// session executes through; nil when Options.CatalogBytes < 0.
 	catalog *lsample.Catalog
@@ -137,14 +144,15 @@ func New(reg *Registry, opts Options) *Service {
 		cat = lsample.NewCatalog(o.CatalogBytes)
 	}
 	return &Service{
-		Registry: reg,
-		Metrics:  &Metrics{},
-		opts:     o,
-		cache:    newResultCache(o.CacheSize, o.CacheTTL),
-		sem:      make(chan struct{}, o.MaxInFlight),
-		flights:  make(map[string]*flight),
-		preps:    make(map[string]*lsample.PreparedQuery),
-		catalog:  cat,
+		Registry:   reg,
+		Metrics:    &Metrics{},
+		opts:       o,
+		cache:      newResultCache(o.CacheSize, o.CacheTTL),
+		sem:        make(chan struct{}, o.MaxInFlight),
+		flights:    make(map[string]*flight),
+		preps:      make(map[string]*lsample.PreparedQuery),
+		shardExecs: make(map[string]*shardExecEntry),
+		catalog:    cat,
 	}
 }
 
@@ -167,6 +175,7 @@ type CountRequest struct {
 	Strata     int            `json:"strata,omitempty"`     // strata for stratified methods (default 4)
 	Interval   string         `json:"interval,omitempty"`   // wald (default) or wilson
 	Seed       uint64         `json:"seed,omitempty"`
+	Shards     int            `json:"shards,omitempty"`   // >0: sharded in-process execution (srs/lss/oracle)
 	Exact      bool           `json:"exact,omitempty"`    // also compute the true count (slow)
 	NoCache    bool           `json:"no_cache,omitempty"` // bypass the result cache
 }
@@ -194,6 +203,9 @@ type CountResult struct {
 	PredicateMS float64    `json:"predicate_ms"` // wall time inside the expensive predicate
 	Compiled    bool       `json:"compiled"`     // labeling ran through the compiled predicate engine
 	Reuse       string     `json:"reuse"`        // catalog reuse path: "direct", "extension", or "none"
+	Shards      int        `json:"shards,omitempty"`      // >0 when the answer was computed sharded
+	Degraded    bool       `json:"degraded,omitempty"`    // shards were lost; the interval absorbed their mass
+	LostShards  []int      `json:"lost_shards,omitempty"` // shard indices lost mid-query (degraded answers)
 	Cached      bool       `json:"cached"`
 }
 
@@ -285,6 +297,9 @@ func (s *Service) count(ctx context.Context, req *CountRequest) (*CountResult, e
 	if !(budgetFrac > 0 && budgetFrac <= 1) { // NaN fails both comparisons
 		return nil, badf("budget %v outside (0, 1]", budgetFrac)
 	}
+	if req.Shards < 0 {
+		return nil, badf("shards %d < 0", req.Shards)
+	}
 
 	// Normalize the knobs that have defaults, so a request spelling them
 	// out shares a cache entry with one that omits them — and reject
@@ -323,8 +338,8 @@ func (s *Service) count(ctx context.Context, req *CountRequest) (*CountResult, e
 		return nil, err
 	}
 
-	key := fmt.Sprintf("%s|%s|%s|%s|%s|%d|%s|%g|%d|%t",
-		versions, fp0, paramsJSON, method, clfName, strata, iv, budgetFrac, req.Seed, req.Exact)
+	key := fmt.Sprintf("%s|%s|%s|%s|%s|%d|%s|%g|%d|%t|s%d",
+		versions, fp0, paramsJSON, method, clfName, strata, iv, budgetFrac, req.Seed, req.Exact, req.Shards)
 	// Every admission attempt this request makes — as leader now or after
 	// retrying a failed leader — draws from one QueueTimeout budget, so
 	// coalescing can neither reject a request before its own window ends
@@ -447,6 +462,9 @@ func (s *Service) execOptions(method, clfName string, strata int, iv lsample.Int
 		lsample.WithParallelism(s.opts.Parallelism),
 		lsample.WithExact(req.Exact),
 	}
+	if req.Shards > 0 {
+		opts = append(opts, lsample.WithShards(req.Shards))
+	}
 	// NoCache promises a full recomputation, so it bypasses the reuse
 	// catalog too — concurrent no-cache clients verifying bit-identical
 	// answers must all pay (and report) the same full evaluation bill.
@@ -491,6 +509,7 @@ func (s *Service) estimate(ctx context.Context, req *CountRequest, versions, fp0
 			PredicateMS: float64(ge.Timings.Predicate) / 1e6,
 			Compiled:    ge.Labeling.Compiled,
 			Reuse:       lsample.ReuseNone, // grouped plans are outside the catalog's contract
+			Shards:      req.Shards,
 		}
 		trueTotal := 0
 		for i, g := range ge.Groups {
@@ -537,6 +556,7 @@ func (s *Service) estimate(ctx context.Context, req *CountRequest, versions, fp0
 		PredicateMS: float64(est.Timings.Predicate) / 1e6,
 		Compiled:    est.Labeling.Compiled,
 		Reuse:       est.Reuse,
+		Shards:      req.Shards,
 	}
 	if out.Reuse == "" {
 		out.Reuse = lsample.ReuseNone // classic path: no catalog in play
@@ -606,6 +626,7 @@ func (s *Service) dropStalePreps() {
 	s.prepMu.Lock()
 	s.dropStalePrepsLocked()
 	s.prepMu.Unlock()
+	s.dropStaleShardExecs()
 	if s.catalog != nil {
 		s.catalog.EvictStale(s.Registry.Current())
 	}

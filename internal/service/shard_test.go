@@ -1,0 +1,554 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/lsample"
+)
+
+// newWorkerServer starts one worker process: a Service over its own copy
+// of the given tables, exposed over HTTP.
+func newWorkerServer(t *testing.T, tables ...*lsample.Table) (*Service, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry()
+	for _, tab := range tables {
+		reg.Register(tab)
+	}
+	svc := New(reg, Options{MaxInFlight: 16})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+func postShard(t *testing.T, srv *httptest.Server, req *ShardRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/shard", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, payload
+}
+
+func TestShardEndpointMetaAndVersionFence(t *testing.T) {
+	const n = 100
+	_, srv := newWorkerServer(t, testTable(n, 7))
+	base := ShardRequest{
+		SQL:    skybandQuery,
+		Params: map[string]any{"k": float64(10)},
+		Method: "srs",
+		Budget: 0.25,
+		Seed:   3,
+		Shard:  ShardRef{Index: 0, Count: 4},
+	}
+
+	meta := base
+	meta.Op = "meta"
+	resp, payload := postShard(t, srv, &meta)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("meta op: %d %s", resp.StatusCode, payload)
+	}
+	var sr ShardResponse
+	if err := json.Unmarshal(payload, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Meta == nil || sr.Meta.N <= 0 || sr.Meta.N >= n {
+		t.Fatalf("shard 0/4 census = %+v, want a proper slice of %d", sr.Meta, n)
+	}
+	if sr.Versions == "" || sr.Fingerprint == "" {
+		t.Fatalf("meta response missing versions/fingerprint: %+v", sr)
+	}
+
+	// The version fence: a pinned versions string that no longer matches
+	// answers 409 version_mismatch with the current versions in a header.
+	fenced := meta
+	fenced.Versions = "D@999"
+	resp, payload = postShard(t, srv, &fenced)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale versions: %d %s, want 409", resp.StatusCode, payload)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil || env.Error.Code != "version_mismatch" {
+		t.Fatalf("409 body = %s", payload)
+	}
+	if got := resp.Header.Get("X-Dataset-Versions"); got != sr.Versions {
+		t.Fatalf("X-Dataset-Versions = %q, want %q", got, sr.Versions)
+	}
+
+	// Matching versions pass the fence.
+	fenced.Versions = sr.Versions
+	if resp, payload = postShard(t, srv, &fenced); resp.StatusCode != http.StatusOK {
+		t.Fatalf("current versions rejected: %d %s", resp.StatusCode, payload)
+	}
+}
+
+func TestShardExecCacheLifecycle(t *testing.T) {
+	const n = 80
+	svc, _ := newWorkerServer(t, testTable(n, 7))
+	ctx := context.Background()
+	req := func(idx, count int) *ShardRequest {
+		return &ShardRequest{
+			Op: "meta", SQL: skybandQuery, Params: map[string]any{"k": float64(10)},
+			Method: "srs", Budget: 0.25, Seed: 3, Shard: ShardRef{Index: idx, Count: count},
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := svc.ShardOp(ctx, req(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := svc.retainedShardExecs(); got != 2 {
+		t.Fatalf("retained %d execs, want 2", got)
+	}
+	// A layout change (reshard) evicts every executor of the old layout.
+	if _, err := svc.ShardOp(ctx, req(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.retainedShardExecs(); got != 1 {
+		t.Fatalf("after reshard: retained %d execs, want 1", got)
+	}
+	// A data version bump evicts executors pinning the old snapshot.
+	svc.RegisterTable(testTable(n, 8))
+	if got := svc.retainedShardExecs(); got != 0 {
+		t.Fatalf("after re-registration: retained %d execs, want 0", got)
+	}
+}
+
+func TestCountInProcessSharded(t *testing.T) {
+	const n, k = 120, 10
+	svc := newTestService(t, n, Options{})
+	base := CountRequest{
+		SQL:    skybandQuery,
+		Params: map[string]any{"k": float64(k)},
+		Method: "lss",
+		Budget: 0.25,
+		Seed:   3,
+		Exact:  true,
+	}
+	ref, err := svc.Count(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = 4
+	got, err := svc.Count(&sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 4 || got.Cached || got.Degraded {
+		t.Fatalf("shards/cached/degraded = %d/%t/%t", got.Shards, got.Cached, got.Degraded)
+	}
+	if got.Estimate != ref.Estimate || got.CILo != ref.CILo || got.CIHi != ref.CIHi ||
+		got.Objects != ref.Objects || got.Budget != ref.Budget {
+		t.Fatalf("sharded answer diverged: %v [%v,%v] vs %v [%v,%v]",
+			got.Estimate, got.CILo, got.CIHi, ref.Estimate, ref.CILo, ref.CIHi)
+	}
+	if got.TrueCount == nil || ref.TrueCount == nil || *got.TrueCount != *ref.TrueCount {
+		t.Fatalf("true counts %v vs %v", got.TrueCount, ref.TrueCount)
+	}
+	// Sharded and unsharded requests must not share a cache entry.
+	again, err := svc.Count(&sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("identical sharded request should hit the result cache")
+	}
+}
+
+func TestCountRejectsBadShards(t *testing.T) {
+	svc := newTestService(t, 50, Options{})
+	_, err := svc.Count(&CountRequest{
+		SQL: skybandQuery, Params: map[string]any{"k": float64(5)}, Shards: -1,
+	})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("shards=-1: err = %v", err)
+	}
+	// Methods outside the sharded contract are request errors, not silent
+	// fallbacks to unsharded execution.
+	_, err = svc.Count(&CountRequest{
+		SQL: skybandQuery, Params: map[string]any{"k": float64(5)},
+		Method: "ssp", Budget: 0.3, Shards: 2,
+	})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("ssp sharded: err = %v", err)
+	}
+}
+
+func newCoordinator(t *testing.T, opts CoordinatorOptions, servers ...*httptest.Server) *Coordinator {
+	t.Helper()
+	var infos []WorkerInfo
+	for i, s := range servers {
+		infos = append(infos, WorkerInfo{Name: fmt.Sprintf("w%d", i), BaseURL: s.URL})
+	}
+	c, err := NewCoordinator(infos, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCoordinatorByteIdentity(t *testing.T) {
+	const n, k = 120, 10
+	// Two workers with identical copies of the data; a local service as
+	// the single-process reference.
+	_, srvA := newWorkerServer(t, testTable(n, 7))
+	_, srvB := newWorkerServer(t, testTable(n, 7))
+	local := newTestService(t, n, Options{})
+	coord := newCoordinator(t, CoordinatorOptions{Shards: 4}, srvA, srvB)
+
+	for _, method := range []string{"srs", "lss", "oracle"} {
+		t.Run(method, func(t *testing.T) {
+			req := CountRequest{
+				SQL:    skybandQuery,
+				Params: map[string]any{"k": float64(k)},
+				Method: method,
+				Budget: 0.25,
+				Seed:   3,
+				Exact:  true,
+			}
+			refReq := req
+			refReq.Shards = 4
+			ref, err := local.Count(&refReq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := coord.Count(context.Background(), &req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Degraded || got.Shards != 4 {
+				t.Fatalf("degraded/shards = %t/%d", got.Degraded, got.Shards)
+			}
+			if got.Estimate != ref.Estimate || got.CILo != ref.CILo || got.CIHi != ref.CIHi ||
+				got.Objects != ref.Objects || got.Budget != ref.Budget {
+				t.Fatalf("scatter/gather diverged: %v [%v,%v] vs %v [%v,%v]",
+					got.Estimate, got.CILo, got.CIHi, ref.Estimate, ref.CILo, ref.CIHi)
+			}
+			if got.TrueCount == nil || ref.TrueCount == nil || *got.TrueCount != *ref.TrueCount {
+				t.Fatalf("true counts %v vs %v", got.TrueCount, ref.TrueCount)
+			}
+			if got.Fingerprint != ref.Fingerprint {
+				t.Fatalf("fingerprints %q vs %q", got.Fingerprint, ref.Fingerprint)
+			}
+		})
+	}
+}
+
+func TestCoordinatorGroupedByteIdentity(t *testing.T) {
+	const n, k = 120, 12
+	_, srvA := newWorkerServer(t, groupedTestTable(n, 7))
+	_, srvB := newWorkerServer(t, groupedTestTable(n, 7))
+	reg := NewRegistry()
+	reg.Register(groupedTestTable(n, 7))
+	local := New(reg, Options{})
+	coord := newCoordinator(t, CoordinatorOptions{Shards: 4}, srvA, srvB)
+
+	req := CountRequest{
+		SQL:    groupedSkybandQuery,
+		Params: map[string]any{"k": float64(k)},
+		Method: "lss",
+		Budget: 0.3,
+		Seed:   5,
+	}
+	refReq := req
+	refReq.Shards = 4
+	ref, err := local.Count(&refReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Count(context.Background(), &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Groups) != len(ref.Groups) {
+		t.Fatalf("%d groups, want %d", len(got.Groups), len(ref.Groups))
+	}
+	for i, rg := range ref.Groups {
+		gg := got.Groups[i]
+		if strings.Join(gg.Key, "|") != strings.Join(rg.Key, "|") ||
+			gg.Estimate != rg.Estimate || gg.CILo != rg.CILo || gg.CIHi != rg.CIHi ||
+			gg.Objects != rg.Objects || gg.Sampled != rg.Sampled {
+			t.Fatalf("group %d diverged: %+v vs %+v", i, gg, rg)
+		}
+	}
+	if got.Estimate != ref.Estimate {
+		t.Fatalf("totals %v vs %v", got.Estimate, ref.Estimate)
+	}
+}
+
+// faultRT injects transport faults for one worker host: kill (connection
+// error), stall (hang until the per-op deadline), or corrupt (garbage
+// 200 body). An optional match restricts the fault to specific shard ops
+// so a single shard can be killed mid-query.
+type faultRT struct {
+	base   http.RoundTripper
+	target string // URL host to fault
+	mode   string // kill | stall | corrupt
+	match  func(*ShardRequest) bool
+
+	mu   sync.Mutex
+	hits int
+}
+
+func (f *faultRT) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits
+}
+
+func (f *faultRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	apply := req.URL.Host == f.target
+	if apply && f.match != nil {
+		body, err := io.ReadAll(req.Body)
+		if err != nil {
+			return nil, err
+		}
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		var sr ShardRequest
+		if json.Unmarshal(body, &sr) == nil {
+			apply = f.match(&sr)
+		}
+	}
+	if !apply {
+		return f.base.RoundTrip(req)
+	}
+	f.mu.Lock()
+	f.hits++
+	f.mu.Unlock()
+	switch f.mode {
+	case "kill":
+		return nil, errors.New("chaos: connection killed")
+	case "stall":
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(10 * time.Second):
+			return nil, errors.New("chaos: stall expired")
+		}
+	case "corrupt":
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Header:     http.Header{"Content-Type": []string{"application/json"}},
+			Body:       io.NopCloser(strings.NewReader(`{"versions": "garbage`)),
+			Request:    req,
+		}, nil
+	}
+	return f.base.RoundTrip(req)
+}
+
+func hostOf(t *testing.T, rawURL string) string {
+	t.Helper()
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+// TestCoordinatorChaosFailover: with a second worker holding the same
+// data, killing, stalling, or corrupting every request to the first
+// worker must not change the answer by a byte — the hedged retries route
+// around it.
+func TestCoordinatorChaosFailover(t *testing.T) {
+	const n, k = 120, 10
+	_, srvA := newWorkerServer(t, testTable(n, 7))
+	_, srvB := newWorkerServer(t, testTable(n, 7))
+	local := newTestService(t, n, Options{})
+	req := CountRequest{
+		SQL:    skybandQuery,
+		Params: map[string]any{"k": float64(k)},
+		Method: "lss",
+		Budget: 0.25,
+		Seed:   3,
+	}
+	refReq := req
+	refReq.Shards = 4
+	ref, err := local.Count(&refReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []string{"kill", "stall", "corrupt"} {
+		t.Run(mode, func(t *testing.T) {
+			rt := &faultRT{base: http.DefaultTransport, target: hostOf(t, srvA.URL), mode: mode}
+			coord := newCoordinator(t, CoordinatorOptions{
+				Shards:         4,
+				WorkerDeadline: 2 * time.Second,
+				HedgeAfter:     25 * time.Millisecond,
+				Client:         &http.Client{Transport: rt},
+			}, srvA, srvB)
+			got, cerr := coord.Count(context.Background(), &req)
+			if cerr != nil {
+				t.Fatal(cerr)
+			}
+			if rt.count() == 0 {
+				t.Fatal("fault injector never fired; test routed nothing at the faulted worker")
+			}
+			if got.Degraded {
+				t.Fatal("with a healthy replica the answer must not degrade")
+			}
+			if got.Estimate != ref.Estimate || got.CILo != ref.CILo || got.CIHi != ref.CIHi {
+				t.Fatalf("answer changed under %s: %v [%v,%v] vs %v [%v,%v]",
+					mode, got.Estimate, got.CILo, got.CIHi, ref.Estimate, ref.CILo, ref.CIHi)
+			}
+		})
+	}
+}
+
+// TestCoordinatorDegradedAnswer kills one shard's operations after the
+// census on the only worker: with AllowDegraded the coordinator answers
+// inside its deadline with a scaled estimate, the lost shard listed, and
+// a widened interval — never a silently partial count. Without it, the
+// query fails.
+func TestCoordinatorDegradedAnswer(t *testing.T) {
+	const n, k = 120, 10
+	_, srv := newWorkerServer(t, testTable(n, 7))
+	req := CountRequest{
+		SQL:    skybandQuery,
+		Params: map[string]any{"k": float64(k)},
+		Method: "srs",
+		Budget: 0.25,
+		Seed:   3,
+	}
+	killShard2 := func(sr *ShardRequest) bool { return sr.Op != "meta" && sr.Shard.Index == 2 }
+	rt := &faultRT{base: http.DefaultTransport, target: hostOf(t, srv.URL), mode: "kill", match: killShard2}
+	opts := CoordinatorOptions{
+		Shards:         4,
+		WorkerDeadline: 2 * time.Second,
+		HedgeAfter:     25 * time.Millisecond,
+		Client:         &http.Client{Transport: rt},
+	}
+
+	strict := newCoordinator(t, opts, srv)
+	if _, err := strict.Count(context.Background(), &req); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("strict coordinator: err = %v, want ErrNoWorkers", err)
+	}
+
+	opts.AllowDegraded = true
+	lenient := newCoordinator(t, opts, srv)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := lenient.Count(ctx, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || len(res.LostShards) != 1 || res.LostShards[0] != 2 {
+		t.Fatalf("degraded/lost = %t/%v", res.Degraded, res.LostShards)
+	}
+	if res.Objects != n {
+		t.Fatalf("objects = %d, want the full census %d", res.Objects, n)
+	}
+	if !res.HasCI || res.CIHi > float64(n) || res.CILo < 0 || res.CILo > res.CIHi {
+		t.Fatalf("degraded CI invalid: [%v, %v]", res.CILo, res.CIHi)
+	}
+	if res.Estimate <= 0 || res.Estimate > float64(n) {
+		t.Fatalf("degraded estimate %v out of range", res.Estimate)
+	}
+}
+
+// TestCoordinatorVersionFence: workers serving different dataset versions
+// can never contribute to one merged answer — the query fails with
+// data_changed instead of mixing snapshots.
+func TestCoordinatorVersionFence(t *testing.T) {
+	const n, k = 100, 10
+	_, srvA := newWorkerServer(t, testTable(n, 7))
+	svcB, srvB := newWorkerServer(t, testTable(n, 7))
+	svcB.RegisterTable(testTable(n, 7)) // bump B's version past A's
+	coord := newCoordinator(t, CoordinatorOptions{Shards: 8}, srvA, srvB)
+	_, err := coord.Count(context.Background(), &CountRequest{
+		SQL:    skybandQuery,
+		Params: map[string]any{"k": float64(k)},
+		Method: "srs",
+		Budget: 0.25,
+		Seed:   3,
+	})
+	if !errors.Is(err, ErrDataChanged) {
+		t.Fatalf("mixed versions: err = %v, want ErrDataChanged", err)
+	}
+}
+
+// TestCoordinatorConcurrentIngest races scatter/gather queries against
+// live ingestion on the worker. Every query must either succeed with a
+// well-formed answer or fail cleanly (data_changed when an ingest lands
+// mid-query) — never return a silently partial merge. Run with -race.
+func TestCoordinatorConcurrentIngest(t *testing.T) {
+	const k = 10
+	lt, err := lsample.NewLiveTable("D", "id:int,x:float,y:float", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch lsample.DeltaBatch
+	for i := 0; i < 80; i++ {
+		batch.Append(int64(i), float64((i*37)%100), float64((i*59)%100))
+	}
+	if _, err := lt.Apply(&batch); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(NewRegistry(), Options{MaxInFlight: 16})
+	svc.RegisterLiveTable(lt)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	coord := newCoordinator(t, CoordinatorOptions{Shards: 4}, srv)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			csv := fmt.Sprintf("id,x,y\n%d,%d,%d\n", 1000+i, (i*13)%100, (i*29)%100)
+			if _, ierr := svc.Ingest("D", "csv", strings.NewReader(csv)); ierr != nil {
+				t.Errorf("ingest: %v", ierr)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	for i := 0; i < 8; i++ {
+		res, cerr := coord.Count(context.Background(), &CountRequest{
+			SQL:    skybandQuery,
+			Params: map[string]any{"k": float64(k)},
+			Method: "srs",
+			Budget: 0.3,
+			Seed:   uint64(i + 1),
+		})
+		if cerr != nil {
+			if errors.Is(cerr, ErrDataChanged) {
+				continue // clean refusal: an ingest landed mid-query
+			}
+			t.Fatalf("query %d: %v", i, cerr)
+		}
+		if res.Degraded || res.Objects <= 0 || (res.HasCI && res.CILo > res.CIHi) {
+			t.Fatalf("query %d: malformed answer %+v", i, res)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The shard benchmarks price what the scatter layer buys. Labeling
+// dominates an estimate's cost (the paper bills everything in predicate
+// evaluations), and sharding overlaps the per-worker labeling time. A CI
+// runner gives every in-process worker the same core, so each benchmark
+// worker's Label models a remote predicate service: a fixed per-key
+// service time (benchLabelCost) on top of the real evaluation. The wall
+// clock then measures the scatter overlap a multi-process deployment
+// sees, while evals/op pins the total labeling bill — byte-identity
+// keeps it equal at every shard count.
+
+const (
+	benchShardN    = 4000
+	benchLabelCost = 100 * time.Microsecond
+)
+
+// slowWorker wraps a Worker with per-key labeling service time.
+type slowWorker struct{ Worker }
+
+func (s slowWorker) Label(ctx context.Context, keys []int64) ([]bool, int, error) {
+	t := time.NewTimer(time.Duration(len(keys)) * benchLabelCost)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	case <-t.C:
+	}
+	return s.Worker.Label(ctx, keys)
+}
+
+func benchWorkers(b *testing.B, shards int) []Worker {
+	b.Helper()
+	ws := testWorkers(benchShardN, shards, false)
+	out := make([]Worker, len(ws))
+	for i, w := range ws {
+		out[i] = slowWorker{w}
+	}
+	return out
+}
+
+// benchDrive runs the lss plan over the given shard count and checks the
+// answer against the unsharded reference — the benchmark doubles as a
+// determinism probe, so a run that loses byte-identity fails instead of
+// recording a meaningless time.
+func benchDrive(b *testing.B, shards int) {
+	b.Helper()
+	plan := testPlan("lss", false)
+	ref, err := Drive(context.Background(), plan, testWorkers(benchShardN, 1, false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := benchWorkers(b, shards)
+	b.ResetTimer()
+	var evals int64
+	for i := 0; i < b.N; i++ {
+		res, err := Drive(context.Background(), plan, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Count != ref.Count || res.CILo != ref.CILo || res.CIHi != ref.CIHi {
+			b.Fatalf("shards=%d diverged: %v [%v,%v], want %v [%v,%v]",
+				shards, res.Count, res.CILo, res.CIHi, ref.Count, ref.CILo, ref.CIHi)
+		}
+		evals += int64(res.SamplesUsed)
+	}
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+}
+
+func BenchmarkShardDrive1(b *testing.B) { benchDrive(b, 1) }
+func BenchmarkShardDrive2(b *testing.B) { benchDrive(b, 2) }
+func BenchmarkShardDrive4(b *testing.B) { benchDrive(b, 4) }
+func BenchmarkShardDrive8(b *testing.B) { benchDrive(b, 8) }
+
+// BenchmarkShardDriveDegraded is the chaos run: 4 shards with shard 2
+// killed after the census, under a 2-second deadline standing in for the
+// coordinator's per-query budget. AllowDegraded restarts the protocol
+// over the survivors; missing the deadline or answering non-degraded
+// fails the benchmark.
+func BenchmarkShardDriveDegraded(b *testing.B) {
+	workers := benchWorkers(b, 4)
+	workers[2] = &lossy{Worker: workers[2], id: 2, failOps: true}
+	plan := testPlan("lss", false)
+	plan.AllowDegraded = true
+	b.ResetTimer()
+	var evals int64
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		res, err := Drive(ctx, plan, workers)
+		cancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Degraded || len(res.Lost) != 1 || res.Lost[0] != 2 {
+			b.Fatalf("degraded run answered degraded=%v lost=%v", res.Degraded, res.Lost)
+		}
+		evals += int64(res.SamplesUsed)
+	}
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+}

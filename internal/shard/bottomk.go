@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/live"
+)
+
+// Cand is one candidate of a per-shard bottom-k selection: the object key
+// and its selection hash. Candidates from different shards merge by
+// re-sorting on (Hash, Key) — the same order BottomK uses — so the merged
+// prefix is exactly the unsharded selection.
+type Cand struct {
+	Hash uint64
+	Key  int64
+}
+
+// BottomK deterministically samples k of the given keys: the k smallest
+// by (Mix64(seed, tag, key), key). When k covers the whole population the
+// selection is every key, sorted ascending. This is the canonical
+// hash-plan sampling primitive; lsample's catalog and refresh paths
+// delegate to it, so sharded and unsharded executions share one
+// implementation by construction.
+func BottomK(keys []int64, k int, seed, tag uint64) []int64 {
+	if k >= len(keys) {
+		out := append([]int64(nil), keys...)
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out
+	}
+	if k <= 0 {
+		return nil
+	}
+	hs := candsOf(keys, seed, tag)
+	sortCands(hs)
+	out := make([]int64, k)
+	for i := 0; i < k; i++ {
+		out[i] = hs[i].Key
+	}
+	return out
+}
+
+// LocalCands returns one shard's bottom-k candidates: its min(k, n)
+// smallest (hash, key) pairs, sorted. The global bottom-k of the whole
+// population is always a subset of the union of per-shard bottom-k sets,
+// which is what makes MergeBottomK exact.
+func LocalCands(keys []int64, k int, seed, tag uint64) []Cand {
+	if k <= 0 {
+		return nil
+	}
+	hs := candsOf(keys, seed, tag)
+	sortCands(hs)
+	if k < len(hs) {
+		hs = hs[:k]
+	}
+	return hs
+}
+
+// MergeBottomK merges per-shard candidate sets into the global bottom-k
+// over a population of total keys. It is byte-identical to
+// BottomK(allKeys, k, seed, tag) provided every part was produced by
+// LocalCands with the same (k, seed, tag): when k covers the population
+// the result is every key ascending (BottomK's full-coverage order);
+// otherwise the k smallest (hash, key) pairs in hash order.
+func MergeBottomK(parts [][]Cand, k, total int) []int64 {
+	if k <= 0 {
+		return nil
+	}
+	all := make([]Cand, 0, k*len(parts))
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	if k >= total {
+		out := make([]int64, 0, len(all))
+		for _, c := range all {
+			out = append(out, c.Key)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out
+	}
+	sortCands(all)
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int64, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].Key
+	}
+	return out
+}
+
+func candsOf(keys []int64, seed, tag uint64) []Cand {
+	hs := make([]Cand, len(keys))
+	for i, key := range keys {
+		hs[i] = Cand{Hash: live.Mix64(seed, tag, uint64(key)), Key: key}
+	}
+	return hs
+}
+
+func sortCands(hs []Cand) {
+	sort.Slice(hs, func(a, b int) bool {
+		if hs[a].Hash != hs[b].Hash {
+			return hs[a].Hash < hs[b].Hash
+		}
+		return hs[a].Key < hs[b].Key
+	})
+}

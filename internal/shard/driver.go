@@ -1,0 +1,1052 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/live"
+)
+
+// Plan describes one sharded estimation: the method and every knob that
+// feeds the deterministic hash-plan recipe. Drive executes the same
+// procedure the single-process catalog path runs — hash bottom-k
+// sampling, seeded training, equal-count cuts, proportional allocation —
+// so the merged answer is byte-identical to the unsharded one.
+type Plan struct {
+	Method   string           // "srs", "lss", or "oracle"
+	Grouped  bool             // grouped (GROUP BY) estimation
+	BudgetOf func(n int) int  // evaluation budget as a function of population size
+	Strata   int              // lss stratum count H (< 2 selects 4)
+	Seed     uint64
+	Alpha    float64
+	Wilson   bool // Wilson interval for srs (plain and per-group)
+	MinGroup int  // grouped: minimum per-group sample before topping up (<= 0 selects 10)
+	Exact    bool // also compute the true count (full labeling pass)
+
+	// AllowDegraded lets Drive answer after losing shards mid-query:
+	// the protocol restarts over the survivors and the answer is scaled
+	// to the full population with a widened interval. When false a lost
+	// shard fails the query.
+	AllowDegraded bool
+}
+
+// Group is one group's merged estimate.
+type Group struct {
+	Key        string   // canonical identity (parts joined with \x1f)
+	Parts      []string // rendered key parts
+	N          int      // group population size
+	Sampled    int
+	Count      float64
+	Proportion float64
+	CILo, CIHi float64
+	HasCI      bool
+	Exact      bool
+	TrueCount  int
+	HasTrue    bool
+}
+
+// Result is the merged estimate of one sharded execution.
+type Result struct {
+	N            int // full population size (including lost shards)
+	Budget       int
+	Count        float64
+	Proportion   float64
+	CILo, CIHi   float64
+	HasCI        bool
+	SamplesUsed  int // fresh predicate evaluations across all shards
+	ReusedLabels int // label requests answered by the driver-side memo
+	Exact        bool
+	Degraded     bool
+	Lost         []int // shard indices lost mid-query (degraded answers)
+	Shards       int
+	Groups       []Group
+	TrueCount    int
+	HasTrue      bool
+}
+
+// DefaultMinGroup is the per-group sample floor for grouped estimates.
+const DefaultMinGroup = 10
+
+// Drive runs the plan across the given shard workers and merges their
+// partial results. Workers are indexed by shard: workers[i] serves shard
+// i of len(workers). Every sampling decision is a pure function of
+// (plan, population), so the result is byte-identical at any shard count
+// and any scatter interleaving.
+//
+// A worker that fails with a LostShardError is dropped and — when
+// plan.AllowDegraded is set — the protocol restarts over the survivors;
+// the final answer is scaled to the full population with the lost mass
+// added to the interval's upper bound. Losses during the initial
+// population census are always fatal: without the lost shard's size the
+// answer cannot be made sound.
+func Drive(ctx context.Context, plan Plan, workers []Worker) (*Result, error) {
+	switch plan.Method {
+	case "srs", "lss", "oracle":
+	default:
+		return nil, fmt.Errorf("shard: method %q cannot run sharded", plan.Method)
+	}
+	if plan.BudgetOf == nil && plan.Method != "oracle" {
+		return nil, fmt.Errorf("shard: plan for %q needs a budget rule", plan.Method)
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("shard: no workers")
+	}
+
+	r := &run{plan: plan, memo: make(map[int64]bool), owner: make(map[int64]int)}
+	for i, w := range workers {
+		r.workers = append(r.workers, w)
+		r.ids = append(r.ids, i)
+	}
+
+	// Census round: every shard must report its population before any
+	// loss is survivable.
+	r.metas = make([]Meta, len(r.workers))
+	err := r.scatter(ctx, func(slot int, w Worker) error {
+		m, merr := w.Meta(ctx)
+		if merr != nil {
+			return merr
+		}
+		r.metas[slot] = m
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, ErrShardLost) {
+			return nil, fmt.Errorf("shard: lost before census, population unknown: %w", err)
+		}
+		return nil, err
+	}
+	fullN := 0
+	for _, m := range r.metas {
+		fullN += m.N
+	}
+	fullGroups := r.mergeCensus()
+
+	for {
+		res, rerr := r.attempt(ctx)
+		if rerr == nil {
+			r.degrade(res, fullN, fullGroups)
+			return res, nil
+		}
+		var lost *LostShardError
+		if !errors.As(rerr, &lost) || !plan.AllowDegraded {
+			return nil, rerr
+		}
+		if !r.drop(lost.Shard) {
+			return nil, rerr
+		}
+		if len(r.workers) == 0 {
+			return nil, fmt.Errorf("shard: every shard lost: %w", rerr)
+		}
+	}
+}
+
+// run is one Drive invocation's mutable state: the surviving workers (and
+// their original shard ids), the census, the key-ownership map learned
+// from op results, and the driver-side label memo. The memo survives a
+// degraded restart — labels are pure in (snapshot, key, predicate), so
+// survivor keys never need relabeling.
+type run struct {
+	plan    Plan
+	workers []Worker
+	ids     []int
+	metas   []Meta
+
+	owner  map[int64]int // key -> slot in workers
+	memo   map[int64]bool
+	fresh  int
+	reused int
+
+	lost  []int
+	lostN int
+}
+
+// drop removes the lost shard (by original id) from the survivor set and
+// from the ownership map, recording its population as lost mass.
+func (r *run) drop(id int) bool {
+	slot := -1
+	for i, wid := range r.ids {
+		if wid == id {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return false
+	}
+	r.lost = append(r.lost, id)
+	r.lostN += r.metas[slot].N
+	r.workers = append(r.workers[:slot], r.workers[slot+1:]...)
+	r.ids = append(r.ids[:slot], r.ids[slot+1:]...)
+	r.metas = append(r.metas[:slot], r.metas[slot+1:]...)
+	for k, s := range r.owner {
+		switch {
+		case s == slot:
+			delete(r.owner, k)
+		case s > slot:
+			r.owner[k] = s - 1
+		}
+	}
+	return true
+}
+
+// aliveN is the survivor universe's population.
+func (r *run) aliveN() int {
+	n := 0
+	for _, m := range r.metas {
+		n += m.N
+	}
+	return n
+}
+
+// census is the merged per-group population table.
+type census struct {
+	key   string
+	parts []string
+	n     int
+}
+
+// mergeCensus merges the survivors' group censuses.
+func (r *run) mergeCensus() []census {
+	if !r.plan.Grouped {
+		return nil
+	}
+	byKey := make(map[string]*census)
+	for _, m := range r.metas {
+		for _, g := range m.Groups {
+			c, ok := byKey[g.Key]
+			if !ok {
+				c = &census{key: g.Key, parts: g.Parts}
+				byKey[g.Key] = c
+			}
+			c.n += g.N
+		}
+	}
+	out := make([]census, 0, len(byKey))
+	for _, c := range byKey {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(a, b int) bool { return LessGroupKey(out[a].parts, out[b].parts) })
+	return out
+}
+
+// scatter runs fn once per surviving worker concurrently and joins. A
+// LostShardError is reported in preference to other errors so the caller
+// can degrade; the error is annotated with the worker's original shard id
+// when the implementation did not set one.
+func (r *run) scatter(ctx context.Context, fn func(slot int, w Worker) error) error {
+	errs := make([]error, len(r.workers))
+	var wg sync.WaitGroup
+	for i, w := range r.workers {
+		wg.Add(1)
+		go func(slot int, w Worker) {
+			defer wg.Done()
+			errs[slot] = fn(slot, w)
+		}(i, w)
+	}
+	wg.Wait()
+	var first error
+	for slot, err := range errs {
+		if err == nil {
+			continue
+		}
+		var lost *LostShardError
+		if errors.As(err, &lost) {
+			return lost
+		}
+		if errors.Is(err, ErrShardLost) {
+			return &LostShardError{Shard: r.ids[slot], Err: err}
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// claim records key ownership learned from an op result.
+func (r *run) claim(slot int, key int64) { r.owner[key] = slot }
+
+// label answers labels for the given distinct keys, routing memo misses
+// to their owning shards in one batched round.
+func (r *run) label(ctx context.Context, sel []int64) ([]bool, error) {
+	perOwner := make(map[int][]int64)
+	queued := 0
+	for _, k := range sel {
+		if _, ok := r.memo[k]; ok {
+			continue
+		}
+		slot, ok := r.owner[k]
+		if !ok {
+			return nil, fmt.Errorf("shard: key %d has no known owner", k)
+		}
+		perOwner[slot] = append(perOwner[slot], k)
+		queued++
+	}
+	if queued > 0 {
+		type got struct {
+			keys   []int64
+			labels []bool
+			fresh  int
+		}
+		results := make([]*got, len(r.workers))
+		err := r.scatter(ctx, func(slot int, w Worker) error {
+			keys := perOwner[slot]
+			if len(keys) == 0 {
+				return nil
+			}
+			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			labels, fresh, lerr := w.Label(ctx, keys)
+			if lerr != nil {
+				return lerr
+			}
+			if len(labels) != len(keys) {
+				return fmt.Errorf("shard: worker returned %d labels for %d keys", len(labels), len(keys))
+			}
+			results[slot] = &got{keys: keys, labels: labels, fresh: fresh}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range results {
+			if g == nil {
+				continue
+			}
+			for j, k := range g.keys {
+				r.memo[k] = g.labels[j]
+			}
+			r.fresh += g.fresh
+		}
+	}
+	r.reused += len(sel) - queued
+	out := make([]bool, len(sel))
+	for j, k := range sel {
+		out[j] = r.memo[k]
+	}
+	return out, nil
+}
+
+// features fetches feature vectors for the given keys from their owners,
+// assembled in sel order.
+func (r *run) features(ctx context.Context, sel []int64) ([][]float64, error) {
+	perOwner := make(map[int][]int64)
+	for _, k := range sel {
+		slot, ok := r.owner[k]
+		if !ok {
+			return nil, fmt.Errorf("shard: key %d has no known owner", k)
+		}
+		perOwner[slot] = append(perOwner[slot], k)
+	}
+	byKey := make(map[int64][]float64, len(sel))
+	var mu sync.Mutex
+	err := r.scatter(ctx, func(slot int, w Worker) error {
+		keys := perOwner[slot]
+		if len(keys) == 0 {
+			return nil
+		}
+		fv, ferr := w.Features(ctx, keys)
+		if ferr != nil {
+			return ferr
+		}
+		if len(fv) != len(keys) {
+			return fmt.Errorf("shard: worker returned %d vectors for %d keys", len(fv), len(keys))
+		}
+		mu.Lock()
+		for j, k := range keys {
+			byKey[k] = fv[j]
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(sel))
+	for j, k := range sel {
+		out[j] = byKey[k]
+	}
+	return out, nil
+}
+
+// cands gathers per-shard bottom-k candidates under the tag and records
+// their ownership.
+func (r *run) cands(ctx context.Context, k int, tag uint64) ([][]Cand, error) {
+	parts := make([][]Cand, len(r.workers))
+	err := r.scatter(ctx, func(slot int, w Worker) error {
+		cs, cerr := w.Cands(ctx, k, tag)
+		if cerr != nil {
+			return cerr
+		}
+		parts[slot] = cs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for slot, cs := range parts {
+		for _, c := range cs {
+			r.claim(slot, c.Key)
+		}
+	}
+	return parts, nil
+}
+
+// attempt runs the full protocol over the current survivor set.
+func (r *run) attempt(ctx context.Context) (*Result, error) {
+	n := r.aliveN()
+	res := &Result{N: n, Shards: len(r.workers)}
+	alpha := r.plan.Alpha
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	if n == 0 {
+		res.HasCI = true
+		if r.plan.Exact {
+			res.HasTrue = true
+		}
+		return res, nil
+	}
+
+	if r.plan.BudgetOf != nil {
+		// The nominal budget is reported even for the oracle, mirroring
+		// the single-process paths.
+		res.Budget = r.plan.BudgetOf(n)
+	}
+	var err error
+	if r.plan.Grouped {
+		err = r.attemptGrouped(ctx, res, n, alpha)
+	} else {
+		err = r.attemptPlain(ctx, res, n, alpha)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Proportion = res.Count / float64(n)
+	res.SamplesUsed = r.fresh
+	res.ReusedLabels = r.reused
+	return res, nil
+}
+
+// attemptPlain runs srs/lss/oracle without grouping — the exact recipe of
+// the single-process catalog path.
+func (r *run) attemptPlain(ctx context.Context, res *Result, n int, alpha float64) error {
+	switch r.plan.Method {
+	case "oracle":
+		merged, _, err := r.countAll(ctx, nil)
+		if err != nil {
+			return err
+		}
+		c := float64(merged.Positives)
+		res.Count, res.CILo, res.CIHi, res.HasCI = c, c, c, true
+		res.Exact = true
+		if r.plan.Exact {
+			res.TrueCount, res.HasTrue = merged.Positives, true
+		}
+		return nil
+
+	case "srs":
+		budget := r.plan.BudgetOf(n)
+		res.Budget = budget
+		parts, err := r.cands(ctx, budget, TagSample)
+		if err != nil {
+			return err
+		}
+		sel := MergeBottomK(parts, budget, n)
+		labels, err := r.label(ctx, sel)
+		if err != nil {
+			return err
+		}
+		pos := 0
+		for _, b := range labels {
+			if b {
+				pos++
+			}
+		}
+		var er estimate.Result
+		if r.plan.Wilson {
+			er = estimate.ProportionWilson(pos, len(sel), n, alpha)
+		} else {
+			er = estimate.Proportion(pos, len(sel), n, alpha)
+		}
+		res.Count, res.CILo, res.CIHi, res.HasCI = er.Count, er.CI.Lo, er.CI.Hi, true
+
+	case "lss":
+		budget := r.plan.BudgetOf(n)
+		res.Budget = budget
+		scores, _, err := r.learnAndScore(ctx, n, budget)
+		if err != nil {
+			return err
+		}
+		strata, err := r.sampleStrata(ctx, scores, n, budget)
+		if err != nil {
+			return err
+		}
+		er, serr := estimate.Stratified(strata, alpha)
+		if serr != nil {
+			return fmt.Errorf("shard: %v", serr)
+		}
+		res.Count, res.CILo, res.CIHi, res.HasCI = er.Count, er.CI.Lo, er.CI.Hi, true
+	}
+
+	if r.plan.Exact {
+		merged, _, err := r.countAll(ctx, nil)
+		if err != nil {
+			return err
+		}
+		res.TrueCount, res.HasTrue = merged.Positives, true
+	}
+	return nil
+}
+
+// learnAndScore runs the lss learn phase: merge the hash learn sample,
+// label it, broadcast (x, y, seed) so every shard trains the identical
+// classifier, and gather per-key scores. It returns every scored object
+// (claiming ownership as it goes) and the learn-sample size.
+func (r *run) learnAndScore(ctx context.Context, n, budget int) ([]Scored, int, error) {
+	kLearn := int(math.Round(0.25 * float64(budget)))
+	if kLearn < 2 {
+		kLearn = 2
+	}
+	if kLearn > budget-2 {
+		kLearn = budget - 2
+	}
+	if kLearn < 2 {
+		return nil, 0, fmt.Errorf("shard: budget %d too small for an lss estimate", budget)
+	}
+	parts, err := r.cands(ctx, kLearn, TagLearn)
+	if err != nil {
+		return nil, 0, err
+	}
+	learnSel := MergeBottomK(parts, kLearn, n)
+	y, err := r.label(ctx, learnSel)
+	if err != nil {
+		return nil, 0, err
+	}
+	x, err := r.features(ctx, learnSel)
+	if err != nil {
+		return nil, 0, err
+	}
+	clfSeed := live.Mix64(r.plan.Seed, TagTrain, uint64(len(learnSel)))
+
+	scored := make([][]Scored, len(r.workers))
+	err = r.scatter(ctx, func(slot int, w Worker) error {
+		s, serr := w.ScoreAll(ctx, x, y, clfSeed)
+		if serr != nil {
+			return serr
+		}
+		scored[slot] = s
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	all := make([]Scored, 0, n)
+	for slot, part := range scored {
+		for _, s := range part {
+			r.claim(slot, s.Key)
+		}
+		all = append(all, part...)
+	}
+	if len(all) != n {
+		return nil, 0, fmt.Errorf("shard: scored %d of %d objects", len(all), n)
+	}
+	return all, len(learnSel), nil
+}
+
+// cutsOf computes the equal-count stratum boundaries over all scores —
+// the same j*n/H rule as the catalog path, over the identical sorted
+// score multiset.
+func (r *run) cutsOf(all []Scored, n int) []float64 {
+	H := r.plan.Strata
+	if H < 2 {
+		H = 4
+	}
+	sorted := make([]float64, len(all))
+	for i, s := range all {
+		sorted[i] = s.Score
+	}
+	sort.Float64s(sorted)
+	cuts := make([]float64, 0, H-1)
+	for j := 1; j < H; j++ {
+		pos := j * n / H
+		if pos > 0 {
+			pos--
+		}
+		cuts = append(cuts, sorted[pos])
+	}
+	return cuts
+}
+
+// stratumOf places a score into its stratum.
+func stratumOf(cuts []float64, score float64, H int) int {
+	h := sort.SearchFloat64s(cuts, score)
+	if h >= H {
+		h = H - 1
+	}
+	return h
+}
+
+// sampleStrata partitions the scored population by the cuts, allocates
+// the remaining budget proportionally, draws each stratum's hash
+// bottom-k, and labels it in one batched round.
+func (r *run) sampleStrata(ctx context.Context, all []Scored, n, budget int) ([]estimate.StratumSample, error) {
+	H := r.plan.Strata
+	if H < 2 {
+		H = 4
+	}
+	kLearn := int(math.Round(0.25 * float64(budget)))
+	if kLearn < 2 {
+		kLearn = 2
+	}
+	if kLearn > budget-2 {
+		kLearn = budget - 2
+	}
+	cuts := r.cutsOf(all, n)
+	members := make([][]int64, H)
+	sizes := make([]int, H)
+	for _, s := range all {
+		h := stratumOf(cuts, s.Score, H)
+		members[h] = append(members[h], s.Key)
+		sizes[h]++
+	}
+	alloc := estimate.ProportionalAllocation(sizes, budget-kLearn, 2)
+	strata := make([]estimate.StratumSample, H)
+	for h := 0; h < H; h++ {
+		sel := BottomK(members[h], alloc[h], r.plan.Seed, TagSample)
+		labels, err := r.label(ctx, sel)
+		if err != nil {
+			return nil, err
+		}
+		pos := 0
+		for _, b := range labels {
+			if b {
+				pos++
+			}
+		}
+		strata[h] = estimate.StratumSample{N: sizes[h], Sampled: len(sel), Positives: pos}
+	}
+	return strata, nil
+}
+
+// countAll scatters a full labeling pass and merges the shard tallies;
+// groupTally (when non-nil) receives the merged per-group tallies.
+func (r *run) countAll(ctx context.Context, groupTally map[string]*GroupCount) (core.Partial, map[string]*GroupCount, error) {
+	parts := make([]core.Partial, len(r.workers))
+	groups := make([][]GroupCount, len(r.workers))
+	freshes := make([]int, len(r.workers))
+	err := r.scatter(ctx, func(slot int, w Worker) error {
+		p, gs, fresh, cerr := w.CountAll(ctx)
+		if cerr != nil {
+			return cerr
+		}
+		parts[slot], groups[slot], freshes[slot] = p, gs, fresh
+		return nil
+	})
+	if err != nil {
+		return core.Partial{}, nil, err
+	}
+	var merged core.Partial
+	for slot := range parts {
+		if verr := parts[slot].Validate(); verr != nil {
+			return core.Partial{}, nil, verr
+		}
+		merged.Add(parts[slot])
+		r.fresh += freshes[slot]
+	}
+	if groupTally == nil {
+		groupTally = make(map[string]*GroupCount)
+	}
+	for _, gs := range groups {
+		for _, g := range gs {
+			t, ok := groupTally[g.Key]
+			if !ok {
+				t = &GroupCount{Key: g.Key, Parts: g.Parts}
+				groupTally[g.Key] = t
+			}
+			t.N += g.N
+			t.Pos += g.Pos
+		}
+	}
+	return merged, groupTally, nil
+}
+
+// attemptGrouped runs the grouped protocol: one shared sample keyed by
+// the global tags, per-group tallies, and a deterministic per-group
+// top-up (under the group's own tag) for groups the shared sample
+// underserves.
+func (r *run) attemptGrouped(ctx context.Context, res *Result, n int, alpha float64) error {
+	cens := r.mergeCensus()
+	minG := r.plan.MinGroup
+	if minG <= 0 {
+		minG = DefaultMinGroup
+	}
+
+	type cell struct{ sampled, pos int }
+	perGroup := make(map[string]map[int]*cell) // canonical -> stratum -> tally
+	members := make(map[string][]int64)        // canonical -> member keys
+	tally := func(g string, h int, positive bool) {
+		cells, ok := perGroup[g]
+		if !ok {
+			cells = make(map[int]*cell)
+			perGroup[g] = cells
+		}
+		c, ok := cells[h]
+		if !ok {
+			c = &cell{}
+			cells[h] = c
+		}
+		c.sampled++
+		if positive {
+			c.pos++
+		}
+	}
+
+	H := 1 // plain srs/oracle tallies live in stratum 0
+	var stratumSizes map[string][]int
+	switch r.plan.Method {
+	case "oracle":
+		_, groupTally, err := r.countAll(ctx, nil)
+		if err != nil {
+			return err
+		}
+		total := 0
+		for _, c := range cens {
+			g := groupTally[c.key]
+			pos := 0
+			if g != nil {
+				pos = g.Pos
+			}
+			total += pos
+			grp := Group{
+				Key: c.key, Parts: c.parts, N: c.n, Sampled: c.n,
+				Count: float64(pos), Proportion: safeDiv(float64(pos), c.n),
+				CILo: float64(pos), CIHi: float64(pos), HasCI: true, Exact: true,
+			}
+			if r.plan.Exact {
+				grp.TrueCount, grp.HasTrue = pos, true
+			}
+			res.Groups = append(res.Groups, grp)
+		}
+		res.Count, res.CILo, res.CIHi, res.HasCI = float64(total), float64(total), float64(total), true
+		res.Exact = true
+		if r.plan.Exact {
+			res.TrueCount, res.HasTrue = total, true
+		}
+		return nil
+
+	case "srs":
+		budget := r.plan.BudgetOf(n)
+		res.Budget = budget
+		listed, err := r.listGroupKeys(ctx)
+		if err != nil {
+			return err
+		}
+		keys := make([]int64, len(listed))
+		groupOf := make(map[int64]string, len(listed))
+		for i, s := range listed {
+			keys[i] = s.Key
+			groupOf[s.Key] = s.Group
+			members[s.Group] = append(members[s.Group], s.Key)
+		}
+		sel := BottomK(keys, budget, r.plan.Seed, TagSample)
+		labels, err := r.label(ctx, sel)
+		if err != nil {
+			return err
+		}
+		for j, k := range sel {
+			tally(groupOf[k], 0, labels[j])
+		}
+
+	case "lss":
+		budget := r.plan.BudgetOf(n)
+		res.Budget = budget
+		scores, _, err := r.learnAndScore(ctx, n, budget)
+		if err != nil {
+			return err
+		}
+		H = r.plan.Strata
+		if H < 2 {
+			H = 4
+		}
+		cuts := r.cutsOf(scores, n)
+		stratumSizes = make(map[string][]int)
+		groupOf := make(map[int64]string, len(scores))
+		stratumMembers := make([][]int64, H)
+		sizes := make([]int, H)
+		keyStratum := make(map[int64]int, len(scores))
+		for _, s := range scores {
+			h := stratumOf(cuts, s.Score, H)
+			stratumMembers[h] = append(stratumMembers[h], s.Key)
+			sizes[h]++
+			keyStratum[s.Key] = h
+			groupOf[s.Key] = s.Group
+			members[s.Group] = append(members[s.Group], s.Key)
+			gs, ok := stratumSizes[s.Group]
+			if !ok {
+				gs = make([]int, H)
+				stratumSizes[s.Group] = gs
+			}
+			gs[h]++
+		}
+		kLearn := int(math.Round(0.25 * float64(budget)))
+		if kLearn < 2 {
+			kLearn = 2
+		}
+		if kLearn > budget-2 {
+			kLearn = budget - 2
+		}
+		alloc := estimate.ProportionalAllocation(sizes, budget-kLearn, 2)
+		for h := 0; h < H; h++ {
+			sel := BottomK(stratumMembers[h], alloc[h], r.plan.Seed, TagSample)
+			labels, err := r.label(ctx, sel)
+			if err != nil {
+				return err
+			}
+			for j, k := range sel {
+				tally(groupOf[k], keyStratum[k], labels[j])
+			}
+		}
+	}
+
+	// Per-group estimates with a deterministic top-up for groups the
+	// shared sample underserves: the top-up replaces the shared estimate
+	// so the answer never depends on which path a group took historically.
+	total, lo, hi := 0.0, 0.0, 0.0
+	for _, c := range cens {
+		sampled := 0
+		for _, cl := range perGroup[c.key] {
+			sampled += cl.sampled
+		}
+		want := minG
+		if want > c.n {
+			want = c.n
+		}
+		grp := Group{Key: c.key, Parts: c.parts, N: c.n}
+		if sampled < want {
+			// Top up under the group's own tag.
+			target := minG
+			if sampled > target {
+				target = sampled
+			}
+			if target > c.n {
+				target = c.n
+			}
+			gsel := BottomK(members[c.key], target, r.plan.Seed, GroupTag(c.key))
+			labels, err := r.label(ctx, gsel)
+			if err != nil {
+				return err
+			}
+			pos := 0
+			for _, b := range labels {
+				if b {
+					pos++
+				}
+			}
+			var er estimate.Result
+			if r.plan.Wilson {
+				er = estimate.ProportionWilson(pos, len(gsel), c.n, alpha)
+			} else {
+				er = estimate.Proportion(pos, len(gsel), c.n, alpha)
+			}
+			grp.Sampled = len(gsel)
+			grp.Count, grp.Proportion = er.Count, er.Proportion
+			grp.CILo, grp.CIHi, grp.HasCI = er.CI.Lo, er.CI.Hi, true
+			grp.Exact = len(gsel) == c.n
+			if grp.Exact {
+				grp.Count = float64(pos)
+				grp.CILo, grp.CIHi = grp.Count, grp.Count
+			}
+		} else if r.plan.Method == "lss" {
+			gs := stratumSizes[c.key]
+			var cells []estimate.StratumSample
+			for h := 0; h < H; h++ {
+				if gs[h] == 0 {
+					continue
+				}
+				cl := perGroup[c.key][h]
+				s := estimate.StratumSample{N: gs[h]}
+				if cl != nil {
+					s.Sampled, s.Positives = cl.sampled, cl.pos
+				}
+				cells = append(cells, s)
+			}
+			er, serr := estimate.Stratified(cells, alpha)
+			if serr != nil {
+				return fmt.Errorf("shard: group %q: %v", c.key, serr)
+			}
+			grp.Sampled = sampled
+			grp.Count, grp.Proportion = er.Count, er.Proportion
+			grp.CILo, grp.CIHi, grp.HasCI = er.CI.Lo, er.CI.Hi, true
+			grp.Exact = sampled == c.n
+		} else {
+			cl := perGroup[c.key][0]
+			pos := 0
+			if cl != nil {
+				pos = cl.pos
+			}
+			var er estimate.Result
+			if r.plan.Wilson {
+				er = estimate.ProportionWilson(pos, sampled, c.n, alpha)
+			} else {
+				er = estimate.Proportion(pos, sampled, c.n, alpha)
+			}
+			grp.Sampled = sampled
+			grp.Count, grp.Proportion = er.Count, er.Proportion
+			grp.CILo, grp.CIHi, grp.HasCI = er.CI.Lo, er.CI.Hi, true
+			grp.Exact = sampled == c.n
+			if grp.Exact {
+				grp.Count = float64(pos)
+				grp.CILo, grp.CIHi = grp.Count, grp.Count
+			}
+		}
+		total += grp.Count
+		lo += grp.CILo
+		hi += grp.CIHi
+		res.Groups = append(res.Groups, grp)
+	}
+	res.Count, res.CILo, res.CIHi, res.HasCI = total, lo, hi, true
+
+	if r.plan.Exact {
+		_, groupTally, err := r.countAll(ctx, nil)
+		if err != nil {
+			return err
+		}
+		tc := 0
+		for i := range res.Groups {
+			pos := 0
+			if g := groupTally[res.Groups[i].Key]; g != nil {
+				pos = g.Pos
+			}
+			res.Groups[i].TrueCount, res.Groups[i].HasTrue = pos, true
+			tc += pos
+		}
+		res.TrueCount, res.HasTrue = tc, true
+	}
+	return nil
+}
+
+// listGroupKeys gathers every key with its group from the survivors,
+// claiming ownership.
+func (r *run) listGroupKeys(ctx context.Context) ([]Scored, error) {
+	parts := make([][]Scored, len(r.workers))
+	err := r.scatter(ctx, func(slot int, w Worker) error {
+		s, serr := w.GroupKeys(ctx)
+		if serr != nil {
+			return serr
+		}
+		parts[slot] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Scored
+	for slot, p := range parts {
+		for _, s := range p {
+			r.claim(slot, s.Key)
+		}
+		all = append(all, p...)
+	}
+	return all, nil
+}
+
+// degrade scales a survivor-universe answer to the full population when
+// shards were lost: the point estimate extrapolates by population ratio
+// and the interval's upper bound absorbs the lost mass (every lost object
+// could have been positive; the lower bound keeps the survivors'
+// evidence). Group intervals widen by each group's own lost membership —
+// the census ran before any loss, so the lost mass per group is known
+// exactly. True counts cannot be known degraded, so they are dropped.
+func (r *run) degrade(res *Result, fullN int, fullGroups []census) {
+	res.Shards = len(r.workers) + len(r.lost)
+	if r.lostN == 0 && len(r.lost) == 0 {
+		return
+	}
+	survN := res.N
+	res.N = fullN
+	res.Degraded = true
+	res.Lost = append([]int(nil), r.lost...)
+	sort.Ints(res.Lost)
+	res.Exact = false
+	res.TrueCount, res.HasTrue = 0, false
+
+	if survN > 0 {
+		scale := float64(fullN) / float64(survN)
+		res.Count *= scale
+	} else {
+		res.Count = 0
+	}
+	res.CIHi += float64(r.lostN)
+	if res.CIHi > float64(fullN) {
+		res.CIHi = float64(fullN)
+	}
+	res.Proportion = safeDiv(res.Count, fullN)
+
+	if !r.plan.Grouped {
+		return
+	}
+	// Re-key the survivor group results against the full census; groups
+	// entirely on lost shards come back as pure-uncertainty rows.
+	bySurv := make(map[string]Group, len(res.Groups))
+	for _, g := range res.Groups {
+		bySurv[g.Key] = g
+	}
+	out := make([]Group, 0, len(fullGroups))
+	for _, c := range fullGroups {
+		g, ok := bySurv[c.key]
+		if !ok {
+			g = Group{Key: c.key, Parts: c.parts}
+		}
+		lostG := c.n - g.N
+		g.N = c.n
+		if lostG > 0 {
+			if g.Sampled > 0 {
+				g.Count *= float64(c.n) / float64(c.n-lostG)
+			}
+			g.CIHi += float64(lostG)
+			if g.CIHi > float64(c.n) {
+				g.CIHi = float64(c.n)
+			}
+			g.HasCI = true
+			g.Exact = false
+		}
+		g.Proportion = safeDiv(g.Count, c.n)
+		g.TrueCount, g.HasTrue = 0, false
+		out = append(out, g)
+	}
+	res.Groups = out
+}
+
+// LessGroupKey orders rendered group keys the way lsample presents them:
+// element-wise, numerically when both parts parse as numbers, lexically
+// otherwise, shorter keys first on a tie.
+func LessGroupKey(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		na, aok := strconv.ParseFloat(a[i], 64)
+		nb, bok := strconv.ParseFloat(b[i], 64)
+		if aok == nil && bok == nil {
+			if na != nb {
+				return na < nb
+			}
+		}
+		return a[i] < b[i]
+	}
+	return len(a) < len(b)
+}
+
+func safeDiv(num float64, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / float64(den)
+}

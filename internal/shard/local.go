@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+)
+
+// LabelFunc evaluates the expensive predicate for the given object keys,
+// returning labels aligned with keys and how many evaluations were fresh
+// (not answered from a memo). Implementations must be safe for concurrent
+// calls from different shards but are only ever called with keys the
+// owning shard holds.
+type LabelFunc func(ctx context.Context, keys []int64) ([]bool, int, error)
+
+// Trainer trains the plan classifier once per training seed and shares
+// the fitted instance across every shard of one execution context — the
+// in-process analogue of each remote worker training its own identical
+// copy. A Trainer must be scoped to one (snapshot, parameters, plan)
+// context: the memo key is the training seed alone, which is only sound
+// while (x, y) are pinned by that context.
+type Trainer struct {
+	newClf func(seed uint64) learn.Classifier
+
+	mu   sync.Mutex
+	clfs map[uint64]learn.Classifier
+}
+
+// NewTrainer returns a Trainer over the given classifier factory.
+func NewTrainer(newClf func(seed uint64) learn.Classifier) *Trainer {
+	return &Trainer{newClf: newClf, clfs: make(map[uint64]learn.Classifier)}
+}
+
+// Train returns the classifier fitted to (x, y) under clfSeed, fitting at
+// most once per seed. Forest fitting is deterministic in (x order, y,
+// seed), so the shared instance scores byte-identically to a per-shard
+// retrain.
+func (t *Trainer) Train(x [][]float64, y []bool, clfSeed uint64) (learn.Classifier, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if clf, ok := t.clfs[clfSeed]; ok {
+		return clf, nil
+	}
+	clf := t.newClf(clfSeed)
+	if err := clf.Fit(x, y); err != nil {
+		return nil, fmt.Errorf("shard: training classifier: %w", err)
+	}
+	t.clfs[clfSeed] = clf
+	return clf, nil
+}
+
+// Local is the in-process Worker over one shard's slice of the
+// population. The slices are aligned: Feats[i] and Groups[i] (when
+// present) describe Keys[i].
+type Local struct {
+	seed    uint64
+	keys    []int64
+	feats   [][]float64         // nil when the plan needs no features
+	groups  []string            // canonical group per key; nil for plain plans
+	parts   map[string][]string // canonical group -> rendered parts
+	labelFn LabelFunc
+	trainer *Trainer
+	idx     map[int64]int
+}
+
+// NewLocal builds an in-process shard worker. feats, groups, and parts
+// may be nil when the plan does not need them; labelFn is required.
+func NewLocal(seed uint64, keys []int64, feats [][]float64, groups []string,
+	parts map[string][]string, labelFn LabelFunc, trainer *Trainer) *Local {
+
+	idx := make(map[int64]int, len(keys))
+	for i, k := range keys {
+		idx[k] = i
+	}
+	return &Local{
+		seed: seed, keys: keys, feats: feats, groups: groups, parts: parts,
+		labelFn: labelFn, trainer: trainer, idx: idx,
+	}
+}
+
+// Meta returns the shard's object count and local group census.
+func (w *Local) Meta(ctx context.Context) (Meta, error) {
+	m := Meta{N: len(w.keys)}
+	if w.groups != nil {
+		tally := make(map[string]int)
+		for _, g := range w.groups {
+			tally[g]++
+		}
+		m.Groups = make([]GroupCount, 0, len(tally))
+		for g, n := range tally {
+			m.Groups = append(m.Groups, GroupCount{Key: g, Parts: w.parts[g], N: n})
+		}
+		sort.Slice(m.Groups, func(a, b int) bool { return m.Groups[a].Key < m.Groups[b].Key })
+	}
+	return m, nil
+}
+
+// Cands returns the shard's bottom-k candidates under the given tag.
+func (w *Local) Cands(ctx context.Context, k int, tag uint64) ([]Cand, error) {
+	return LocalCands(w.keys, k, w.seed, tag), nil
+}
+
+// Label evaluates the predicate for the given local keys.
+func (w *Local) Label(ctx context.Context, keys []int64) ([]bool, int, error) {
+	for _, k := range keys {
+		if _, ok := w.idx[k]; !ok {
+			return nil, 0, fmt.Errorf("shard: key %d is not on this shard", k)
+		}
+	}
+	return w.labelFn(ctx, keys)
+}
+
+// Features returns the feature vectors of the given local keys.
+func (w *Local) Features(ctx context.Context, keys []int64) ([][]float64, error) {
+	if w.feats == nil {
+		return nil, fmt.Errorf("shard: plan carries no features")
+	}
+	out := make([][]float64, len(keys))
+	for i, k := range keys {
+		p, ok := w.idx[k]
+		if !ok {
+			return nil, fmt.Errorf("shard: key %d is not on this shard", k)
+		}
+		out[i] = w.feats[p]
+	}
+	return out, nil
+}
+
+// ScoreAll trains (or reuses) the plan classifier and scores every local
+// object.
+func (w *Local) ScoreAll(ctx context.Context, x [][]float64, y []bool, clfSeed uint64) ([]Scored, error) {
+	if w.feats == nil {
+		return nil, fmt.Errorf("shard: plan carries no features")
+	}
+	clf, err := w.trainer.Train(x, y, clfSeed)
+	if err != nil {
+		return nil, err
+	}
+	scores := learn.ScoreAll(clf, w.feats)
+	out := make([]Scored, len(w.keys))
+	for i, k := range w.keys {
+		s := Scored{Key: k, Score: scores[i]}
+		if w.groups != nil {
+			s.Group = w.groups[i]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// GroupKeys lists every local key with its canonical group.
+func (w *Local) GroupKeys(ctx context.Context) ([]Scored, error) {
+	out := make([]Scored, len(w.keys))
+	for i, k := range w.keys {
+		s := Scored{Key: k}
+		if w.groups != nil {
+			s.Group = w.groups[i]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// CountAll labels every local object and returns the merged tallies.
+func (w *Local) CountAll(ctx context.Context) (core.Partial, []GroupCount, int, error) {
+	labels, fresh, err := w.labelFn(ctx, w.keys)
+	if err != nil {
+		return core.Partial{}, nil, 0, err
+	}
+	p := core.Partial{N: len(w.keys), Sampled: len(w.keys)}
+	var byGroup map[string]*GroupCount
+	if w.groups != nil {
+		byGroup = make(map[string]*GroupCount)
+		for i, g := range w.groups {
+			gc, ok := byGroup[g]
+			if !ok {
+				gc = &GroupCount{Key: g, Parts: w.parts[g]}
+				byGroup[g] = gc
+			}
+			gc.N++
+			if labels[i] {
+				gc.Pos++
+			}
+		}
+	}
+	for _, b := range labels {
+		if b {
+			p.Positives++
+		}
+	}
+	var groups []GroupCount
+	if byGroup != nil {
+		groups = make([]GroupCount, 0, len(byGroup))
+		for _, gc := range byGroup {
+			groups = append(groups, *gc)
+		}
+		sort.Slice(groups, func(a, b int) bool { return groups[a].Key < groups[b].Key })
+	}
+	return p, groups, fresh, nil
+}

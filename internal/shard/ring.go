@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/live"
+)
+
+// Ring is a consistent-hash ring over worker names. Each node owns the
+// arc before each of its virtual points; a key belongs to the node whose
+// point follows the key's hash clockwise. Adding a node moves only the
+// keys that land on the new node's arcs; removing one moves only the keys
+// it owned — the minimal-movement property the routing fuzzer pins down.
+//
+// A Ring is deterministic in (replica count, node set): two coordinators
+// configured with the same workers route identically. It is not
+// goroutine-safe; guard it externally when membership changes at runtime.
+type Ring struct {
+	replicas int
+	nodes    map[string]bool
+	points   []ringPoint // sorted by (hash, node, replica)
+}
+
+type ringPoint struct {
+	hash    uint64
+	node    string
+	replica int
+}
+
+// DefaultReplicas is the virtual-node count per worker: enough to spread
+// arcs evenly across a handful of workers without bloating lookups.
+const DefaultReplicas = 64
+
+// NewRing returns an empty ring with the given virtual-node count per
+// node (<= 0 selects DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+// Add inserts a node (no-op if present) and reports whether it was new.
+func (r *Ring) Add(node string) bool {
+	if r.nodes[node] {
+		return false
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{
+			hash:    live.Mix64(HashString(node), uint64(i), TagShard),
+			node:    node,
+			replica: i,
+		})
+	}
+	r.sortPoints()
+	return true
+}
+
+// Remove deletes a node and reports whether it was present.
+func (r *Ring) Remove(node string) bool {
+	if !r.nodes[node] {
+		return false
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Nodes returns the current node set, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node owning the given key, and false when the ring is
+// empty.
+func (r *Ring) Owner(key string) (string, bool) {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return "", false
+	}
+	return owners[0], true
+}
+
+// Owners returns up to n distinct nodes in preference order for the key:
+// the owner first, then the successors met walking the ring clockwise.
+// The tail of the list is the hedging/failover order for the key's shard.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := live.Mix64(HashString(key), TagShard)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		if pa.node != pb.node {
+			return pa.node < pb.node
+		}
+		return pa.replica < pb.replica
+	})
+}

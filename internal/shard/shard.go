@@ -1,0 +1,102 @@
+// Package shard implements sharded scale-out estimation: a registered
+// table is partitioned into hash-aligned shards, the deterministic
+// sample/learn/label pipeline runs independently per shard, and the
+// partial results merge through the stratified estimator so the sharded
+// answer is byte-identical to the single-shard run at any shard count.
+//
+// The identity argument is the same pure-function-of-(snapshot, seed)
+// trick the live layer uses for sample membership:
+//
+//   - Sample membership is hash bottom-k: an object key k belongs to the
+//     size-b sample iff Mix64(seed, tag, k) is among the b smallest hashes
+//     of the population. Each shard reports its local bottom-k candidates;
+//     the union of per-shard bottom-k sets always contains the global
+//     bottom-k, so re-sorting the candidates and keeping k reproduces the
+//     unsharded selection exactly (MergeBottomK).
+//   - Labels are pure functions of (snapshot, key, predicate): which shard
+//     evaluates the predicate cannot change the label.
+//   - Classifier training is a pure function of (learn sample order,
+//     labels, train seed): the merged learn sample is broadcast to every
+//     shard, each trains the identical forest locally, and per-row scores
+//     of disjoint shards concatenate into exactly the scores a single
+//     process would have computed.
+//   - Everything downstream of scoring — equal-count cuts over the merged
+//     score multiset, stratum membership, proportional allocation,
+//     per-stratum bottom-k, and the stratified estimator — consumes
+//     integer tallies or full multisets, both of which merge exactly.
+//
+// The Worker interface abstracts one shard's primitives; Local implements
+// it in-process, and the serving layer implements it over HTTP so the
+// same Drive loop powers both lsample.WithShards and the lsserve
+// coordinator/worker roles.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/live"
+)
+
+// Hash-plan domain-separation tags. TagLearn, TagSample, and TagTrain
+// mirror lsample's hash-plan constants — the sharded executor must draw
+// the same learn/sample membership and train seed as the unsharded
+// catalog plan, or byte-identity is lost.
+const (
+	// TagLearn selects the learn-phase bottom-k sample ("LEARN").
+	TagLearn = 0x4c4541524e
+	// TagSample selects the estimation-phase bottom-k sample ("SAMPL").
+	TagSample = 0x53414d504c
+	// TagTrain derives the classifier training seed ("TRAIN").
+	TagTrain = 0x545241494e
+	// TagShard places object keys on shards ("SHARD"). It is distinct from
+	// the sampling tags so shard placement and sample membership stay
+	// independent hashes.
+	TagShard = 0x5348415244
+	// TagGroup derives per-group fallback sampling tags ("GROUP").
+	TagGroup = 0x47524f5550
+)
+
+// Spec identifies one shard of a layout: shard Index of Count total.
+type Spec struct {
+	Index int
+	Count int
+}
+
+// String renders the spec in the catalog's Shard key form, "index/count".
+func (s Spec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// Valid reports whether the spec is a well-formed layout member.
+func (s Spec) Valid() bool { return s.Count >= 1 && s.Index >= 0 && s.Index < s.Count }
+
+// OwnerOf places an object key on a shard: a pure function of the key, so
+// every process computes the same partition without coordination. Shard
+// placement hashes with TagShard, keeping it independent of sample
+// membership — a shard neither concentrates nor starves sample mass.
+func OwnerOf(key int64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(live.Mix64(TagShard, uint64(key)) % uint64(shards))
+}
+
+// HashString folds a string into a 64-bit value (FNV-1a) for ring
+// placement and group-tag derivation.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// GroupTag derives the per-group fallback sampling tag from the group's
+// canonical key, domain-separated from the shared-sample tag so a group's
+// top-up draw is independent of the shared selection.
+func GroupTag(canonical string) uint64 {
+	return live.Mix64(TagSample, TagGroup, HashString(canonical))
+}

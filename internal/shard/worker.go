@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrShardLost marks a shard whose every transport candidate failed: the
+// resilient wrappers (hedged HTTP clients, chaos-test fakes) return it
+// once retries are exhausted, and Drive reacts by restarting over the
+// surviving shards and — when the plan allows — answering degraded with a
+// widened interval instead of silently dropping the shard's population.
+var ErrShardLost = errors.New("shard: shard lost")
+
+// LostShardError wraps ErrShardLost with the failing shard's index.
+type LostShardError struct {
+	Shard int
+	Err   error
+}
+
+// Error renders the lost shard and its cause.
+func (e *LostShardError) Error() string { return fmt.Sprintf("shard %d lost: %v", e.Shard, e.Err) }
+
+// Unwrap exposes ErrShardLost (and the cause) to errors.Is/As.
+func (e *LostShardError) Unwrap() error { return ErrShardLost }
+
+// Meta is a shard's population summary: its object count and, for grouped
+// queries, its per-group census.
+type Meta struct {
+	N      int
+	Groups []GroupCount
+}
+
+// GroupCount is one group's tally on one shard: canonical key, rendered
+// key parts, member count, and (for exact passes) positives.
+type GroupCount struct {
+	Key   string   // canonical identity: parts joined with \x1f
+	Parts []string // rendered column values, aligned with GroupColumns
+	N     int
+	Pos   int
+}
+
+// Scored is one object's shard-local record: its key, classifier score
+// (zero when the op does not score), and canonical group key (empty for
+// plain queries).
+type Scored struct {
+	Key   int64
+	Score float64
+	Group string
+}
+
+// Worker is one shard's estimation primitives. Every method is a pure
+// function of (snapshot, seed, arguments) — which worker executes a call
+// never changes its result — so a coordinator may freely retry, hedge, or
+// re-route calls between replicas holding the same snapshot.
+//
+// Implementations must be safe for concurrent calls: Drive scatters
+// rounds across shards in parallel.
+type Worker interface {
+	// Meta returns the shard's object count and, for grouped plans, its
+	// local per-group census.
+	Meta(ctx context.Context) (Meta, error)
+
+	// Cands returns the shard's bottom-k candidates under the plan seed
+	// and the given tag (LocalCands over the shard's keys).
+	Cands(ctx context.Context, k int, tag uint64) ([]Cand, error)
+
+	// Label evaluates the predicate for the given shard-owned keys,
+	// returning labels aligned with keys and the number of fresh
+	// (non-memoized) predicate evaluations spent.
+	Label(ctx context.Context, keys []int64) (labels []bool, fresh int, err error)
+
+	// Features returns the feature vectors of the given shard-owned keys.
+	Features(ctx context.Context, keys []int64) ([][]float64, error)
+
+	// ScoreAll trains the plan classifier on the broadcast learn sample
+	// (x, y in merged selection order; clfSeed from the plan) and scores
+	// every local object, returning one Scored per local key. Training is
+	// deterministic in (x, y, clfSeed), so every shard trains the
+	// identical classifier and per-row scores concatenate exactly.
+	ScoreAll(ctx context.Context, x [][]float64, y []bool, clfSeed uint64) ([]Scored, error)
+
+	// GroupKeys returns every local key with its canonical group (scores
+	// zero) — the feature-free grouped plans' population listing.
+	GroupKeys(ctx context.Context) ([]Scored, error)
+
+	// CountAll labels every local object, returning the shard tally, the
+	// per-group tallies (grouped plans), and the fresh evaluation count.
+	CountAll(ctx context.Context) (core.Partial, []GroupCount, int, error)
+}

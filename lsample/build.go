@@ -121,7 +121,20 @@ func needsFeatures(method string) bool {
 // budgetFor converts the budget fraction into an evaluation count: at least
 // 10, at most |O|.
 func (c config) budgetFor(n int) int {
-	b := int(math.Round(c.budget * float64(n)))
+	return EvalBudget(c.budget, n)
+}
+
+// EvalBudget converts a budget fraction into an evaluation count for a
+// population of n objects: round(frac·n), at least 10, at most n. A
+// non-positive fraction selects the default 0.02. This is the rule every
+// execution path applies, exported so out-of-process coordinators can
+// resolve the global budget from the merged population size exactly as an
+// in-process run would.
+func EvalBudget(frac float64, n int) int {
+	if frac <= 0 {
+		frac = 0.02
+	}
+	b := int(math.Round(frac * float64(n)))
 	if b < 10 {
 		b = 10
 	}

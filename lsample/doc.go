@@ -204,6 +204,35 @@
 // reports the path taken in Reuse (ReuseDirect, ReuseExtension, ReuseNone)
 // and the memo's contribution in ReusedLabels.
 //
+// # Sharded execution
+//
+// WithShards(s) partitions the estimation across s hash-aligned shards:
+// each object is owned by exactly one shard (a pure hash of its key), the
+// deterministic sampling/labeling/learning recipe runs independently per
+// shard, and the partials merge through a stratified estimator. The
+// contract:
+//
+//   - Byte-identity: for a fixed (snapshots, query, params, method,
+//     budget, seed), the estimate is byte-identical at every shard count —
+//     WithShards(1), WithShards(8), and the unsharded run all agree, at
+//     every WithParallelism value. Sharding is a deployment knob, never a
+//     semantics knob.
+//   - Scope: methods srs, lss, and oracle, over queries with a unique
+//     integer object key, plain and GROUP BY. Anything else is a request
+//     error (the sharded path never silently falls back). WithShards(0)
+//     disables sharding (the default).
+//   - Catalog composition: with a catalog attached, per-shard labels
+//     materialize under entries keyed by the exact shard layout, so
+//     layouts reuse and extend independently and a reshard can never be
+//     served stale artifacts.
+//
+// PrepareShard(ctx, index, count, params) materializes a single shard's
+// executor (ShardExec) for out-of-process deployments: a worker process
+// serves one shard's primitives and a coordinator — cmd/lsserve
+// -role=coordinator, or internal/service.NewCoordinator in Go — scatters
+// them over a roster and merges with the identical driver, preserving the
+// same byte-identity.
+//
 // # Durability
 //
 // Live tables are memory-only by default. OpenLiveTable (or OpenLiveDir,

@@ -129,6 +129,12 @@ func (q *PreparedQuery) ExecuteGroups(ctx context.Context, params map[string]any
 		alpha = 0.05
 	}
 
+	// Sharded grouped execution: the shared-sample plan runs per shard
+	// and merges (see shardexec.go); never a silent fallback.
+	if cfg.shards > 0 {
+		return q.executeShardedGroups(ctx, cfg, vals, strs, alpha)
+	}
+
 	ev := engine.NewEvaluator(q.cat)
 	for name, v := range vals {
 		ev.SetParam(name, v)

@@ -61,6 +61,7 @@ type config struct {
 	churn       float64 // refresh retrain threshold; <0 means the default 0.1
 	relabel     bool    // refresh only: bypass the label memo (cold baseline)
 	catalog     *Catalog // cross-query reuse catalog; nil disables reuse
+	shards      int      // sharded execution; 0 disables (the default)
 }
 
 // churnThreshold resolves the refresh retraining threshold.
@@ -259,6 +260,29 @@ func WithCatalog(c *Catalog) Option {
 func WithCatalogBudget(bytes int64) Option {
 	return func(cfg *config) error {
 		cfg.catalog = NewCatalog(bytes)
+		return nil
+	}
+}
+
+// WithShards partitions the estimation across s hash-aligned shards:
+// objects are split by a hash of their key, each shard runs the
+// deterministic per-trial-stream sampling/labeling/learning independently,
+// and the partial results merge through a stratified estimator. The
+// contract: for a fixed (data, query, parameters, method, budget, seed)
+// the estimate is byte-identical at every shard count — WithShards(1),
+// WithShards(8), and the unsharded catalog path all agree — and at every
+// parallelism setting.
+//
+// Sharded execution supports the srs, lss, and oracle methods over
+// queries with a unique integer object key (the same contract as the
+// reuse catalog); other methods or shapes reject the call rather than
+// silently falling back. WithShards(0) disables sharding (the default).
+func WithShards(s int) Option {
+	return func(c *config) error {
+		if s < 0 {
+			return badf("shards %d < 0", s)
+		}
+		c.shards = s
 		return nil
 	}
 }

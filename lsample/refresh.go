@@ -15,15 +15,19 @@ import (
 	"repro/internal/live"
 	"repro/internal/predicate"
 	"repro/internal/qcompile"
+	"repro/internal/shard"
 	"repro/internal/sql"
 )
 
 // tags feed Mix64 so the learn sample, the estimation sample, and
-// classifier seeds draw from independent hash streams.
+// classifier seeds draw from independent hash streams. They are shared
+// with the sharded executor (internal/shard), which replays the identical
+// hash plan per shard and merges — the foundation of its byte-identity
+// guarantee.
 const (
-	hashTagLearn  = 0x4c4541524e // "LEARN"
-	hashTagSample = 0x53414d504c // "SAMPL"
-	hashTagTrain  = 0x545241494e // "TRAIN"
+	hashTagLearn  = shard.TagLearn  // "LEARN"
+	hashTagSample = shard.TagSample // "SAMPL"
+	hashTagTrain  = shard.TagTrain  // "TRAIN"
 )
 
 // PrepareLive analyzes a counting query for incremental re-estimation over
@@ -860,34 +864,10 @@ func labelIndices(ctx context.Context, pred predicate.Predicate, idxs []int) ([]
 // the (Mix64(seed, tag, key), key) order. Under appends the selection
 // changes only near the threshold — expected O(k·delta/N) membership churn
 // — which is what keeps a refresh's label bill proportional to the delta.
+// The implementation lives in internal/shard so the sharded executor's
+// per-shard candidates merge into exactly this selection.
 func bottomK(keys []int64, k int, seed, tag uint64) []int64 {
-	if k >= len(keys) {
-		out := append([]int64(nil), keys...)
-		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-		return out
-	}
-	if k <= 0 {
-		return nil
-	}
-	type hk struct {
-		h uint64
-		k int64
-	}
-	hs := make([]hk, len(keys))
-	for i, key := range keys {
-		hs[i] = hk{h: live.Mix64(seed, tag, uint64(key)), k: key}
-	}
-	sort.Slice(hs, func(a, b int) bool {
-		if hs[a].h != hs[b].h {
-			return hs[a].h < hs[b].h
-		}
-		return hs[a].k < hs[b].k
-	})
-	out := make([]int64, k)
-	for i := 0; i < k; i++ {
-		out[i] = hs[i].k
-	}
-	return out
+	return shard.BottomK(keys, k, seed, tag)
 }
 
 // positionsOf maps keys back to object positions.

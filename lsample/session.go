@@ -274,6 +274,14 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 		alpha = 0.05
 	}
 
+	// Sharded execution: WithShards(s) partitions the population by key
+	// hash and merges per-shard partials byte-identically to the unsharded
+	// run (see shardexec.go). Unlike the catalog fast path this never
+	// falls through — unsupported methods or shapes are request errors.
+	if cfg.shards > 0 {
+		return q.executeSharded(ctx, cfg, vals, strs, alpha)
+	}
+
 	// Cross-query reuse: a configured catalog serves srs, lss, and oracle
 	// executions from materialized learn-phase artifacts (see
 	// executeCatalog). Shapes and methods outside its contract fall through

@@ -1,0 +1,388 @@
+package lsample
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// shardMatrix is the determinism battery's grid: every tested shard count
+// crossed with every tested parallelism.
+var shardCounts = []int{1, 2, 4, 8}
+
+func parallelisms() []int {
+	ps := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		ps = append(ps, n)
+	}
+	return ps
+}
+
+// TestShardDeterminismMatrix pins the tentpole contract for plain
+// queries: for every method in the sharded contract, the estimate at
+// every (shard count, parallelism) pair is byte-identical to the
+// unsharded catalog-path run of the same plan.
+func TestShardDeterminismMatrix(t *testing.T) {
+	params := map[string]any{"k": 8}
+	for _, method := range GroupMethods() { // srs, lss, oracle
+		t.Run(method, func(t *testing.T) {
+			q, _ := catalogSession(t, 160, 7,
+				WithMethod(method), WithBudget(0.25), WithSeed(11), WithExact(true))
+			ref, err := q.Execute(context.Background(), params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Reuse != ReuseNone {
+				t.Fatalf("reference run Reuse = %q, want %q", ref.Reuse, ReuseNone)
+			}
+			for _, s := range shardCounts {
+				for _, p := range parallelisms() {
+					got, err := q.Execute(context.Background(), params,
+						WithShards(s), WithParallelism(p))
+					if err != nil {
+						t.Fatalf("shards=%d p=%d: %v", s, p, err)
+					}
+					if !sameEstimate(ref, got) {
+						t.Errorf("shards=%d p=%d: estimate diverged:\nref %v CI=%v\ngot %v CI=%v",
+							s, p, ref.Count, *ref.CI, got.Count, *got.CI)
+					}
+					if got.Objects != ref.Objects || got.Budget != ref.Budget {
+						t.Errorf("shards=%d p=%d: objects/budget %d/%d, want %d/%d",
+							s, p, got.Objects, got.Budget, ref.Objects, ref.Budget)
+					}
+					if *got.TrueCount != *ref.TrueCount {
+						t.Errorf("shards=%d p=%d: true count %d, want %d", s, p, *got.TrueCount, *ref.TrueCount)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardDeterminismNoCatalog re-checks byte-identity with no catalog
+// attached: the sharded executor must not depend on catalog-backed label
+// memos for its answer.
+func TestShardDeterminismNoCatalog(t *testing.T) {
+	params := map[string]any{"k": 8}
+	refQ, _ := catalogSession(t, 120, 3, WithMethod("lss"), WithBudget(0.3), WithSeed(29))
+	ref, err := refQ.Execute(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := NewSession(NewMemorySource(testTable(t, 120, 3)),
+		WithMethod("lss"), WithBudget(0.3), WithSeed(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Prepare(skybandQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shardCounts {
+		got, err := q.Execute(context.Background(), params, WithShards(s))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", s, err)
+		}
+		if !sameEstimate(ref, got) {
+			t.Errorf("shards=%d without catalog diverged: got %v, want %v", s, got.Count, ref.Count)
+		}
+		if got.Reuse != ReuseNone {
+			t.Errorf("shards=%d: Reuse = %q without a catalog, want %q", s, got.Reuse, ReuseNone)
+		}
+	}
+}
+
+// TestShardGroupedDeterminismMatrix pins the grouped contract: the
+// sharded grouped answer is byte-identical at every (shard count,
+// parallelism) pair, with WithShards(1) as the reference layout.
+func TestShardGroupedDeterminismMatrix(t *testing.T) {
+	params := map[string]any{"k": 8}
+	for _, method := range GroupMethods() {
+		t.Run(method, func(t *testing.T) {
+			sess := groupedSession(t, 150,
+				WithMethod(method), WithBudget(0.3), WithSeed(5), WithStrata(3), WithExact(true))
+			q, err := sess.Prepare(groupedSQL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := q.ExecuteGroups(context.Background(), params, WithShards(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ref.Groups) == 0 {
+				t.Fatal("reference run produced no groups")
+			}
+			refStr := formatGroups(ref.Groups)
+			for _, s := range shardCounts[1:] {
+				for _, p := range parallelisms() {
+					got, err := q.ExecuteGroups(context.Background(), params,
+						WithShards(s), WithParallelism(p))
+					if err != nil {
+						t.Fatalf("shards=%d p=%d: %v", s, p, err)
+					}
+					if gs := formatGroups(got.Groups); gs != refStr {
+						t.Errorf("shards=%d p=%d: groups diverged:\nref:\n%sgot:\n%s", s, p, refStr, gs)
+					}
+					if got.Total != ref.Total {
+						t.Errorf("shards=%d p=%d: total %v, want %v", s, p, got.Total, ref.Total)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardGroupedMatchesTruth sanity-checks the grouped sharded answer
+// against the exact per-group counts: oracle is exact, and estimates sum
+// per-group object counts correctly.
+func TestShardGroupedMatchesTruth(t *testing.T) {
+	params := map[string]any{"k": 8}
+	sess := groupedSession(t, 150, WithMethod("oracle"), WithSeed(5), WithExact(true))
+	q, err := sess.Prepare(groupedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := q.ExecuteGroups(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := q.ExecuteGroups(context.Background(), params, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sharded.Groups) != len(classic.Groups) {
+		t.Fatalf("group count %d, want %d", len(sharded.Groups), len(classic.Groups))
+	}
+	for i, g := range sharded.Groups {
+		c := classic.Groups[i]
+		if strings.Join(g.Key, "|") != strings.Join(c.Key, "|") {
+			t.Fatalf("group %d key %v, want %v", i, g.Key, c.Key)
+		}
+		if g.Objects != c.Objects || g.Count != c.Count || !g.Exact {
+			t.Errorf("group %v: objects/count/exact %d/%v/%t, want %d/%v/true",
+				g.Key, g.Objects, g.Count, g.Exact, c.Objects, c.Count)
+		}
+	}
+}
+
+// TestShardContractErrors pins the no-silent-fallback rule: methods or
+// shapes outside the sharded contract reject the call.
+func TestShardContractErrors(t *testing.T) {
+	sess, err := NewSession(NewMemorySource(testTable(t, 60, 1)), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Prepare(skybandQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Execute(context.Background(), map[string]any{"k": 8},
+		WithShards(2), WithMethod("ssp")); err == nil {
+		t.Fatal("sharded ssp should be rejected, not silently fall back")
+	}
+	if _, err := q.Execute(context.Background(), map[string]any{"k": 8},
+		WithShards(-1)); err == nil {
+		t.Fatal("negative shard count should be rejected")
+	}
+}
+
+// TestPrepareShardOps drives the public per-shard executor directly and
+// cross-checks its primitives against the in-process run: shard censuses
+// sum to the population and every key is owned by exactly one shard.
+func TestPrepareShardOps(t *testing.T) {
+	const shards = 4
+	sess, err := NewSession(NewMemorySource(testTable(t, 100, 9)),
+		WithMethod("lss"), WithBudget(0.3), WithSeed(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Prepare(skybandQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]any{"k": 8}
+	ctx := context.Background()
+
+	total := 0
+	seen := make(map[int64]int)
+	for i := 0; i < shards; i++ {
+		x, err := q.PrepareShard(ctx, i, shards, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer x.Close()
+		m, err := x.Meta(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += m.N
+		cands, err := x.Cands(ctx, m.N, 0x4c4541524e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != m.N {
+			t.Fatalf("shard %d: %d candidates for full k, want %d", i, len(cands), m.N)
+		}
+		for _, c := range cands {
+			seen[c.Key]++
+		}
+		if idx, cnt := x.Shard(); idx != i || cnt != shards {
+			t.Fatalf("Shard() = %d/%d, want %d/%d", idx, cnt, i, shards)
+		}
+		// Label a couple of owned keys; fresh count must match on first use.
+		if m.N >= 2 {
+			keys := []int64{cands[0].Key, cands[1].Key}
+			labels, fresh, err := x.Label(ctx, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(labels) != 2 || fresh != 2 {
+				t.Fatalf("shard %d: labels=%d fresh=%d, want 2/2", i, len(labels), fresh)
+			}
+			if _, fresh2, _ := x.Label(ctx, keys); fresh2 != 0 {
+				t.Fatalf("shard %d: relabel spent %d fresh evaluations", i, fresh2)
+			}
+		}
+		// A foreign key must be rejected (test keys are 0..99).
+		if _, _, err := x.Label(ctx, []int64{-1}); err == nil {
+			t.Fatalf("shard %d: labeling a foreign key should fail", i)
+		}
+	}
+	if total != 100 {
+		t.Fatalf("shard censuses sum to %d, want 100", total)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("key %d owned by %d shards", k, c)
+		}
+	}
+}
+
+// TestShardCatalogLayoutIsolation pins the reshard-invalidation
+// satellite: entries materialized under one shard layout are keyed by it,
+// a different layout starts cold (never wrongly reused), and
+// EvictShardLayout drops the stale layout's entries.
+func TestShardCatalogLayoutIsolation(t *testing.T) {
+	params := map[string]any{"k": 8}
+	q, cat := catalogSession(t, 120, 5, WithMethod("lss"), WithBudget(0.3), WithSeed(13))
+
+	first, err := q.Execute(context.Background(), params, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Reuse != ReuseNone {
+		t.Fatalf("first sharded run Reuse = %q, want %q", first.Reuse, ReuseNone)
+	}
+	entries2 := cat.Stats().Entries
+
+	// Rerun under the same layout: answered from memoized labels.
+	again, err := q.Execute(context.Background(), params, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Reuse != ReuseDirect {
+		t.Fatalf("same-layout rerun Reuse = %q, want %q", again.Reuse, ReuseDirect)
+	}
+	if again.SamplesUsed != 0 {
+		t.Fatalf("same-layout rerun spent %d fresh evaluations, want 0", again.SamplesUsed)
+	}
+	if !sameEstimate(first, again) {
+		t.Fatal("same-layout rerun diverged")
+	}
+
+	// Reshard: 4-shard entries must not reuse 2-shard artifacts.
+	resharded, err := q.Execute(context.Background(), params, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resharded.Reuse != ReuseNone {
+		t.Fatalf("resharded run Reuse = %q, want %q (wrong cross-layout reuse)", resharded.Reuse, ReuseNone)
+	}
+	if !sameEstimate(first, resharded) {
+		t.Fatal("reshard changed the estimate")
+	}
+	if got := cat.Stats().Entries; got <= entries2 {
+		t.Fatalf("reshard did not add layout-scoped entries: %d <= %d", got, entries2)
+	}
+
+	// Evicting the old layout keeps the new one serving directly.
+	if dropped := cat.EvictShardLayout(4); dropped == 0 {
+		t.Fatal("EvictShardLayout(4) dropped nothing; stale 2-shard entries remained resident")
+	}
+	warm, err := q.Execute(context.Background(), params, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Reuse != ReuseDirect {
+		t.Fatalf("post-eviction 4-shard run Reuse = %q, want %q", warm.Reuse, ReuseDirect)
+	}
+	// And the evicted layout restarts cold instead of serving stale state.
+	cold, err := q.Execute(context.Background(), params, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Reuse != ReuseNone {
+		t.Fatalf("evicted-layout rerun Reuse = %q, want %q", cold.Reuse, ReuseNone)
+	}
+	if !sameEstimate(first, cold) {
+		t.Fatal("evicted-layout rerun diverged")
+	}
+}
+
+// TestEvalBudget pins the exported budget rule against the internal one.
+func TestEvalBudget(t *testing.T) {
+	cases := []struct {
+		frac    float64
+		n, want int
+	}{
+		{0.02, 1000, 20},
+		{0.02, 100, 10},  // floor
+		{0.5, 8, 8},      // cap at n
+		{0, 1000, 20},    // default fraction
+		{1, 3, 3},
+		{0.25, 160, 40},
+	}
+	for _, c := range cases {
+		if got := EvalBudget(c.frac, c.n); got != c.want {
+			t.Errorf("EvalBudget(%v, %d) = %d, want %d", c.frac, c.n, got, c.want)
+		}
+	}
+}
+
+// formatEstimate renders the fields the byte-identity contract covers.
+func formatEstimate(e *Estimate) string {
+	s := fmt.Sprintf("%v|%v", e.Count, e.Proportion)
+	if e.CI != nil {
+		s += fmt.Sprintf("|%v,%v", e.CI.Lo, e.CI.Hi)
+	}
+	return s
+}
+
+// TestShardSeedSensitivity guards against a degenerate implementation
+// that ignores the seed: different seeds must (for this workload) move
+// the sampled estimate.
+func TestShardSeedSensitivity(t *testing.T) {
+	sess, err := NewSession(NewMemorySource(testTable(t, 200, 21)),
+		WithMethod("srs"), WithBudget(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Prepare(skybandQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := q.Execute(context.Background(), map[string]any{"k": 8}, WithShards(3), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.Execute(context.Background(), map[string]any{"k": 8}, WithShards(3), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if formatEstimate(a) == formatEstimate(b) {
+		t.Fatal("seed change did not move the sharded srs estimate (suspicious)")
+	}
+}
