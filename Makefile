@@ -35,7 +35,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate bench-ingest bench-wal bench-catalog bench-shard fuzz-smoke
+.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate bench-ingest bench-wal bench-catalog bench-shard bench-vector fuzz-smoke
 
 check: build vet api-check docs-check race
 
@@ -117,6 +117,17 @@ bench-catalog:
 	$(GO) test -run '^$$' -bench '^BenchmarkCatalog(Cold|Cold2x|Direct|Extension)$$' -benchtime 3x ./lsample/ \
 		| $(GO) run ./tools/benchjson > BENCH_PR7.json
 	@cat BENCH_PR7.json
+
+# Vectorized-labeling benchmarks: ns/eval and allocs/op for the scalar
+# closure path vs the vectorized kernels on the fused (exists) and
+# fallback (skyband) workloads; full-population passes at parallelism 1,
+# so ns/eval compares per-evaluation cost directly. The zero-allocation
+# steady state is enforced separately by TestVecEvalZeroAlloc under
+# `make check` — a vector-path allocation regression fails CI even if
+# this benchmark is not run.
+bench-vector:
+	$(GO) test -run '^$$' -bench '^BenchmarkVectorLabeling$$' -benchtime 3x ./lsample/ \
+		| $(GO) run ./tools/benchjson > BENCH_PR9.json
 
 # Sharded scatter/gather benchmarks: evals/op and wall time for the lss
 # drive at 1/2/4/8 shards (per-worker labeling service time modeled, so

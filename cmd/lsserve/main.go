@@ -19,8 +19,10 @@
 //	                   new dataset version, so cached results over the old
 //	                   data are never served
 //	GET  /v1/stats     metrics: cache hits, admissions, predicate evals,
-//	                   ingest counters (requests, rows, batches, errors),
-//	                   and the reuse-catalog block (entries, bytes, hits,
+//	                   a request-latency histogram (p50/p90/p99/p999/max),
+//	                   shared-scan and degraded-answer counters, ingest
+//	                   counters (requests, rows, batches, errors), and the
+//	                   reuse-catalog block (entries, bytes, hits,
 //	                   extensions, misses, evictions)
 //	GET  /healthz      liveness
 //	POST /v1/shard     one shard's estimation primitives (worker side of
@@ -46,7 +48,15 @@
 // GROUP BY g — answers with one groups[] row per group (key, objects,
 // estimate, CI, sampled), estimated from one shared sample and cached like
 // any other request. Request knobs: method, budget, classifier, strata,
-// interval (wald|wilson), seed, exact, no_cache.
+// interval (wald|wilson), seed, exact, no_cache, degrade (answer with a
+// small-budget wider-interval estimate instead of 503 under overload).
+//
+// Admission control queues per dataset: -max-inflight bounds global
+// concurrency, one hot dataset cannot starve the rest, and hopelessly
+// deep per-dataset queues shed immediately. Concurrent exact requests on
+// the same snapshot coalesce their labeling into one shared scan. The
+// -pprof flag serves Go profiling endpoints under /debug/pprof/ (off by
+// default).
 //
 // The server keeps a cross-query reuse catalog (see lsample.Catalog) that
 // materializes learn samples, labels, and trained classifiers so repeated
@@ -71,6 +81,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -96,6 +107,7 @@ func main() {
 		method    = flag.String("method", "lss", "default estimation method")
 		dataDir   = flag.String("data-dir", "", "directory for durable live datasets: uploads and ingests are write-ahead logged, and restart recovers them (empty = memory-only)")
 		catalogMB = flag.Int64("catalog-mb", 0, "reuse-catalog budget in MiB for cross-query sample/classifier materialization (0 = default 64 MiB, negative disables)")
+		pprofOn   = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
 
 		role           = flag.String("role", "", "serving role: empty (standalone: full API incl. /v1/shard), worker (same, intended behind a coordinator), or coordinator (scatter/gather /v1/count over -workers)")
 		workerSpec     = flag.String("workers", "", "coordinator role: worker roster as name=http://host:port,name=url")
@@ -148,9 +160,25 @@ func main() {
 		fmt.Printf("lsserve: recovered live dataset %q (%d rows) at version %d\n", d.Name, d.Rows, d.Version)
 	}
 
+	handler := svc.Handler()
+	if *pprofOn {
+		// Explicit routes on our own mux: importing net/http/pprof for its
+		// DefaultServeMux side effect would expose the endpoints even when
+		// the flag is off.
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+		fmt.Println("lsserve: profiling enabled at /debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: svc.Handler(),
+		Handler: handler,
 		// Bound header reads and idle keep-alives so stalled clients
 		// cannot pin connections forever; body reads stay unbounded
 		// because CSV uploads may legitimately be slow (the service

@@ -16,6 +16,7 @@ package predicate
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/engine"
@@ -318,7 +319,18 @@ type Compiled struct {
 	counter
 	f       func(int) bool
 	newFn   func() func(int) bool
+	vec     BatchEvaler        // cached vector evaluator for sequential batches
+	newVec  func() BatchEvaler // nil when the program has no vector path
+	pool    sync.Pool          // vector evaluators for parallel chunk workers
 	workers int
+}
+
+// BatchEvaler is the vectorized evaluation contract the compiler's batch
+// arena satisfies (qcompile.VecEval): label idxs into out with preallocated
+// scratch, zero allocations in steady state. A BatchEvaler is not safe for
+// concurrent use with itself; Compiled keeps one per worker.
+type BatchEvaler interface {
+	EvalBatch(idxs []int, out []bool)
 }
 
 // batchChunk is the per-dispatch work unit for parallel batches: large
@@ -332,8 +344,25 @@ func NewCompiled(newFn func() func(int) bool, workers int) *Compiled {
 	return &Compiled{f: newFn(), newFn: newFn, workers: workers}
 }
 
+// NewCompiledVec is NewCompiled plus a vectorized batch path: batches go
+// through arenas from newVec (one cached for sequential use, a pool for
+// parallel workers) while single Eval calls keep the scalar closure. Labels
+// and evaluation counts are identical on both paths — the vector path is
+// purely a throughput knob.
+func NewCompiledVec(newFn func() func(int) bool, newVec func() BatchEvaler, workers int) *Compiled {
+	p := &Compiled{f: newFn(), newFn: newFn, newVec: newVec, workers: workers}
+	if newVec != nil {
+		p.vec = newVec()
+		p.pool.New = func() any { return newVec() }
+	}
+	return p
+}
+
 // Workers reports the resolved batch parallelism.
 func (p *Compiled) Workers() int { return par.Workers(p.workers) }
+
+// Vectorized reports whether batches run through the vector arena path.
+func (p *Compiled) Vectorized() bool { return p.vec != nil }
 
 // Eval evaluates q on object i.
 func (p *Compiled) Eval(i int) bool {
@@ -342,17 +371,29 @@ func (p *Compiled) Eval(i int) bool {
 }
 
 // EvalBatch labels a pre-chosen sample set, in parallel when the predicate
-// was built with more than one worker.
+// was built with more than one worker. Every batch element counts as one
+// evaluation on either path, so Evals stays comparable whether a batch ran
+// through scalar closures or the vector arena.
 func (p *Compiled) EvalBatch(idxs []int, out []bool) {
 	p.n.Add(int64(len(idxs)))
 	w := par.Workers(p.workers)
 	if w <= 1 || len(idxs) <= batchChunk {
+		if p.vec != nil {
+			p.vec.EvalBatch(idxs, out)
+			return
+		}
 		for j, i := range idxs {
 			out[j] = p.f(i)
 		}
 		return
 	}
 	par.ForEachChunk(w, len(idxs), batchChunk, func(lo, hi int) {
+		if p.newVec != nil {
+			ve := p.pool.Get().(BatchEvaler)
+			ve.EvalBatch(idxs[lo:hi], out[lo:hi])
+			p.pool.Put(ve)
+			return
+		}
 		f := p.newFn()
 		for j := lo; j < hi; j++ {
 			out[j] = f(idxs[j])

@@ -1,0 +1,84 @@
+package predicate
+
+import (
+	"runtime"
+	"testing"
+)
+
+// fakeVec is a BatchEvaler over a fixed label vector, counting how many
+// batch elements it was asked to label.
+type fakeVec struct {
+	labels []bool
+	seen   int
+}
+
+func (f *fakeVec) EvalBatch(idxs []int, out []bool) {
+	f.seen += len(idxs)
+	for j, i := range idxs {
+		out[j] = f.labels[i]
+	}
+}
+
+func vecFixture(n int) ([]bool, func() func(int) bool, func() BatchEvaler) {
+	labels := make([]bool, n)
+	for i := range labels {
+		labels[i] = i%3 == 0
+	}
+	newFn := func() func(int) bool { return func(i int) bool { return labels[i] } }
+	newVec := func() BatchEvaler { return &fakeVec{labels: labels} }
+	return labels, newFn, newVec
+}
+
+// TestCompiledVecCounterParity pins the satellite fix: a vector batch
+// counts exactly one evaluation per element, identical to the scalar batch
+// path and to single Eval calls, at any parallelism.
+func TestCompiledVecCounterParity(t *testing.T) {
+	const n = 500
+	labels, newFn, newVec := vecFixture(n)
+	idxs := AllIndices(n)
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		scalar := NewCompiled(newFn, workers)
+		vec := NewCompiledVec(newFn, newVec, workers)
+		if !vec.Vectorized() || scalar.Vectorized() {
+			t.Fatal("Vectorized() should report the batch path in use")
+		}
+		so, vo := make([]bool, n), make([]bool, n)
+		scalar.EvalBatch(idxs, so)
+		vec.EvalBatch(idxs, vo)
+		for i := range labels {
+			if so[i] != labels[i] || vo[i] != labels[i] {
+				t.Fatalf("workers=%d object %d: scalar=%v vector=%v want=%v", workers, i, so[i], vo[i], labels[i])
+			}
+		}
+		if s, v := scalar.Evals(), vec.Evals(); s != v || v != int64(n) {
+			t.Fatalf("workers=%d: scalar counted %d, vector counted %d, want %d", workers, s, v, n)
+		}
+		// Single evaluations add one each on both.
+		scalar.Eval(0)
+		vec.Eval(0)
+		if s, v := scalar.Evals(), vec.Evals(); s != v || v != int64(n)+1 {
+			t.Fatalf("workers=%d after Eval: scalar=%d vector=%d", workers, s, v)
+		}
+	}
+}
+
+// TestCompiledVecNilFactory checks NewCompiledVec with a nil vector factory
+// degrades to the plain scalar batch path.
+func TestCompiledVecNilFactory(t *testing.T) {
+	const n = 100
+	labels, newFn, _ := vecFixture(n)
+	p := NewCompiledVec(newFn, nil, 1)
+	if p.Vectorized() {
+		t.Fatal("nil factory must not report vectorized")
+	}
+	out := make([]bool, n)
+	p.EvalBatch(AllIndices(n), out)
+	for i := range labels {
+		if out[i] != labels[i] {
+			t.Fatalf("object %d: got %v want %v", i, out[i], labels[i])
+		}
+	}
+	if p.Evals() != int64(n) {
+		t.Fatalf("counted %d evals, want %d", p.Evals(), n)
+	}
+}

@@ -88,6 +88,7 @@ type Bound struct {
 	thrFn    func(*env) float64
 	nAliases int
 	nSlots   int
+	vec      *vecPlan // vectorized/fused batch plan (see vector.go)
 }
 
 // lowerCtx carries what expression lowering needs: the program (for
@@ -172,6 +173,7 @@ func (p *Program) Bind(params map[string]engine.Value, objects *engine.ResultSet
 			}
 		}
 	}
+	b.vec = buildVecPlan(p, lc, b, objects.NumRows())
 	return b, nil
 }
 
@@ -189,11 +191,6 @@ func (b *Bound) NewEvalFn() func(i int) bool {
 
 func (b *Bound) eval(i int, e *env) bool {
 	e.obj = i
-	e.count = 0
-	e.rep = false
-	for k := range e.accs {
-		e.accs[k] = agg{}
-	}
 	// Any empty relation means no complete rows: EXISTS is false before any
 	// WHERE conjunct is evaluated (matching the interpreter, which never
 	// reaches WHERE without a complete row).
@@ -206,6 +203,18 @@ func (b *Bound) eval(i int, e *env) bool {
 		if !f(e) {
 			return false
 		}
+	}
+	return b.evalJoin(e)
+}
+
+// evalJoin runs the join walk and HAVING for the object already set in
+// e.obj, after the pre conjuncts passed and no relation proved empty. The
+// vector path calls it directly for lanes surviving the bitmap kernels.
+func (b *Bound) evalJoin(e *env) bool {
+	e.count = 0
+	e.rep = false
+	for k := range e.accs {
+		e.accs[k] = agg{}
 	}
 	e.useThr = false
 	if b.short == shortCount && b.thrFn != nil {

@@ -102,14 +102,8 @@ func (s *Service) Shutdown(ctx context.Context) ([]string, error) {
 	// Acquire every admission slot: once held, no estimation is running and
 	// none can start. On ctx expiry, persist anyway — a checkpoint racing a
 	// straggler estimation is safe (estimations only read snapshots).
-drain:
-	for i := 0; i < s.opts.MaxInFlight; i++ {
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			firstErr = fmt.Errorf("service: shutdown drain: %w", ctx.Err())
-			break drain
-		}
+	if err := s.admit.drain(ctx); err != nil {
+		firstErr = fmt.Errorf("service: shutdown drain: %w", err)
 	}
 
 	var persisted []string

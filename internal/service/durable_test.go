@@ -200,7 +200,7 @@ func TestShutdownDrainsAdmission(t *testing.T) {
 
 	// A stuck estimation: drain times out but shutdown still proceeds.
 	svc2 := newTestService(t, 50, Options{MaxInFlight: 1})
-	svc2.sem <- struct{}{} // simulate an estimation that never finishes
+	occupyAdmission(t, svc2) // simulate an estimation that never finishes
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	if _, err := svc2.Shutdown(ctx); err == nil {

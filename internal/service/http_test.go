@@ -129,12 +129,12 @@ func TestHTTPStatusCodes(t *testing.T) {
 		t.Errorf("unknown JSON field: status %d", resp.StatusCode)
 	}
 
-	svc.sem <- struct{}{} // saturate admission
+	release := occupyAdmission(t, svc) // saturate admission
 	resp, body = postJSON(t, ts.URL+"/v1/count", &CountRequest{SQL: skybandQuery, Params: map[string]any{"k": 8}})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("saturated: status %d, body %s", resp.StatusCode, body)
 	}
-	<-svc.sem
+	release()
 
 	// Oversized (but syntactically valid) bodies are rejected with 413,
 	// not read to completion.
@@ -290,7 +290,7 @@ func TestHTTPErrorEnvelope(t *testing.T) {
 		t.Errorf("parse error envelope = %q / %q, want bad_request with a message", code, msg)
 	}
 
-	svc.sem <- struct{}{} // saturate admission
+	release := occupyAdmission(t, svc) // saturate admission
 	resp503, body := postJSON(t, ts.URL+"/v1/count", &CountRequest{SQL: skybandQuery, Params: map[string]any{"k": 8}})
 	if code, _ := decode(body); code != "overloaded" {
 		t.Errorf("saturated envelope code = %q, want overloaded", code)
@@ -299,7 +299,7 @@ func TestHTTPErrorEnvelope(t *testing.T) {
 		t.Errorf("saturated response = %d with Retry-After %q, want 503 with a hint",
 			resp503.StatusCode, resp503.Header.Get("Retry-After"))
 	}
-	<-svc.sem
+	release()
 
 	resp, err := http.Post(ts.URL+"/v1/datasets?name=X&schema=id:blob", "text/csv", strings.NewReader("id\n1\n"))
 	if err != nil {

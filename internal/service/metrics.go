@@ -1,6 +1,11 @@
 package service
 
-import "sync/atomic"
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
 
 // Metrics holds the service's monotonic counters. All fields are updated
 // atomically; Snapshot returns a consistent-enough copy for reporting
@@ -11,6 +16,7 @@ type Metrics struct {
 	CacheHits      atomic.Int64 // served from the result cache
 	CacheMisses    atomic.Int64 // required a fresh estimation
 	Rejected       atomic.Int64 // 503s from admission control
+	Degraded       atomic.Int64 // budget-degraded answers served instead of 503s
 	Errors         atomic.Int64 // failed requests (bad input or internal)
 	EstimatesRun   atomic.Int64 // estimations actually executed
 	PredicateEvals atomic.Int64 // expensive-predicate evaluations spent
@@ -20,40 +26,156 @@ type Metrics struct {
 	IngestRows     atomic.Int64 // delta rows committed (appends+updates+deletes)
 	IngestBatches  atomic.Int64 // delta batches committed
 	IngestErrors   atomic.Int64 // ingest requests that failed (possibly mid-stream)
+
+	SharedScans        atomic.Int64 // coalesced exact-labeling passes executed
+	SharedScanRequests atomic.Int64 // requests served by those passes (≥ SharedScans)
+
+	// Latency is the /v1/count request-latency histogram (admission wait
+	// included — tail latency is what admission control is for).
+	Latency LatencyHist
 }
 
 // MetricsSnapshot is the JSON form of Metrics.
 type MetricsSnapshot struct {
-	Requests       int64   `json:"requests"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	Rejected       int64   `json:"rejected"`
-	Errors         int64   `json:"errors"`
-	EstimatesRun   int64   `json:"estimates_run"`
-	PredicateEvals int64   `json:"predicate_evals"`
-	EstimateMS     float64 `json:"estimate_ms"`
-	PredicateMS    float64 `json:"predicate_ms"` // cumulative wall time inside q
-	IngestRequests int64   `json:"ingest_requests"`
-	IngestRows     int64   `json:"ingest_rows"`
-	IngestBatches  int64   `json:"ingest_batches"`
-	IngestErrors   int64   `json:"ingest_errors"`
+	Requests           int64          `json:"requests"`
+	CacheHits          int64          `json:"cache_hits"`
+	CacheMisses        int64          `json:"cache_misses"`
+	Rejected           int64          `json:"rejected"`
+	Degraded           int64          `json:"degraded"`
+	Errors             int64          `json:"errors"`
+	EstimatesRun       int64          `json:"estimates_run"`
+	PredicateEvals     int64          `json:"predicate_evals"`
+	EstimateMS         float64        `json:"estimate_ms"`
+	PredicateMS        float64        `json:"predicate_ms"` // cumulative wall time inside q
+	IngestRequests     int64          `json:"ingest_requests"`
+	IngestRows         int64          `json:"ingest_rows"`
+	IngestBatches      int64          `json:"ingest_batches"`
+	IngestErrors       int64          `json:"ingest_errors"`
+	SharedScans        int64          `json:"shared_scans"`
+	SharedScanRequests int64          `json:"shared_scan_requests"`
+	Latency            LatencySummary `json:"latency"`
 }
 
 // Snapshot copies the current counter values.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Requests:       m.Requests.Load(),
-		CacheHits:      m.CacheHits.Load(),
-		CacheMisses:    m.CacheMisses.Load(),
-		Rejected:       m.Rejected.Load(),
-		Errors:         m.Errors.Load(),
-		EstimatesRun:   m.EstimatesRun.Load(),
-		PredicateEvals: m.PredicateEvals.Load(),
-		EstimateMS:     float64(m.EstimateNanos.Load()) / 1e6,
-		PredicateMS:    float64(m.PredicateNanos.Load()) / 1e6,
-		IngestRequests: m.IngestRequests.Load(),
-		IngestRows:     m.IngestRows.Load(),
-		IngestBatches:  m.IngestBatches.Load(),
-		IngestErrors:   m.IngestErrors.Load(),
+		Requests:           m.Requests.Load(),
+		CacheHits:          m.CacheHits.Load(),
+		CacheMisses:        m.CacheMisses.Load(),
+		Rejected:           m.Rejected.Load(),
+		Degraded:           m.Degraded.Load(),
+		Errors:             m.Errors.Load(),
+		EstimatesRun:       m.EstimatesRun.Load(),
+		PredicateEvals:     m.PredicateEvals.Load(),
+		EstimateMS:         float64(m.EstimateNanos.Load()) / 1e6,
+		PredicateMS:        float64(m.PredicateNanos.Load()) / 1e6,
+		IngestRequests:     m.IngestRequests.Load(),
+		IngestRows:         m.IngestRows.Load(),
+		IngestBatches:      m.IngestBatches.Load(),
+		IngestErrors:       m.IngestErrors.Load(),
+		SharedScans:        m.SharedScans.Load(),
+		SharedScanRequests: m.SharedScanRequests.Load(),
+		Latency:            m.Latency.Summary(),
 	}
+}
+
+// histBuckets covers the full int64 nanosecond range: durations below 4ns
+// occupy one bucket each, and every power-of-two octave above splits into
+// 4 linear sub-buckets, so any recorded value lands in a bucket whose width
+// is at most 25% of its value (HDR-histogram style, fixed size, lock-free).
+const histBuckets = 248
+
+// LatencyHist is a fixed-size high-dynamic-range latency histogram. The
+// zero value is ready to use; Record and Summary may run concurrently.
+type LatencyHist struct {
+	counts [histBuckets]atomic.Uint64
+	maxNS  atomic.Int64
+}
+
+// histIndex maps a duration in nanoseconds to its bucket. It is monotone
+// non-decreasing in ns, and every int64 maps inside [0, histBuckets).
+func histIndex(ns int64) int {
+	if ns < 4 {
+		if ns < 0 {
+			return 0
+		}
+		return int(ns)
+	}
+	k := bits.Len64(uint64(ns)) - 1 // ns in [2^k, 2^(k+1)), k >= 2
+	sub := int(ns>>(k-2)) & 3       // top two bits below the leading one
+	return (k-1)*4 + sub
+}
+
+// histUpper is the exclusive upper bound (in ns) of bucket idx — the value
+// quantiles report, so they never understate an observed latency by more
+// than the bucket's ≤25% width.
+func histUpper(idx int) int64 {
+	if idx < 4 {
+		return int64(idx) + 1
+	}
+	k := idx/4 + 1
+	upper := uint64(1)<<k + uint64(idx%4+1)<<(k-2)
+	if upper > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(upper)
+}
+
+// Record adds one observation.
+func (h *LatencyHist) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[histIndex(ns)].Add(1)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// LatencySummary is the JSON form of a LatencyHist: request count, tail
+// quantiles, and the maximum, all in milliseconds.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Summary computes the quantiles from a single pass over a copy of the
+// counters. Quantiles are bucket upper bounds clamped to the observed max.
+func (h *LatencyHist) Summary() LatencySummary {
+	var c [histBuckets]uint64
+	var total uint64
+	for i := range h.counts {
+		c[i] = h.counts[i].Load()
+		total += c[i]
+	}
+	maxNS := h.maxNS.Load()
+	out := LatencySummary{Count: int64(total)}
+	if total == 0 {
+		return out
+	}
+	out.MaxMS = float64(maxNS) / 1e6
+	q := func(p float64) float64 {
+		target := uint64(math.Ceil(p * float64(total)))
+		if target < 1 {
+			target = 1
+		}
+		var cum uint64
+		for i := range c {
+			cum += c[i]
+			if cum >= target {
+				return float64(min(histUpper(i), maxNS)) / 1e6
+			}
+		}
+		return out.MaxMS
+	}
+	out.P50MS, out.P90MS, out.P99MS, out.P999MS = q(0.50), q(0.90), q(0.99), q(0.999)
+	return out
 }

@@ -13,11 +13,16 @@
 // and lets concurrent clients verify bit-identical answers.
 //
 // Concurrency model: registered tables are immutable, each request executes
-// against an immutable prepared snapshot, and a bounded semaphore admits at
-// most MaxInFlight estimations at once — a request that cannot start within
-// QueueTimeout fails fast with ErrBusy instead of piling up. A request
-// whose context is canceled mid-estimation aborts at the next predicate
-// evaluation and returns the wrapped cancellation error.
+// against an immutable prepared snapshot, and per-dataset admission queues
+// admit at most MaxInFlight estimations globally and MaxPerDataset per
+// dataset — a request that cannot start within QueueTimeout fails fast with
+// ErrBusy instead of piling up, a dataset whose queue is already hopeless
+// sheds new arrivals immediately, and a request that opts in (Degrade) gets
+// a budget-degraded answer with a wider interval at the deadline instead of
+// a 503. Concurrent exact passes over the same snapshot coalesce into one
+// shared scan (see sharedscan.go). A request whose context is canceled
+// mid-estimation aborts at the next predicate evaluation and returns the
+// wrapped cancellation error.
 package service
 
 import (
@@ -46,22 +51,30 @@ var ErrBusy = errors.New("service: too many estimations in flight")
 
 // Options configures a Service. Zero values select the documented defaults.
 type Options struct {
-	MaxInFlight    int           // concurrent estimations admitted (default 4)
-	QueueTimeout   time.Duration // max wait for admission (default 2s)
-	CacheSize      int           // result-cache entries; 0 default 256, <0 disables
-	CacheTTL       time.Duration // result max age; 0 default 10m, <0 no expiry
-	DefaultMethod  string        // method when the request omits one (default "lss")
-	DefaultBudget  float64       // budget fraction when omitted (default 0.02)
-	Parallelism    int           // per-request classifier parallelism (0 default 1, <0 all cores)
-	MaxUploadBytes int64         // CSV upload limit (0 default 64 MiB)
-	DataDir        string        // root for durable live datasets ("" = memory-only)
-	RetryAfter     time.Duration // Retry-After hint on 503 responses (default 1s)
-	CatalogBytes   int64         // reuse-catalog budget; 0 default 64 MiB, <0 disables
+	MaxInFlight        int           // concurrent estimations admitted (default 4)
+	MaxPerDataset      int           // concurrent estimations per dataset (default MaxInFlight)
+	MaxQueuePerDataset int           // queued requests per dataset before immediate 503 (default 8× MaxPerDataset)
+	QueueTimeout       time.Duration // max wait for admission (default 2s)
+	CacheSize          int           // result-cache entries; 0 default 256, <0 disables
+	CacheTTL           time.Duration // result max age; 0 default 10m, <0 no expiry
+	DefaultMethod      string        // method when the request omits one (default "lss")
+	DefaultBudget      float64       // budget fraction when omitted (default 0.02)
+	Parallelism        int           // per-request classifier parallelism (0 default 1, <0 all cores)
+	MaxUploadBytes     int64         // CSV upload limit (0 default 64 MiB)
+	DataDir            string        // root for durable live datasets ("" = memory-only)
+	RetryAfter         time.Duration // Retry-After hint on 503 responses (default 1s)
+	CatalogBytes       int64         // reuse-catalog budget; 0 default 64 MiB, <0 disables
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxInFlight <= 0 {
 		o.MaxInFlight = 4
+	}
+	if o.MaxPerDataset <= 0 || o.MaxPerDataset > o.MaxInFlight {
+		o.MaxPerDataset = o.MaxInFlight
+	}
+	if o.MaxQueuePerDataset <= 0 {
+		o.MaxQueuePerDataset = 8 * o.MaxPerDataset
 	}
 	if o.QueueTimeout <= 0 {
 		o.QueueTimeout = 2 * time.Second
@@ -103,7 +116,9 @@ type Service struct {
 	Metrics  *Metrics
 	opts     Options
 	cache    *resultCache
-	sem      chan struct{}
+	admit    *admitter
+	scans    *scanCoalescer
+	degSem   chan struct{} // dedicated slot(s) for budget-degraded answers
 
 	flightMu sync.Mutex
 	flights  map[string]*flight
@@ -143,12 +158,15 @@ func New(reg *Registry, opts Options) *Service {
 	if o.CatalogBytes >= 0 {
 		cat = lsample.NewCatalog(o.CatalogBytes)
 	}
+	m := &Metrics{}
 	return &Service{
 		Registry:   reg,
-		Metrics:    &Metrics{},
+		Metrics:    m,
 		opts:       o,
 		cache:      newResultCache(o.CacheSize, o.CacheTTL),
-		sem:        make(chan struct{}, o.MaxInFlight),
+		admit:      newAdmitter(o.MaxInFlight, o.MaxPerDataset, o.MaxQueuePerDataset),
+		scans:      newScanCoalescer(m),
+		degSem:     make(chan struct{}, 1),
 		flights:    make(map[string]*flight),
 		preps:      make(map[string]*lsample.PreparedQuery),
 		shardExecs: make(map[string]*shardExecEntry),
@@ -178,6 +196,11 @@ type CountRequest struct {
 	Shards     int            `json:"shards,omitempty"`   // >0: sharded in-process execution (srs/lss/oracle)
 	Exact      bool           `json:"exact,omitempty"`    // also compute the true count (slow)
 	NoCache    bool           `json:"no_cache,omitempty"` // bypass the result cache
+	// Degrade opts into a budget-degraded answer when admission control
+	// would otherwise 503: a tiny simple-random-sample estimate (wider
+	// confidence interval, no exact pass, never cached) computed under a
+	// dedicated slot, marked Degraded in the result.
+	Degrade bool `json:"degrade,omitempty"`
 }
 
 // CountResult is the outcome of one estimation request. A GROUP BY request
@@ -200,11 +223,11 @@ type CountResult struct {
 	Groups      []GroupRow `json:"groups,omitempty"`     // GROUP BY requests only, ordered by key
 	Seed        uint64     `json:"seed"`
 	DurationMS  float64    `json:"duration_ms"`
-	PredicateMS float64    `json:"predicate_ms"` // wall time inside the expensive predicate
-	Compiled    bool       `json:"compiled"`     // labeling ran through the compiled predicate engine
-	Reuse       string     `json:"reuse"`        // catalog reuse path: "direct", "extension", or "none"
+	PredicateMS float64    `json:"predicate_ms"`          // wall time inside the expensive predicate
+	Compiled    bool       `json:"compiled"`              // labeling ran through the compiled predicate engine
+	Reuse       string     `json:"reuse"`                 // catalog reuse path: "direct", "extension", or "none"
 	Shards      int        `json:"shards,omitempty"`      // >0 when the answer was computed sharded
-	Degraded    bool       `json:"degraded,omitempty"`    // shards were lost; the interval absorbed their mass
+	Degraded    bool       `json:"degraded,omitempty"`    // lost shards absorbed into the interval, or a budget-degraded under-load answer (Degrade)
 	LostShards  []int      `json:"lost_shards,omitempty"` // shard indices lost mid-query (degraded answers)
 	Cached      bool       `json:"cached"`
 }
@@ -259,6 +282,8 @@ func (s *Service) Count(req *CountRequest) (*CountResult, error) {
 // coalesced waiters retry on their own admission budget.
 func (s *Service) CountCtx(ctx context.Context, req *CountRequest) (*CountResult, error) {
 	s.Metrics.Requests.Add(1)
+	t0 := time.Now()
+	defer func() { s.Metrics.Latency.Record(time.Since(t0)) }()
 	res, err := func() (r *CountResult, e error) {
 		// A data-dependent evaluation failure deep inside an estimation
 		// (e.g. EngineExists panics on an object the construction-time
@@ -412,19 +437,12 @@ func (s *Service) count(ctx context.Context, req *CountRequest) (*CountResult, e
 	}
 
 	res, err := func() (*CountResult, error) {
-		// Admission: at most MaxInFlight estimations run concurrently.
-		wait := time.Until(admitDeadline)
-		if wait <= 0 {
-			return nil, ErrBusy
+		// Admission: at most MaxInFlight estimations run concurrently, at
+		// most MaxPerDataset of them against this request's dataset.
+		if aerr := s.admit.acquire(ctx, versions, admitDeadline); aerr != nil {
+			return nil, aerr
 		}
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-time.After(wait):
-			return nil, ErrBusy
-		case <-ctx.Done():
-			return nil, fmt.Errorf("service: %w", ctx.Err())
-		}
+		defer s.admit.release(versions)
 
 		t0 := time.Now()
 		res, err := s.estimate(ctx, req, versions, fp0, snap, iv, execOpts)
@@ -444,7 +462,68 @@ func (s *Service) count(ctx context.Context, req *CountRequest) (*CountResult, e
 	if fl != nil {
 		fl.res, fl.err = res, err
 	}
+	// Deadline-aware degradation: the flight above has already published
+	// ErrBusy (coalesced waiters retry on their own budgets), but this
+	// client asked for a degraded answer over a 503.
+	if err != nil && errors.Is(err, ErrBusy) && req.Degrade {
+		if dres, derr := s.degraded(ctx, req, versions, fp0, snap, iv); derr == nil {
+			s.Metrics.Degraded.Add(1)
+			return dres, nil
+		}
+	}
 	return res, err
+}
+
+// degradedBudget caps the labeling budget of a budget-degraded answer.
+const degradedBudget = 0.005
+
+// degradedWait bounds how long a shed request waits for the dedicated
+// degraded-answer slot before giving up and returning the original 503.
+const degradedWait = 100 * time.Millisecond
+
+// degraded computes the budget-degraded answer for a request that admission
+// shed: a tiny simple-random-sample estimate (so the client gets an
+// unbiased count with a wider confidence interval at its deadline instead
+// of a 503) under a dedicated single-slot semaphore that keeps degraded
+// service available while the main admission queues are saturated. The
+// answer skips the exact pass, is marked Degraded, and is never cached.
+func (s *Service) degraded(ctx context.Context, req *CountRequest, versions, fp0 string,
+	snap map[string]*lsample.Table, iv lsample.Interval) (*CountResult, error) {
+
+	select {
+	case s.degSem <- struct{}{}:
+		defer func() { <-s.degSem }()
+	case <-time.After(degradedWait):
+		return nil, ErrBusy
+	case <-ctx.Done():
+		return nil, fmt.Errorf("service: %w", ctx.Err())
+	}
+	budget := degradedBudget
+	if req.Budget > 0 && req.Budget < budget {
+		budget = req.Budget
+	}
+	opts := []lsample.Option{
+		lsample.WithMethod("srs"),
+		lsample.WithBudget(budget),
+		lsample.WithInterval(iv),
+		lsample.WithSeed(req.Seed),
+		lsample.WithParallelism(1),
+	}
+	dreq := *req
+	dreq.Exact = false
+	dreq.Shards = 0
+	t0 := time.Now()
+	res, err := s.estimate(ctx, &dreq, versions, fp0, snap, iv, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.DurationMS = float64(time.Since(t0)) / 1e6
+	res.Degraded = true
+	s.Metrics.EstimatesRun.Add(1)
+	s.Metrics.EstimateNanos.Add(int64(time.Since(t0)))
+	s.Metrics.PredicateEvals.Add(res.Evals)
+	s.Metrics.PredicateNanos.Add(int64(res.PredicateMS * 1e6))
+	return res, nil
 }
 
 // execOptions translates normalized request knobs into SDK options,
@@ -461,6 +540,9 @@ func (s *Service) execOptions(method, clfName string, strata int, iv lsample.Int
 		lsample.WithSeed(req.Seed),
 		lsample.WithParallelism(s.opts.Parallelism),
 		lsample.WithExact(req.Exact),
+		// Concurrent exact passes over the same snapshot coalesce into one
+		// shared scan; non-exact requests never consult the coalescer.
+		lsample.WithScanCoalescer(s.scans),
 	}
 	if req.Shards > 0 {
 		opts = append(opts, lsample.WithShards(req.Shards))

@@ -63,6 +63,16 @@ func newTestService(t *testing.T, n int, opts Options) *Service {
 	return New(reg, opts)
 }
 
+// occupyAdmission takes one global admission slot under a key no request
+// uses; the returned func releases it.
+func occupyAdmission(t *testing.T, svc *Service) func() {
+	t.Helper()
+	if err := svc.admit.acquire(context.Background(), "\x00occupied", time.Now().Add(time.Minute)); err != nil {
+		t.Fatalf("occupying admission: %v", err)
+	}
+	return func() { svc.admit.release("\x00occupied") }
+}
+
 func TestCountOracleMatchesBruteForce(t *testing.T) {
 	const n, k = 120, 10
 	svc := newTestService(t, n, Options{})
@@ -348,8 +358,8 @@ func TestCountLearnedMethodWithSubqueryLocalColumns(t *testing.T) {
 
 func TestCountCtxCanceled(t *testing.T) {
 	svc := newTestService(t, 80, Options{MaxInFlight: 1, QueueTimeout: time.Minute})
-	svc.sem <- struct{}{} // leave admission permanently saturated
-	defer func() { <-svc.sem }()
+	release := occupyAdmission(t, svc) // leave admission saturated
+	defer release()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
@@ -367,7 +377,7 @@ func TestCountWaiterSurvivesLeaderCancellation(t *testing.T) {
 	// inherit the leader's context error; it retries and becomes the
 	// leader itself.
 	svc := newTestService(t, 80, Options{MaxInFlight: 1, QueueTimeout: time.Minute})
-	svc.sem <- struct{}{} // block admission so the leader parks in the sem select
+	release := occupyAdmission(t, svc) // block admission so the leader parks queued
 	req := &CountRequest{SQL: skybandQuery, Params: map[string]any{"k": 8}, Method: "lss", Budget: 0.25, Seed: 5}
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
@@ -388,7 +398,7 @@ func TestCountWaiterSurvivesLeaderCancellation(t *testing.T) {
 	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
 		t.Fatalf("leader err = %v, want context.Canceled", err)
 	}
-	<-svc.sem // free admission for the retrying waiter
+	release() // free admission for the retrying waiter
 	if err := <-waiterRes; err != nil {
 		t.Fatalf("waiter err = %v, want success after retry", err)
 	}
@@ -428,7 +438,7 @@ func TestPreparedQueryReusedAcrossRequests(t *testing.T) {
 
 func TestCountAdmissionControl(t *testing.T) {
 	svc := newTestService(t, 80, Options{MaxInFlight: 1, QueueTimeout: 20 * time.Millisecond})
-	svc.sem <- struct{}{} // occupy the only slot
+	release := occupyAdmission(t, svc) // occupy the only slot
 	_, err := svc.Count(&CountRequest{
 		SQL:    skybandQuery,
 		Params: map[string]any{"k": 8},
@@ -440,7 +450,7 @@ func TestCountAdmissionControl(t *testing.T) {
 	if rej := svc.Metrics.Rejected.Load(); rej != 1 {
 		t.Errorf("rejected = %d, want 1", rej)
 	}
-	<-svc.sem
+	release()
 	if _, err := svc.Count(&CountRequest{SQL: skybandQuery, Params: map[string]any{"k": 8}, Seed: 1}); err != nil {
 		t.Fatalf("after releasing the slot: %v", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/lsample"
 )
@@ -168,7 +169,7 @@ func (s *Service) ShardOp(ctx context.Context, req *ShardRequest) (*ShardRespons
 	case "cands":
 		resp.Cands, err = exec.Cands(ctx, req.K, req.Tag)
 	case "label":
-		err = s.admitted(ctx, func() error {
+		err = s.admitted(ctx, versions, func() error {
 			var lerr error
 			resp.Labels, resp.Fresh, lerr = exec.Label(ctx, req.Keys)
 			return lerr
@@ -176,7 +177,7 @@ func (s *Service) ShardOp(ctx context.Context, req *ShardRequest) (*ShardRespons
 	case "features":
 		resp.Features, err = exec.Features(ctx, req.Keys)
 	case "score_all":
-		err = s.admitted(ctx, func() error {
+		err = s.admitted(ctx, versions, func() error {
 			var serr error
 			resp.Scored, serr = exec.ScoreAll(ctx, req.X, req.Y, req.ClfSeed)
 			return serr
@@ -184,7 +185,7 @@ func (s *Service) ShardOp(ctx context.Context, req *ShardRequest) (*ShardRespons
 	case "group_keys":
 		resp.Scored, err = exec.GroupKeys(ctx)
 	case "count_all":
-		err = s.admitted(ctx, func() error {
+		err = s.admitted(ctx, versions, func() error {
 			t, terr := exec.CountAll(ctx)
 			resp.Tally = &t
 			return terr
@@ -198,16 +199,16 @@ func (s *Service) ShardOp(ctx context.Context, req *ShardRequest) (*ShardRespons
 	return resp, nil
 }
 
-// admitted runs fn under the service's estimation semaphore: the
-// expensive shard ops (labeling and training) share the MaxInFlight
-// budget with whole-query estimations.
-func (s *Service) admitted(ctx context.Context, fn func() error) error {
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		return fmt.Errorf("service: %w", ctx.Err())
+// admitted runs fn under the service's admission queues: the expensive
+// shard ops (labeling and training) share the MaxInFlight and per-dataset
+// budgets with whole-query estimations. Shard ops carry no admission
+// deadline of their own — the coordinator's per-op context deadline bounds
+// the wait.
+func (s *Service) admitted(ctx context.Context, key string, fn func() error) error {
+	if err := s.admit.acquire(ctx, key, time.Time{}); err != nil {
+		return err
 	}
+	defer s.admit.release(key)
 	return fn()
 }
 

@@ -88,6 +88,13 @@
 //	WithExact(true)       also compute the exact count (slow; for tests)
 //	WithCompilation(b)    predicate compilation for SQL queries (default
 //	                      enabled; disable to force the interpreter)
+//	WithVectorization(b)  vectorized batch kernels for compiled predicates
+//	                      (default enabled; disable to force the scalar
+//	                      closures — byte-identical either way, see
+//	                      Estimate.Labeling.Vectorized)
+//	WithScanCoalescer(sc) share full-population labeling scans across
+//	                      concurrent exact counts (serving layers; nil
+//	                      detaches)
 //	WithChurnThreshold(f) live refresh only: retrain the classifier/strata
 //	                      when the learn sample drifted past f (default 0.1)
 //	WithRelabel(true)     live refresh only: bypass the label memo — the
@@ -111,6 +118,15 @@
 // Estimate.Labeling / GroupedEstimate.Labeling. Estimates are
 // byte-identical on either path — compilation (with batched, optionally
 // parallel labeling) changes only wall-clock cost.
+//
+// Compiled predicates additionally lower to vectorized batch kernels:
+// labeling walks 64-lane selection bitmaps through the same probe
+// structures with all scratch in a reusable per-worker arena (zero
+// steady-state allocations). The vector path is used whenever the lowering
+// supports the query (Estimate.Labeling.Vectorized reports it), counts
+// predicate evaluations identically to the scalar path, and is pinned
+// byte-identical to it — WithVectorization(false) forces the scalar
+// closures.
 //
 // # DataSource contract
 //

@@ -426,8 +426,12 @@ func (q *LiveQuery) Refresh(ctx context.Context, params map[string]any, opts ...
 	)
 	if st.validated && st.prog != nil && !cfg.noCompile && n > 0 {
 		if bound, berr := st.prog.Bind(vals, objects); berr == nil {
-			cp := predicate.NewCompiled(bound.NewEvalFn, cfg.parallelism)
-			basePred, labeling = cp, Labeling{Compiled: true, Workers: cp.Workers()}
+			var newVec func() predicate.BatchEvaler
+			if !cfg.noVector {
+				newVec = func() predicate.BatchEvaler { return bound.NewVecEval() }
+			}
+			cp := predicate.NewCompiledVec(bound.NewEvalFn, newVec, cfg.parallelism)
+			basePred, labeling = cp, Labeling{Compiled: true, Vectorized: cp.Vectorized(), Workers: cp.Workers()}
 		}
 	}
 	if basePred == nil {

@@ -351,7 +351,7 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 	est.FeatureColumns = out.FeatureColumns
 	est.Labeling = labeling
 	if cfg.exact {
-		tc, err := exactCount(ctx, pred, obj.N())
+		tc, err := q.exactCountShared(ctx, cfg, pred, strs, obj.N())
 		if err != nil {
 			return nil, err
 		}
@@ -405,8 +405,12 @@ func buildEnginePredicate(ev *engine.Evaluator, dec *engine.Decomposed, objects 
 		lab.Fallback = "first-object cross-check failed"
 		return ep, lab, nil
 	}
-	cp := predicate.NewCompiled(bound.NewEvalFn, cfg.parallelism)
-	return cp, Labeling{Compiled: true, Workers: cp.Workers()}, nil
+	var newVec func() predicate.BatchEvaler
+	if !cfg.noVector {
+		newVec = func() predicate.BatchEvaler { return bound.NewVecEval() }
+	}
+	cp := predicate.NewCompiledVec(bound.NewEvalFn, newVec, cfg.parallelism)
+	return cp, Labeling{Compiled: true, Vectorized: cp.Vectorized(), Workers: cp.Workers()}, nil
 }
 
 // compiledAgrees is the runtime safety net behind the fallback contract: a

@@ -1,0 +1,205 @@
+package lsample
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestVectorizedMatchesScalar is the tentpole identity pin at the SDK
+// layer: with the seed fixed, the vectorized batch path produces
+// byte-identical estimates to the scalar closure path at parallelism 1, 4,
+// and NumCPU and at shard counts 0, 1, and 4, on both the fused-kernel
+// equi-join workload and the per-lane-fallback skyband workload.
+func TestVectorizedMatchesScalar(t *testing.T) {
+	d, r := compileJoinTables(t, 90, 360, 70, 7)
+	cases := []struct {
+		name   string
+		tables []*Table
+		sqlQ   string
+		params map[string]any
+	}{
+		{"skyband", []*Table{compileTestTable(t, 90, 3)}, skybandSQL, map[string]any{"k": 12}},
+		{"equijoin", []*Table{d, r}, equiJoinSQL, map[string]any{"t": 4.0, "m": 3}},
+	}
+	for _, tc := range cases {
+		for _, method := range []string{"srs", "lss", "oracle"} {
+			sess, err := NewSession(NewMemorySource(tc.tables...),
+				WithMethod(method), WithBudget(0.2), WithSeed(11), WithExact(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := sess.Prepare(tc.sqlQ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The sharded family uses the hash-selected per-key sampling
+			// stream, so it has its own scalar baseline; within each family
+			// every (vectorization, parallelism, shard count) combination is
+			// byte-identical.
+			baselines := map[int]*Estimate{} // scalar baseline per family: 0 = unsharded, 1 = sharded
+			for _, fam := range []int{0, 1} {
+				want, err := q.Execute(context.Background(), tc.params,
+					WithVectorization(false), WithParallelism(1), WithShards(fam))
+				if err != nil {
+					t.Fatalf("%s/%s scalar shards=%d: %v", tc.name, method, fam, err)
+				}
+				if want.Labeling.Vectorized {
+					t.Fatalf("%s/%s: WithVectorization(false) ignored", tc.name, method)
+				}
+				baselines[fam] = want
+			}
+			for _, p := range []int{1, 4, runtime.NumCPU()} {
+				for _, shards := range []int{0, 1, 4} {
+					got, err := q.Execute(context.Background(), tc.params,
+						WithParallelism(p), WithShards(shards))
+					if err != nil {
+						t.Fatalf("%s/%s p=%d shards=%d: %v", tc.name, method, p, shards, err)
+					}
+					if !got.Labeling.Compiled {
+						t.Fatalf("%s/%s p=%d shards=%d: fell back: %s",
+							tc.name, method, p, shards, got.Labeling.Fallback)
+					}
+					if shards == 0 && !got.Labeling.Vectorized {
+						t.Fatalf("%s/%s p=%d: expected the vector arena path", tc.name, method, p)
+					}
+					fam := 0
+					if shards > 0 {
+						fam = 1
+					}
+					gw, gg := stripTimings(baselines[fam]), stripTimings(got)
+					if !reflect.DeepEqual(gg, gw) {
+						t.Fatalf("%s/%s p=%d shards=%d: vectorized estimate diverges:\n got %+v\nwant %+v",
+							tc.name, method, p, shards, gg, gw)
+					}
+				}
+			}
+		}
+	}
+}
+
+// fakeCoalescer routes LabelAll through the member's own eval in the same
+// ascending 4096-chunk order the standalone pass uses, recording keys.
+type fakeCoalescer struct {
+	keys  []string
+	calls int
+}
+
+func (f *fakeCoalescer) LabelAll(ctx context.Context, key string, n int, eval func(idxs []int, out []bool)) ([]bool, error) {
+	f.keys = append(f.keys, key)
+	f.calls++
+	out := make([]bool, n)
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	const chunk = 4096
+	for base := 0; base < n; base += chunk {
+		end := base + chunk
+		if end > n {
+			end = n
+		}
+		eval(idxs[base:end], out[base:end])
+	}
+	return out, nil
+}
+
+// TestScanCoalescerIdentity checks the WithExact pass routed through a
+// coalescer yields the identical estimate (including SamplesUsed — the
+// member's counter must tick once per object), and that the scan key is
+// stable across executions and insensitive to predicate-only parameters
+// while distinguishing Q2-relevant ones.
+func TestScanCoalescerIdentity(t *testing.T) {
+	d, r := compileJoinTables(t, 90, 360, 70, 7)
+	fc := &fakeCoalescer{}
+	sess, err := NewSession(NewMemorySource(d, r),
+		WithMethod("srs"), WithBudget(0.2), WithSeed(11), WithExact(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Prepare(equiJoinSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]any{"t": 4.0, "m": 3}
+	want, err := q.Execute(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Execute(context.Background(), params, WithScanCoalescer(fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.calls != 1 {
+		t.Fatalf("coalescer saw %d LabelAll calls, want 1", fc.calls)
+	}
+	if !reflect.DeepEqual(stripTimings(got), stripTimings(want)) {
+		t.Fatalf("coalesced estimate diverges:\n got %+v\nwant %+v", stripTimings(got), stripTimings(want))
+	}
+	// t and m are predicate-only (Q3) parameters: changing them must keep
+	// the scan key, because the object enumeration is unchanged.
+	if _, err := q.Execute(context.Background(), map[string]any{"t": 7.0, "m": 1},
+		WithScanCoalescer(fc)); err != nil {
+		t.Fatal(err)
+	}
+	if fc.keys[0] != fc.keys[1] {
+		t.Fatalf("predicate-only params changed the scan key:\n %q\n %q", fc.keys[0], fc.keys[1])
+	}
+	// A different snapshot must change the key even with identical names.
+	d2, r2 := compileJoinTables(t, 90, 360, 70, 7)
+	sess2, err := NewSession(NewMemorySource(d2, r2),
+		WithMethod("srs"), WithBudget(0.2), WithSeed(11), WithExact(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := sess2.Prepare(equiJoinSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.Execute(context.Background(), params, WithScanCoalescer(fc)); err != nil {
+		t.Fatal(err)
+	}
+	if fc.keys[0] == fc.keys[2] {
+		t.Fatal("distinct snapshots share a scan key")
+	}
+}
+
+// failingCoalescer returns an error from every LabelAll.
+type failingCoalescer struct{ calls int }
+
+func (f *failingCoalescer) LabelAll(ctx context.Context, key string, n int, eval func(idxs []int, out []bool)) ([]bool, error) {
+	f.calls++
+	return nil, context.DeadlineExceeded
+}
+
+// TestScanCoalescerFallback checks a broken coalescer costs a standalone
+// rescan, never a failed or wrong request.
+func TestScanCoalescerFallback(t *testing.T) {
+	d, r := compileJoinTables(t, 60, 240, 50, 17)
+	sess, err := NewSession(NewMemorySource(d, r),
+		WithMethod("srs"), WithBudget(0.2), WithSeed(11), WithExact(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sess.Prepare(equiJoinSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]any{"t": 4.0, "m": 3}
+	want, err := q.Execute(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &failingCoalescer{}
+	got, err := q.Execute(context.Background(), params, WithScanCoalescer(fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.calls == 0 {
+		t.Fatal("coalescer was never consulted")
+	}
+	if *got.TrueCount != *want.TrueCount || got.Count != want.Count {
+		t.Fatalf("fallback diverges: %v/%v vs %v/%v", got.Count, *got.TrueCount, want.Count, *want.TrueCount)
+	}
+}
