@@ -23,6 +23,11 @@
 #   make bench-shard   sharded scatter/gather at 1/2/4/8 shards (evals/op
 #                      and wall) plus a one-shard-killed degraded run,
 #                      emitted as BENCH_PR8.json
+#   make bench-obs     observability overhead: labeling ns/eval and full
+#                      Execute ns/op with the tracer disabled, unsampled,
+#                      and sampling every run, emitted as BENCH_PR10.json
+#   make obs-check     observability lint: metrics without help strings,
+#                      spans opened but never ended (tools/obscheck)
 #   make fuzz-smoke    brief run of every native fuzzer (parser round-trip,
 #                      lexer, live delta parser, WAL reader, shard routing)
 #                      — the CI crash gate
@@ -35,9 +40,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check build vet test race api-check docs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate bench-ingest bench-wal bench-catalog bench-shard bench-vector fuzz-smoke
+.PHONY: check build vet test race api-check docs-check obs-check bench-smoke bench-full serve-smoke bench-groupby bench-predicate bench-ingest bench-wal bench-catalog bench-shard bench-vector bench-obs fuzz-smoke
 
-check: build vet api-check docs-check race
+check: build vet api-check docs-check obs-check race
 
 # Fail if internal/ packages leak into the public SDK's exported
 # signatures (repro/lsample is the compatibility surface).
@@ -52,6 +57,11 @@ docs-check:
 	@test -f ARCHITECTURE.md || { echo "docs-check: ARCHITECTURE.md is missing"; exit 1; }
 	$(GO) vet ./examples/...
 	$(GO) run ./tools/doccheck ./lsample
+
+# Observability gate: every registered metric carries a help string and
+# every opened span is ended (tools/obscheck).
+obs-check:
+	$(GO) run ./tools/obscheck .
 
 build:
 	$(GO) build ./...
@@ -128,6 +138,17 @@ bench-catalog:
 bench-vector:
 	$(GO) test -run '^$$' -bench '^BenchmarkVectorLabeling$$' -benchtime 3x ./lsample/ \
 		| $(GO) run ./tools/benchjson > BENCH_PR9.json
+
+# Observability-overhead benchmarks: the BENCH_PR9-shaped vectorized
+# labeling pass and the full Execute pipeline on the exists workload,
+# each with the tracer disabled / attached-but-unsampled / sampling every
+# execution. The disabled and unsampled labeling numbers must sit within
+# noise of BENCH_PR9.json (spans wrap phases, never evaluations) and all
+# labeling modes must report 0 allocs/op.
+bench-obs:
+	$(GO) test -run '^$$' -bench '^BenchmarkObsOverhead$$' -benchtime 3x ./lsample/ \
+		| $(GO) run ./tools/benchjson > BENCH_PR10.json
+	@cat BENCH_PR10.json
 
 # Sharded scatter/gather benchmarks: evals/op and wall time for the lss
 # drive at 1/2/4/8 shards (per-worker labeling service time modeled, so

@@ -56,6 +56,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -85,6 +86,8 @@ func main() {
 		schemaStr = flag.String("schema", "", "ad-hoc mode: CSV schema, e.g. id:int,x:float,y:float")
 		exact     = flag.Bool("exact", false, "ad-hoc mode: also compute the true count (evaluates q on every object)")
 		repeat    = flag.Int("repeat", 1, "ad-hoc mode: execute the query N times through a shared reuse catalog, printing each run's reuse path and the cumulative predicate evaluations saved")
+
+		explain = flag.Bool("explain", false, "trace the run and print its span tree (phases, attributes, durations) after the result")
 
 		deltaPath   = flag.String("delta", "", "delta replay mode: change stream to replay against the -csv table (CSV or NDJSON)")
 		deltaFormat = flag.String("delta-format", "", "delta format: csv or ndjson (default: by -delta file extension)")
@@ -116,14 +119,21 @@ func main() {
 	if *shards > 0 {
 		opts = append(opts, lsample.WithShards(*shards))
 	}
+	var tracer *lsample.Tracer
+	if *explain {
+		tracer = lsample.NewTracer(lsample.TracerOptions{SampleRate: 1})
+		opts = append(opts, lsample.WithTracer(tracer))
+	}
 
 	if *sqlQuery != "" {
 		if *deltaPath != "" {
 			runDeltaReplay(ctx, *sqlQuery, *csvPath, *schemaStr, *keyCol,
 				*deltaPath, *deltaFormat, *deltaBatch, aux, params, opts)
+			printTrace(tracer)
 			return
 		}
 		runSQL(ctx, *sqlQuery, *csvPath, *schemaStr, params, *exact, *repeat, opts)
+		printTrace(tracer)
 		return
 	}
 
@@ -166,6 +176,39 @@ func main() {
 		tm.Learn.Round(time.Microsecond), tm.Design.Round(time.Microsecond),
 		tm.Sample.Round(time.Microsecond), tm.Predicate.Round(time.Microsecond),
 		tm.Overhead().Round(time.Microsecond))
+	printTrace(tracer)
+}
+
+// printTrace pretty-prints the newest recorded trace as an indented span
+// tree, one line per span with its duration and attributes.
+func printTrace(tr *lsample.Tracer) {
+	if tr == nil {
+		return
+	}
+	traces := tr.Traces(1)
+	if len(traces) == 0 {
+		return
+	}
+	fmt.Printf("\ntrace       %s\n", traces[0].TraceID)
+	printSpan(traces[0], 0)
+}
+
+func printSpan(sp *lsample.TraceSpan, depth int) {
+	keys := make([]string, 0, len(sp.Attrs))
+	for k := range sp.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var attrs strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&attrs, " %s=%v", k, sp.Attrs[k])
+	}
+	fmt.Printf("  %s%s  %.2fms%s\n",
+		strings.Repeat("  ", depth), sp.Name,
+		float64(sp.Duration)/1e6, attrs.String())
+	for _, c := range sp.Children {
+		printSpan(c, depth+1)
+	}
 }
 
 func printCI(res *lsample.Estimate) {

@@ -19,14 +19,27 @@
 //	                   new dataset version, so cached results over the old
 //	                   data are never served
 //	GET  /v1/stats     metrics: cache hits, admissions, predicate evals,
-//	                   a request-latency histogram (p50/p90/p99/p999/max),
-//	                   shared-scan and degraded-answer counters, ingest
-//	                   counters (requests, rows, batches, errors), and the
-//	                   reuse-catalog block (entries, bytes, hits,
-//	                   extensions, misses, evictions)
+//	                   a request-latency histogram (p50/p90/p99/p999/max
+//	                   plus cumulative bucket counts), shared-scan and
+//	                   degraded-answer counters, ingest counters (requests,
+//	                   rows, batches, errors), and the reuse-catalog block
+//	                   (entries, bytes, hits, extensions, misses, evictions)
+//	GET  /metrics      Prometheus text-format exposition of the same
+//	                   counters plus the latency histogram (disable with
+//	                   -metrics=false)
+//	GET  /v1/traces    completed request traces, newest first (?limit=N)
 //	GET  /healthz      liveness
 //	POST /v1/shard     one shard's estimation primitives (worker side of
 //	                   sharded scale-out; see -role)
+//
+// Observability: -trace-sample records that fraction of requests as span
+// trees readable from /v1/traces (a request with "explain": true is
+// always recorded and gets its trace inline in the response);
+// -slow-query-ms logs the full span tree of any slower request. All
+// server logs are structured JSON, one object per line on stdout, tagged
+// with the trace and span ids of the request they belong to. A
+// coordinator injects W3C traceparent headers into worker calls, so one
+// sharded query yields one stitched trace across processes.
 //
 // Sharded scale-out: start worker servers (-role=worker, each with the
 // same datasets) and one coordinator:
@@ -89,6 +102,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/lsample"
 )
@@ -109,6 +123,10 @@ func main() {
 		catalogMB = flag.Int64("catalog-mb", 0, "reuse-catalog budget in MiB for cross-query sample/classifier materialization (0 = default 64 MiB, negative disables)")
 		pprofOn   = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
 
+		metricsOn   = flag.Bool("metrics", true, "serve Prometheus text-format metrics at GET /metrics")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests to trace [0,1]; explain requests are always traced")
+		slowQueryMS = flag.Int64("slow-query-ms", 0, "log the full span tree of requests slower than this many milliseconds (0 disables)")
+
 		role           = flag.String("role", "", "serving role: empty (standalone: full API incl. /v1/shard), worker (same, intended behind a coordinator), or coordinator (scatter/gather /v1/count over -workers)")
 		workerSpec     = flag.String("workers", "", "coordinator role: worker roster as name=http://host:port,name=url")
 		shards         = flag.Int("shards", 0, "coordinator role: shards per query (0 = one per worker)")
@@ -118,14 +136,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// All operational logs are structured JSON, one object per line on
+	// stdout; request-scoped lines carry the trace and span ids.
+	logger := obs.NewLogger(os.Stdout)
+
 	if *role == "coordinator" {
-		if err := runCoordinator(*addr, *workerSpec, service.CoordinatorOptions{
+		if err := runCoordinator(*addr, *workerSpec, logger, service.CoordinatorOptions{
 			Shards:         *shards,
 			WorkerDeadline: *workerDeadline,
 			HedgeAfter:     *hedgeAfter,
 			AllowDegraded:  *allowDegraded,
+			TraceSample:    *traceSample,
+			SlowQuery:      time.Duration(*slowQueryMS) * time.Millisecond,
+			Logger:         logger,
 		}); err != nil {
-			fmt.Fprintf(os.Stderr, "lsserve: %v\n", err)
+			logger.Error(context.Background(), "coordinator failed", "error", err)
 			os.Exit(1)
 		}
 		return
@@ -141,23 +166,28 @@ func main() {
 		os.Exit(2)
 	}
 	svc := service.New(reg, service.Options{
-		MaxInFlight:   *inflight,
-		QueueTimeout:  *queueWait,
-		CacheSize:     *cacheSize,
-		CacheTTL:      *cacheTTL,
-		DefaultMethod: *method,
-		DefaultBudget: *budget,
-		Parallelism:   *para,
-		DataDir:       *dataDir,
-		CatalogBytes:  catalogBytes(*catalogMB),
+		MaxInFlight:    *inflight,
+		QueueTimeout:   *queueWait,
+		CacheSize:      *cacheSize,
+		CacheTTL:       *cacheTTL,
+		DefaultMethod:  *method,
+		DefaultBudget:  *budget,
+		Parallelism:    *para,
+		DataDir:        *dataDir,
+		CatalogBytes:   catalogBytes(*catalogMB),
+		TraceSample:    *traceSample,
+		SlowQuery:      time.Duration(*slowQueryMS) * time.Millisecond,
+		Logger:         logger,
+		DisableMetrics: !*metricsOn,
 	})
 	recovered, err := svc.RecoverDatasets()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lsserve: recovering %s: %v\n", *dataDir, err)
+		logger.Error(context.Background(), "recovery failed", "data_dir", *dataDir, "error", err)
 		os.Exit(2)
 	}
 	for _, d := range recovered {
-		fmt.Printf("lsserve: recovered live dataset %q (%d rows) at version %d\n", d.Name, d.Rows, d.Version)
+		logger.Info(context.Background(), "recovered live dataset",
+			"name", d.Name, "rows", d.Rows, "version", d.Version)
 	}
 
 	handler := svc.Handler()
@@ -173,7 +203,7 @@ func main() {
 		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		root.Handle("/", handler)
 		handler = root
-		fmt.Println("lsserve: profiling enabled at /debug/pprof/")
+		logger.Info(context.Background(), "profiling enabled", "path", "/debug/pprof/")
 	}
 
 	srv := &http.Server{
@@ -191,41 +221,47 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("lsserve: listening on %s (%d datasets)\n", *addr, len(reg.List()))
+	logger.Info(context.Background(), "listening",
+		"addr", *addr, "datasets", len(reg.List()), "role", roleName(*role),
+		"metrics", *metricsOn, "trace_sample", *traceSample)
 
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "lsserve: %v\n", err)
+		logger.Error(context.Background(), "server failed", "error", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	fmt.Println("lsserve: shutting down")
+	logger.Info(context.Background(), "shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "lsserve: shutdown: %v\n", err)
+		logger.Error(context.Background(), "http shutdown failed", "error", err)
 		os.Exit(1)
 	}
 	// Drain in-flight estimations, then flush and checkpoint every durable
 	// live dataset so the next start replays a checkpoint instead of the
 	// whole log. A drain timeout is reported but does not skip persistence.
-	persisted, err := svc.Shutdown(shutCtx)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lsserve: shutdown: %v\n", err)
-	}
-	if len(persisted) > 0 {
-		fmt.Printf("lsserve: persisted %d durable dataset(s): %s\n", len(persisted), strings.Join(persisted, ", "))
-	}
-	if err != nil {
+	// The service logs the summary line (datasets persisted, drained,
+	// uptime) through the shared structured logger.
+	if _, err := svc.Shutdown(shutCtx); err != nil {
+		logger.Error(context.Background(), "shutdown incomplete", "error", err)
 		os.Exit(1)
 	}
+}
+
+// roleName normalizes the -role flag for the boot log line.
+func roleName(role string) string {
+	if role == "" {
+		return "standalone"
+	}
+	return role
 }
 
 // runCoordinator serves the scatter/gather role: /v1/count requests are
 // split into hash-aligned shards, routed over the worker roster with
 // per-op deadlines and hedged retries, and merged byte-identically to a
 // single-process run.
-func runCoordinator(addr, roster string, opts service.CoordinatorOptions) error {
+func runCoordinator(addr, roster string, logger *obs.Logger, opts service.CoordinatorOptions) error {
 	var workers []service.WorkerInfo
 	for _, part := range strings.Split(roster, ",") {
 		part = strings.TrimSpace(part)
@@ -252,12 +288,14 @@ func runCoordinator(addr, roster string, opts service.CoordinatorOptions) error 
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("lsserve: coordinator listening on %s (%d workers)\n", addr, len(workers))
+	logger.Info(context.Background(), "listening",
+		"addr", addr, "workers", len(workers), "role", "coordinator")
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
+	logger.Info(context.Background(), "shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return srv.Shutdown(shutCtx)

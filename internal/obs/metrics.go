@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format (version 0.0.4). It is zero-dependency by design:
+// counters and gauges are atomics, histograms are fixed-bucket arrays,
+// and the *Func variants re-export state owned elsewhere (the service's
+// existing atomic counters and its HDR latency histogram) without copying
+// it into a second source of truth.
+//
+// Every registration requires a non-empty help string — Register panics
+// without one, and tools/obscheck enforces the same rule statically so
+// the panic never ships.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metricEntry
+	ordered []*metricEntry
+}
+
+type metricEntry struct {
+	name, help, typ string
+	collect         func(w *bufio.Writer, name string)
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metricEntry)}
+}
+
+// register validates and stores one metric family.
+func (r *Registry) register(name, help, typ string, collect func(w *bufio.Writer, name string)) {
+	if name == "" || !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if help == "" {
+		panic(fmt.Sprintf("obs: metric %q registered without a help string", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	e := &metricEntry{name: name, help: help, typ: typ, collect: collect}
+	r.byName[name] = e
+	r.ordered = append(r.ordered, e)
+	sort.Slice(r.ordered, func(i, j int) bool { return r.ordered[i].name < r.ordered[j].name })
+}
+
+func validMetricName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return len(name) > 0
+}
+
+// Expose renders every registered family, sorted by name, in the text
+// exposition format. It is safe to call concurrently with metric updates;
+// each sample is an atomic read.
+func (r *Registry) Expose(w io.Writer) error {
+	r.mu.Lock()
+	entries := append([]*metricEntry(nil), r.ordered...)
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		fmt.Fprintf(bw, "# HELP %s %s\n", e.name, escapeHelp(e.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.typ)
+		e.collect(bw, e.name)
+	}
+	return bw.Flush()
+}
+
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+func writeFloat(w *bufio.Writer, v float64) {
+	switch {
+	case math.IsInf(v, 1):
+		w.WriteString("+Inf")
+	case math.IsInf(v, -1):
+		w.WriteString("-Inf")
+	default:
+		w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters never go down).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// NewCounter registers and returns an owned counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", func(w *bufio.Writer, name string) {
+		fmt.Fprintf(w, "%s %d\n", name, c.v.Load())
+	})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the re-export path for counters owned elsewhere.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(name, help, "counter", func(w *bufio.Writer, name string) {
+		fmt.Fprintf(w, "%s %d\n", name, fn())
+	})
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// NewGauge registers and returns an owned gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", func(w *bufio.Writer, name string) {
+		fmt.Fprintf(w, "%s %d\n", name, g.v.Load())
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", func(w *bufio.Writer, name string) {
+		w.WriteString(name)
+		w.WriteByte(' ')
+		writeFloat(w, fn())
+		w.WriteByte('\n')
+	})
+}
+
+// Histogram is an owned fixed-bucket histogram; observations are counted
+// into the first bucket whose upper bound is >= the value.
+type Histogram struct {
+	uppers []float64 // ascending; +Inf implied
+	counts []atomic.Int64
+	sum    atomicFloat
+	count  atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.uppers, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// NewHistogram registers and returns an owned histogram with the given
+// ascending bucket upper bounds (the +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help string, uppers []float64) *Histogram {
+	bounds := append([]float64(nil), uppers...)
+	sort.Float64s(bounds)
+	h := &Histogram{uppers: bounds, counts: make([]atomic.Int64, len(bounds))}
+	r.register(name, help, "histogram", func(w *bufio.Writer, name string) {
+		cum := int64(0)
+		for i, ub := range h.uppers {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatLE(ub), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())
+		w.WriteString(name + "_sum ")
+		writeFloat(w, h.sum.load())
+		w.WriteByte('\n')
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	})
+	return h
+}
+
+// HistSnapshot is one consistent view of an externally owned histogram,
+// as cumulative Prometheus buckets.
+type HistSnapshot struct {
+	Uppers []float64 // ascending upper bounds (no +Inf entry)
+	Cum    []int64   // cumulative counts aligned with Uppers
+	Count  int64     // total observations (the +Inf bucket)
+	Sum    float64   // sum of observations
+}
+
+// HistogramFunc registers a histogram whose buckets are produced by fn at
+// scrape time — the re-export path for the service's HDR latency
+// histogram.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistSnapshot) {
+	r.register(name, help, "histogram", func(w *bufio.Writer, name string) {
+		s := fn()
+		for i, ub := range s.Uppers {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatLE(ub), s.Cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+		w.WriteString(name + "_sum ")
+		writeFloat(w, s.Sum)
+		w.WriteByte('\n')
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	})
+}
+
+func formatLE(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// atomicFloat is a float64 stored as bits in a uint64 with CAS addition.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }

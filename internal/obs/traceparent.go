@@ -1,0 +1,81 @@
+package obs
+
+import "encoding/hex"
+
+// TraceparentHeader is the W3C trace-context header name used to stitch
+// traces across the coordinator → worker hop.
+const TraceparentHeader = "traceparent"
+
+// Traceparent is a parsed W3C traceparent header: version 00, a
+// 32-hex-digit trace id, a 16-hex-digit parent span id, and the sampled
+// flag. It is the whole cross-process contract — a worker that adopts a
+// sampled traceparent records its subtree under the caller's trace.
+type Traceparent struct {
+	TraceID string // 32 lowercase hex digits, not all-zero
+	SpanID  string // 16 lowercase hex digits, not all-zero
+	Sampled bool
+}
+
+// String renders the header value: 00-<trace-id>-<span-id>-<flags>.
+func (tp Traceparent) String() string {
+	flags := "00"
+	if tp.Sampled {
+		flags = "01"
+	}
+	return "00-" + tp.TraceID + "-" + tp.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts version
+// 00 exactly; anything malformed returns ok=false and the caller treats
+// the request as the start of a new trace.
+func ParseTraceparent(v string) (Traceparent, bool) {
+	if len(v) != 55 || v[0] != '0' || v[1] != '0' || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return Traceparent{}, false
+	}
+	traceID, spanID, flags := v[3:35], v[36:52], v[53:55]
+	if !allHex(traceID) || !allHex(spanID) || !allHex(flags) {
+		return Traceparent{}, false
+	}
+	if allZero(traceID) || allZero(spanID) {
+		return Traceparent{}, false
+	}
+	return Traceparent{TraceID: traceID, SpanID: spanID, Sampled: flags[1]&1 == 1}, true
+}
+
+// traceID returns the decoded 16-byte trace id (zero on malformed input,
+// which ParseTraceparent already rejects).
+func (tp Traceparent) traceID() []byte {
+	b, _ := hex.DecodeString(tp.TraceID)
+	if len(b) != 16 {
+		return make([]byte, 16)
+	}
+	return b
+}
+
+// spanID returns the decoded 8-byte span id.
+func (tp Traceparent) spanID() []byte {
+	b, _ := hex.DecodeString(tp.SpanID)
+	if len(b) != 8 {
+		return make([]byte, 8)
+	}
+	return b
+}
+
+func allHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

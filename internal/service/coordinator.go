@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/lsample"
 )
@@ -56,6 +58,14 @@ type CoordinatorOptions struct {
 	AllowDegraded bool
 	// Client is the HTTP client for worker calls (default http.DefaultClient).
 	Client *http.Client
+
+	// TraceSample, TraceRing, SlowQuery, and Logger mirror the service's
+	// tracing knobs (Options): head-sampling probability, completed-trace
+	// ring capacity, slow-query threshold, and the structured JSON logger.
+	TraceSample float64
+	TraceRing   int
+	SlowQuery   time.Duration
+	Logger      *obs.Logger
 }
 
 // Coordinator scatters counting queries over worker processes: each query
@@ -69,6 +79,19 @@ type Coordinator struct {
 	ring    *shard.Ring // built once; read-only afterwards, safe for concurrent use
 	opts    CoordinatorOptions
 	client  *http.Client
+
+	// tracer records coordinator traces; a sampled root injects its
+	// traceparent into every worker call, and each worker's completed
+	// subtree comes back on the shard response to be grafted under the
+	// coordinator's attempt span — one query, one stitched tree.
+	tracer *obs.Tracer
+	logger *obs.Logger
+	prom   *obs.Registry
+
+	queries      *obs.Counter
+	hedges       *obs.Counter
+	workerErrors *obs.Counter
+	degradedN    *obs.Counter
 }
 
 // NewCoordinator builds a coordinator over the given workers.
@@ -90,10 +113,30 @@ func NewCoordinator(workers []WorkerInfo, opts CoordinatorOptions) (*Coordinator
 		ring:    shard.NewRing(opts.Replicas),
 		opts:    opts,
 		client:  opts.Client,
+		logger:  opts.Logger,
 	}
 	if c.client == nil {
 		c.client = http.DefaultClient
 	}
+	c.tracer = obs.NewTracer(obs.TracerConfig{
+		Sample:    opts.TraceSample,
+		RingSize:  opts.TraceRing,
+		SlowQuery: opts.SlowQuery,
+		Logger:    opts.Logger,
+	})
+	c.prom = obs.NewRegistry()
+	c.queries = c.prom.NewCounter("lsample_coordinator_queries_total",
+		"Scatter/gather queries served by the coordinator.")
+	c.hedges = c.prom.NewCounter("lsample_coordinator_hedges_total",
+		"Backup shard requests launched on straggling workers.")
+	c.workerErrors = c.prom.NewCounter("lsample_coordinator_worker_errors_total",
+		"Failed worker shard calls (before any successful retry).")
+	c.degradedN = c.prom.NewCounter("lsample_coordinator_degraded_total",
+		"Queries answered degraded after losing every candidate for a shard.")
+	c.prom.CounterFunc("lsample_traces_started_total",
+		"Root spans considered by the coordinator tracer.", c.tracer.Started)
+	c.prom.CounterFunc("lsample_traces_sampled_total",
+		"Root spans recorded by the coordinator tracer.", c.tracer.Sampled)
 	for _, w := range workers {
 		if w.Name == "" || w.BaseURL == "" {
 			return nil, fmt.Errorf("%w: worker needs a name and a base URL", ErrBadRequest)
@@ -108,8 +151,42 @@ func NewCoordinator(workers []WorkerInfo, opts CoordinatorOptions) (*Coordinator
 }
 
 // Count scatters one estimation request across the workers and merges the
-// per-shard partials.
+// per-shard partials. The request's root span injects its traceparent into
+// every worker call and grafts each worker's returned subtree, so an
+// Explain (or sampled) query yields one stitched trace spanning the
+// coordinator, every worker, and any hedged retries.
 func (c *Coordinator) Count(ctx context.Context, req *CountRequest) (*CountResult, error) {
+	c.queries.Inc()
+	t0 := time.Now()
+	ctx, span := c.tracer.StartRequest(ctx, "coordinator.count", req.Explain)
+	res, err := c.count(ctx, req)
+	if err != nil {
+		span.Set("error", err.Error())
+	} else {
+		span.Set("method", res.Method)
+		span.Set("objects", res.Objects)
+		span.Set("shards", res.Shards)
+		span.Set("degraded", res.Degraded)
+		c.logger.Info(ctx, "query",
+			"role", "coordinator",
+			"fingerprint", res.Fingerprint,
+			"method", res.Method,
+			"shards", res.Shards,
+			"objects", res.Objects,
+			"estimate", res.Estimate,
+			"degraded", res.Degraded,
+			"duration_ms", float64(time.Since(t0))/1e6)
+	}
+	span.End()
+	if err == nil && req.Explain && span.Recording() {
+		out := *res
+		out.Trace = span.Data()
+		return &out, nil
+	}
+	return res, err
+}
+
+func (c *Coordinator) count(ctx context.Context, req *CountRequest) (*CountResult, error) {
 	if req.SQL == "" {
 		return nil, badf("missing sql")
 	}
@@ -188,6 +265,9 @@ func (c *Coordinator) Count(ctx context.Context, req *CountRequest) (*CountResul
 		}
 		return nil, err
 	}
+	if res.Degraded {
+		c.degradedN.Inc()
+	}
 
 	out := &CountResult{
 		Fingerprint: pre.Fingerprint,
@@ -244,7 +324,10 @@ func (c *Coordinator) Count(ctx context.Context, req *CountRequest) (*CountResul
 
 // Handler exposes the coordinator over HTTP:
 //
-//	POST /v1/count  JSON CountRequest -> CountResult (scatter/gathered)
+//	POST /v1/count  JSON CountRequest -> CountResult (scatter/gathered);
+//	                honors an inbound traceparent header
+//	GET  /v1/traces completed coordinator traces, newest first (?limit=N)
+//	GET  /metrics   Prometheus text-format metrics exposition
 //	GET  /healthz   liveness + worker roster
 //
 // Errors use the service envelope; data_changed (409) means an ingest
@@ -259,12 +342,30 @@ func (c *Coordinator) Handler() http.Handler {
 			c.writeError(w, clientErr("invalid JSON body", err))
 			return
 		}
-		res, err := c.Count(r.Context(), &req)
+		res, err := c.Count(traceCtx(r), &req)
 		if err != nil {
 			c.writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.prom.Expose(w) //nolint:errcheck // nothing to do about a failed write
+	})
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if v := r.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				c.writeError(w, badf("invalid ?limit=%q", v))
+				return
+			}
+			limit = n
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Traces []*obs.SpanData `json:"traces"`
+		}{c.tracer.Traces(limit)})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		roster := make([]WorkerInfo, 0, len(c.workers))
@@ -338,15 +439,34 @@ func (r *coordRun) do(ctx context.Context, shardIdx int, req *ShardRequest) (*Sh
 	}
 	ch := make(chan outcome, len(cands))
 	launched := 0
-	launch := func() {
+	launch := func(hedged bool) {
 		name := cands[launched]
+		attempt := launched
 		launched++
+		// One span per attempt: a hedged or failed-over call shows up as a
+		// sibling of the primary, each carrying the worker it targeted. The
+		// worker's own subtree (shipped back on the response when the
+		// injected traceparent was sampled) is grafted underneath.
+		_, asp := obs.StartSpan(ctx, "shard.rpc")
+		asp.Set("op", b.Op)
+		asp.Set("shard", shardIdx)
+		asp.Set("worker", name)
+		asp.Set("attempt", attempt)
+		if hedged {
+			asp.Set("hedged", true)
+		}
 		go func() {
-			resp, perr := r.c.post(ctx, r.c.workers[name].BaseURL, body)
+			resp, perr := r.c.post(ctx, r.c.workers[name].BaseURL, body, asp.Traceparent())
+			if perr != nil {
+				asp.Set("error", perr.Error())
+			} else if resp.Trace != nil {
+				asp.Graft(resp.Trace)
+			}
+			asp.End()
 			ch <- outcome{resp, perr}
 		}()
 	}
-	launch()
+	launch(false)
 	hedge := time.NewTimer(r.c.opts.HedgeAfter)
 	defer hedge.Stop()
 
@@ -369,13 +489,15 @@ func (r *coordRun) do(ctx context.Context, shardIdx int, req *ShardRequest) (*Sh
 			if errors.As(out.err, &perm) {
 				return nil, perm.err
 			}
+			r.c.workerErrors.Inc()
 			lastErr = out.err
 			if launched < len(cands) {
-				launch()
+				launch(true)
 			}
 		case <-hedge.C:
 			if launched < len(cands) {
-				launch()
+				r.c.hedges.Inc()
+				launch(true)
 			}
 		case <-ctx.Done():
 			return nil, fmt.Errorf("service: %w", ctx.Err())
@@ -384,8 +506,10 @@ func (r *coordRun) do(ctx context.Context, shardIdx int, req *ShardRequest) (*Sh
 	return nil, &shard.LostShardError{Shard: shardIdx, Err: lastErr}
 }
 
-// post performs one worker call under the per-op deadline.
-func (c *Coordinator) post(ctx context.Context, baseURL string, body []byte) (*ShardResponse, error) {
+// post performs one worker call under the per-op deadline, injecting the
+// attempt span's traceparent (when recording) so the worker joins the
+// coordinator's trace.
+func (c *Coordinator) post(ctx context.Context, baseURL string, body []byte, traceparent string) (*ShardResponse, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.opts.WorkerDeadline)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/shard", bytes.NewReader(body))
@@ -393,6 +517,9 @@ func (c *Coordinator) post(ctx context.Context, baseURL string, body []byte) (*S
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/lsample"
 )
@@ -96,13 +97,17 @@ func (s *Service) openLiveUpload(name, schema, key string) (*lsample.LiveTable, 
 // estimations to finish and blocking new ones — then checkpoints and
 // closes every durable live dataset so the next start recovers from a
 // checkpoint instead of a long log replay. Returns the names of the
-// datasets persisted. The service must not serve requests afterwards.
+// datasets persisted, and logs a structured summary line (datasets
+// persisted, whether in-flight work drained cleanly, uptime). The
+// service must not serve requests afterwards.
 func (s *Service) Shutdown(ctx context.Context) ([]string, error) {
 	var firstErr error
 	// Acquire every admission slot: once held, no estimation is running and
 	// none can start. On ctx expiry, persist anyway — a checkpoint racing a
 	// straggler estimation is safe (estimations only read snapshots).
+	drained := true
 	if err := s.admit.drain(ctx); err != nil {
+		drained = false
 		firstErr = fmt.Errorf("service: shutdown drain: %w", err)
 	}
 
@@ -121,5 +126,11 @@ func (s *Service) Shutdown(ctx context.Context) ([]string, error) {
 		persisted = append(persisted, info.Name)
 	}
 	sort.Strings(persisted)
+	s.logger.Info(ctx, "shutdown complete",
+		"datasets_persisted", len(persisted),
+		"persisted", persisted,
+		"inflight_drained", drained,
+		"requests_served", s.Metrics.Requests.Load(),
+		"uptime_ms", float64(time.Since(s.started))/1e6)
 	return persisted, firstErr
 }

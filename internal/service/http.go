@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/lsample"
 )
 
@@ -25,8 +26,17 @@ import (
 //	                   as a live dataset accepting /v1/ingest deltas
 //	POST /v1/ingest    stream a delta batch into a live dataset
 //	                   (?name=D, body text/csv or application/x-ndjson)
-//	GET  /v1/stats     metrics snapshot (including ingest counters)
+//	GET  /v1/stats     metrics snapshot (including ingest counters and
+//	                   latency histogram buckets)
+//	GET  /v1/traces    completed request traces, newest first (?limit=N)
+//	GET  /metrics      Prometheus text-format metrics exposition
+//	                   (absent when Options.DisableMetrics)
 //	GET  /healthz      liveness probe
+//
+// POST /v1/count and /v1/shard honor an inbound W3C traceparent header:
+// the request's root span joins the remote trace, and a sampled remote
+// decision forces recording — which is how a coordinator stitches its
+// workers' spans into one tree.
 //
 // Every error response is the JSON envelope
 //
@@ -45,6 +55,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	if !s.opts.DisableMetrics {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -59,12 +73,45 @@ func (s *Service) handleCount(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, clientErr("invalid JSON body", err))
 		return
 	}
-	res, err := s.CountCtx(r.Context(), &req)
+	res, err := s.CountCtx(traceCtx(r), &req)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// traceCtx returns the request context carrying any inbound traceparent,
+// so the next StartRequest joins the remote trace.
+func traceCtx(r *http.Request) context.Context {
+	ctx := r.Context()
+	if tp, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		ctx = obs.WithRemoteParent(ctx, tp)
+	}
+	return ctx
+}
+
+// handleMetrics serves the Prometheus text-format exposition.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.prom.Expose(w) //nolint:errcheck // nothing to do about a failed write
+}
+
+// handleTraces pages the completed-trace ring, newest first.
+func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeError(w, badf("invalid ?limit=%q", v))
+			return
+		}
+		limit = n
+	}
+	traces := s.tracer.Traces(limit)
+	writeJSON(w, http.StatusOK, struct {
+		Traces []*obs.SpanData `json:"traces"`
+	}{traces})
 }
 
 func (s *Service) handleListDatasets(w http.ResponseWriter, _ *http.Request) {

@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Metrics holds the service's monotonic counters. All fields are updated
@@ -90,6 +92,7 @@ const histBuckets = 248
 type LatencyHist struct {
 	counts [histBuckets]atomic.Uint64
 	maxNS  atomic.Int64
+	sumNS  atomic.Int64
 }
 
 // histIndex maps a duration in nanoseconds to its bucket. It is monotone
@@ -128,6 +131,7 @@ func (h *LatencyHist) Record(d time.Duration) {
 		ns = 0
 	}
 	h.counts[histIndex(ns)].Add(1)
+	h.sumNS.Add(ns)
 	for {
 		cur := h.maxNS.Load()
 		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
@@ -137,7 +141,9 @@ func (h *LatencyHist) Record(d time.Duration) {
 }
 
 // LatencySummary is the JSON form of a LatencyHist: request count, tail
-// quantiles, and the maximum, all in milliseconds.
+// quantiles, the maximum, and the raw cumulative bucket counts — the
+// quantile fields are conveniences; the buckets let external scrapers
+// compute arbitrary quantiles themselves.
 type LatencySummary struct {
 	Count  int64   `json:"count"`
 	P50MS  float64 `json:"p50_ms"`
@@ -145,6 +151,54 @@ type LatencySummary struct {
 	P99MS  float64 `json:"p99_ms"`
 	P999MS float64 `json:"p999_ms"`
 	MaxMS  float64 `json:"max_ms"`
+	// Buckets are the histogram's non-empty buckets as cumulative counts:
+	// Buckets[i].Count observations took at most Buckets[i].LeMS
+	// milliseconds. Only buckets whose cumulative count changed are
+	// listed, so the list stays short at any traffic volume.
+	Buckets []LatencyBucket `json:"buckets,omitempty"`
+}
+
+// LatencyBucket is one cumulative histogram bucket of a LatencySummary.
+type LatencyBucket struct {
+	LeMS  float64 `json:"le_ms"` // inclusive upper bound, milliseconds
+	Count uint64  `json:"count"` // observations at or under LeMS
+}
+
+// Buckets returns the histogram's non-empty cumulative buckets (see
+// LatencySummary.Buckets).
+func (h *LatencyHist) Buckets() []LatencyBucket {
+	var out []LatencyBucket
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		out = append(out, LatencyBucket{LeMS: float64(histUpper(i)) / 1e6, Count: cum})
+	}
+	return out
+}
+
+// promSnapshot exports the histogram as cumulative Prometheus buckets in
+// seconds — the re-export behind lsample_request_duration_seconds. Only
+// non-empty buckets are emitted (plus the implicit +Inf), which keeps the
+// 248-bucket HDR layout from bloating every scrape.
+func (h *LatencyHist) promSnapshot() obs.HistSnapshot {
+	var s obs.HistSnapshot
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := int64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		cum += n
+		s.Uppers = append(s.Uppers, float64(histUpper(i))/1e9)
+		s.Cum = append(s.Cum, cum)
+	}
+	s.Count = cum
+	s.Sum = float64(h.sumNS.Load()) / 1e9
+	return s
 }
 
 // Summary computes the quantiles from a single pass over a copy of the
@@ -177,5 +231,6 @@ func (h *LatencyHist) Summary() LatencySummary {
 		return out.MaxMS
 	}
 	out.P50MS, out.P90MS, out.P99MS, out.P999MS = q(0.50), q(0.90), q(0.99), q(0.999)
+	out.Buckets = h.Buckets()
 	return out
 }

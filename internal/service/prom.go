@@ -1,0 +1,123 @@
+package service
+
+import (
+	"repro/internal/obs"
+)
+
+// newPromRegistry wires every service-level counter, gauge, and the HDR
+// request-latency histogram into a Prometheus text-format registry. All
+// collectors are *Func re-exports over the atomics the serving path
+// already maintains — scraping /metrics reads the same state /v1/stats
+// reports, with no second source of truth and no per-request overhead.
+//
+// Naming convention: every family is prefixed lsample_, counters end in
+// _total, sizes are _bytes, populations are bare gauges, and the request
+// histogram is lsample_request_duration_seconds (base seconds, per
+// Prometheus convention).
+func (s *Service) newPromRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	m := s.Metrics
+
+	r.CounterFunc("lsample_requests_total",
+		"Count requests received by /v1/count.", m.Requests.Load)
+	r.CounterFunc("lsample_cache_hits_total",
+		"Requests served from the result cache (including coalesced flights).", m.CacheHits.Load)
+	r.CounterFunc("lsample_cache_misses_total",
+		"Requests that required a fresh estimation.", m.CacheMisses.Load)
+	r.CounterFunc("lsample_rejected_total",
+		"Requests shed by admission control (503 overloaded).", m.Rejected.Load)
+	r.CounterFunc("lsample_degraded_total",
+		"Budget-degraded answers served instead of 503s.", m.Degraded.Load)
+	r.CounterFunc("lsample_errors_total",
+		"Failed requests (bad input or internal).", m.Errors.Load)
+	r.CounterFunc("lsample_estimates_run_total",
+		"Estimations actually executed (cache misses and degraded runs).", m.EstimatesRun.Load)
+	r.CounterFunc("lsample_predicate_evals_total",
+		"Expensive-predicate evaluations spent across all estimations.", m.PredicateEvals.Load)
+	r.GaugeFunc("lsample_estimate_busy_seconds",
+		"Cumulative wall time spent inside estimation.",
+		func() float64 { return float64(m.EstimateNanos.Load()) / 1e9 })
+	r.GaugeFunc("lsample_predicate_busy_seconds",
+		"Cumulative wall time spent inside the expensive predicate q.",
+		func() float64 { return float64(m.PredicateNanos.Load()) / 1e9 })
+	r.CounterFunc("lsample_ingest_requests_total",
+		"Delta-ingest requests received by /v1/ingest.", m.IngestRequests.Load)
+	r.CounterFunc("lsample_ingest_rows_total",
+		"Delta rows committed (appends, updates, and deletes).", m.IngestRows.Load)
+	r.CounterFunc("lsample_ingest_batches_total",
+		"Delta batches committed.", m.IngestBatches.Load)
+	r.CounterFunc("lsample_ingest_errors_total",
+		"Ingest requests that failed, possibly mid-stream.", m.IngestErrors.Load)
+	r.CounterFunc("lsample_shared_scans_total",
+		"Coalesced exact-labeling passes executed.", m.SharedScans.Load)
+	r.CounterFunc("lsample_shared_scan_requests_total",
+		"Requests served by coalesced exact-labeling passes.", m.SharedScanRequests.Load)
+
+	r.HistogramFunc("lsample_request_duration_seconds",
+		"End-to-end /v1/count latency (admission wait included).",
+		s.Metrics.Latency.promSnapshot)
+
+	r.GaugeFunc("lsample_datasets",
+		"Datasets currently registered.",
+		func() float64 { return float64(len(s.Registry.List())) })
+	r.GaugeFunc("lsample_result_cache_entries",
+		"Entries resident in the result cache.",
+		func() float64 { return float64(s.cache.len()) })
+	r.GaugeFunc("lsample_prepared_queries",
+		"Prepared queries retained across (dataset version, fingerprint) keys.",
+		func() float64 { return float64(s.retainedPrepSnapshots()) })
+	r.GaugeFunc("lsample_shard_execs",
+		"Per-shard executors cached for the /v1/shard worker role.",
+		func() float64 { return float64(s.retainedShardExecs()) })
+	r.GaugeFunc("lsample_inflight_estimations",
+		"Estimations currently admitted and running.",
+		func() float64 { return float64(s.admit.inflight()) })
+	r.GaugeFunc("lsample_admission_queued",
+		"Requests currently queued for admission.",
+		func() float64 { return float64(s.admit.queuedTotal()) })
+
+	r.GaugeFunc("lsample_catalog_entries",
+		"Materialized plans resident in the reuse catalog.",
+		func() float64 { return float64(s.CatalogStats().Entries) })
+	r.GaugeFunc("lsample_catalog_bytes",
+		"Estimated resident size of the reuse catalog.",
+		func() float64 { return float64(s.CatalogStats().Bytes) })
+	r.CounterFunc("lsample_catalog_hits_total",
+		"Direct catalog-reuse executions.",
+		func() int64 { return s.CatalogStats().Hits })
+	r.CounterFunc("lsample_catalog_extensions_total",
+		"Catalog extension executions (sample top-up or retrain).",
+		func() int64 { return s.CatalogStats().Extensions })
+	r.CounterFunc("lsample_catalog_misses_total",
+		"Executions that materialized a fresh catalog entry.",
+		func() int64 { return s.CatalogStats().Misses })
+	r.CounterFunc("lsample_catalog_evictions_total",
+		"Catalog entries evicted by budget pressure or invalidation.",
+		func() int64 { return s.CatalogStats().Evictions })
+
+	r.CounterFunc("lsample_traces_started_total",
+		"Root spans considered by the tracer (sampled or not).", s.tracer.Started)
+	r.CounterFunc("lsample_traces_sampled_total",
+		"Root spans recorded by the tracer.", s.tracer.Sampled)
+
+	return r
+}
+
+// inflight reports the number of currently admitted estimations.
+func (a *admitter) inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight
+}
+
+// queuedTotal reports the number of waiters currently queued for
+// admission across all datasets.
+func (a *admitter) queuedTotal() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, q := range a.queued {
+		n += q
+	}
+	return n
+}

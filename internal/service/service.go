@@ -31,13 +31,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"os"
 	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/lsample"
 )
 
@@ -64,6 +65,22 @@ type Options struct {
 	DataDir            string        // root for durable live datasets ("" = memory-only)
 	RetryAfter         time.Duration // Retry-After hint on 503 responses (default 1s)
 	CatalogBytes       int64         // reuse-catalog budget; 0 default 64 MiB, <0 disables
+
+	// TraceSample is the head-sampling probability for request traces in
+	// [0, 1]; 0 records nothing unless a request forces it (explain, a
+	// sampled inbound traceparent, or a slow-query threshold).
+	TraceSample float64
+	// TraceRing is the completed-trace ring capacity (0 default 256).
+	TraceRing int
+	// SlowQuery, when > 0, logs the full span tree of any request slower
+	// than the threshold (this forces recording on every request, so the
+	// offending trace exists when the threshold trips).
+	SlowQuery time.Duration
+	// Logger receives structured JSON logs (slow queries, panics, the
+	// shutdown summary). Nil defaults to a JSON logger on stderr.
+	Logger *obs.Logger
+	// DisableMetrics leaves GET /metrics off the HTTP handler.
+	DisableMetrics bool
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +123,12 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
 	}
+	if o.TraceRing <= 0 {
+		o.TraceRing = 256
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NewLogger(os.Stderr)
+	}
 	return o
 }
 
@@ -137,6 +160,14 @@ type Service struct {
 	// session executes through; nil when Options.CatalogBytes < 0.
 	catalog *lsample.Catalog
 
+	// tracer records request traces (see internal/obs); logger emits
+	// structured JSON lines; prom is the /metrics registry over both plus
+	// the Metrics atomics. started anchors the shutdown uptime summary.
+	tracer  *obs.Tracer
+	logger  *obs.Logger
+	prom    *obs.Registry
+	started time.Time
+
 	// ingestApply overrides how Ingest applies a delta to a live table; nil
 	// means lt.ApplyDelta. Tests inject durability faults through it.
 	ingestApply func(lt *lsample.LiveTable, format string, r io.Reader) (lsample.DeltaSummary, error)
@@ -159,7 +190,7 @@ func New(reg *Registry, opts Options) *Service {
 		cat = lsample.NewCatalog(o.CatalogBytes)
 	}
 	m := &Metrics{}
-	return &Service{
+	s := &Service{
 		Registry:   reg,
 		Metrics:    m,
 		opts:       o,
@@ -171,8 +202,22 @@ func New(reg *Registry, opts Options) *Service {
 		preps:      make(map[string]*lsample.PreparedQuery),
 		shardExecs: make(map[string]*shardExecEntry),
 		catalog:    cat,
+		logger:     o.Logger,
+		started:    time.Now(),
 	}
+	s.tracer = obs.NewTracer(obs.TracerConfig{
+		Sample:    o.TraceSample,
+		RingSize:  o.TraceRing,
+		SlowQuery: o.SlowQuery,
+		Logger:    o.Logger,
+	})
+	s.prom = s.newPromRegistry()
+	return s
 }
+
+// Tracer exposes the service's request tracer (tests and embedding
+// binaries read the completed-trace ring through it).
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
 
 // CatalogStats returns the reuse catalog's accounting (zero when the
 // catalog is disabled).
@@ -201,6 +246,9 @@ type CountRequest struct {
 	// confidence interval, no exact pass, never cached) computed under a
 	// dedicated slot, marked Degraded in the result.
 	Degrade bool `json:"degrade,omitempty"`
+	// Explain forces this request's trace to be recorded and returns the
+	// completed span tree inline in the result (never cached).
+	Explain bool `json:"explain,omitempty"`
 }
 
 // CountResult is the outcome of one estimation request. A GROUP BY request
@@ -230,6 +278,10 @@ type CountResult struct {
 	Degraded    bool       `json:"degraded,omitempty"`    // lost shards absorbed into the interval, or a budget-degraded under-load answer (Degrade)
 	LostShards  []int      `json:"lost_shards,omitempty"` // shard indices lost mid-query (degraded answers)
 	Cached      bool       `json:"cached"`
+	// Trace is the request's completed span tree, present only when the
+	// request set Explain. It is attached to a per-request copy after the
+	// estimation finishes, so cached results never carry a stale trace.
+	Trace *obs.SpanData `json:"trace,omitempty"`
 }
 
 // GroupRow is one group's estimate within a GROUP BY count response.
@@ -284,6 +336,7 @@ func (s *Service) CountCtx(ctx context.Context, req *CountRequest) (*CountResult
 	s.Metrics.Requests.Add(1)
 	t0 := time.Now()
 	defer func() { s.Metrics.Latency.Record(time.Since(t0)) }()
+	ctx, span := s.tracer.StartRequest(ctx, "count", req.Explain)
 	res, err := func() (r *CountResult, e error) {
 		// A data-dependent evaluation failure deep inside an estimation
 		// (e.g. EngineExists panics on an object the construction-time
@@ -291,7 +344,8 @@ func (s *Service) CountCtx(ctx context.Context, req *CountRequest) (*CountResult
 		// request goroutine.
 		defer func() {
 			if p := recover(); p != nil {
-				log.Printf("service: panic serving count request: %v\n%s", p, debug.Stack())
+				s.logger.Error(ctx, "panic serving count request",
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 				r, e = nil, fmt.Errorf("service: internal error: %v", p)
 			}
 		}()
@@ -303,6 +357,21 @@ func (s *Service) CountCtx(ctx context.Context, req *CountRequest) (*CountResult
 		} else {
 			s.Metrics.Errors.Add(1)
 		}
+		span.Set("error", err.Error())
+	} else if res != nil {
+		span.Set("method", res.Method)
+		span.Set("objects", res.Objects)
+		span.Set("evals", res.Evals)
+		span.Set("cached", res.Cached)
+	}
+	span.End()
+	if err == nil && res != nil && req.Explain && span.Recording() {
+		// Attach the trace to a per-request copy: the flight/cache paths
+		// above may share res with concurrent requests, and a cached result
+		// must never carry another request's span tree.
+		out := *res
+		out.Trace = span.Data()
+		return &out, nil
 	}
 	return res, err
 }
@@ -439,7 +508,14 @@ func (s *Service) count(ctx context.Context, req *CountRequest) (*CountResult, e
 	res, err := func() (*CountResult, error) {
 		// Admission: at most MaxInFlight estimations run concurrently, at
 		// most MaxPerDataset of them against this request's dataset.
-		if aerr := s.admit.acquire(ctx, versions, admitDeadline); aerr != nil {
+		_, wsp := obs.StartSpan(ctx, "admission.wait")
+		wsp.Set("dataset", versions)
+		aerr := s.admit.acquire(ctx, versions, admitDeadline)
+		if aerr != nil {
+			wsp.Set("error", aerr.Error())
+		}
+		wsp.End()
+		if aerr != nil {
 			return nil, aerr
 		}
 		defer s.admit.release(versions)
@@ -567,7 +643,9 @@ func (s *Service) execOptions(method, clfName string, strata int, iv lsample.Int
 func (s *Service) estimate(ctx context.Context, req *CountRequest, versions, fp0 string,
 	snap map[string]*lsample.Table, iv lsample.Interval, opts []lsample.Option) (*CountResult, error) {
 
+	_, psp := obs.StartSpan(ctx, "prepare")
 	prep, err := s.prepared(versions, fp0, req.SQL, snap)
+	psp.End()
 	if err != nil {
 		return nil, mapSDKErr(err)
 	}

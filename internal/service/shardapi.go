@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/lsample"
 )
 
@@ -73,6 +74,10 @@ type ShardResponse struct {
 	Features    [][]float64           `json:"features,omitempty"`
 	Scored      []lsample.ShardScored `json:"scored,omitempty"`
 	Tally       *lsample.ShardTally   `json:"tally,omitempty"`
+	// Trace is the worker's completed span tree for this op, present when
+	// the inbound traceparent was sampled — the coordinator grafts it under
+	// its own attempt span so one query yields one stitched trace.
+	Trace *obs.SpanData `json:"trace,omitempty"`
 }
 
 // versionMismatchError carries the worker's current versions back to the
@@ -205,7 +210,14 @@ func (s *Service) ShardOp(ctx context.Context, req *ShardRequest) (*ShardRespons
 // deadline of their own — the coordinator's per-op context deadline bounds
 // the wait.
 func (s *Service) admitted(ctx context.Context, key string, fn func() error) error {
-	if err := s.admit.acquire(ctx, key, time.Time{}); err != nil {
+	_, wsp := obs.StartSpan(ctx, "admission.wait")
+	wsp.Set("dataset", key)
+	err := s.admit.acquire(ctx, key, time.Time{})
+	if err != nil {
+		wsp.Set("error", err.Error())
+	}
+	wsp.End()
+	if err != nil {
 		return err
 	}
 	defer s.admit.release(key)
@@ -314,7 +326,20 @@ func (s *Service) handleShard(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, clientErr("invalid JSON body", err))
 		return
 	}
-	resp, err := s.ShardOp(r.Context(), &req)
+	// Adopt the coordinator's trace: a sampled inbound traceparent makes
+	// this worker record its own subtree and ship it back on the response.
+	ctx, span := s.tracer.StartRequest(traceCtx(r), "shard."+req.Op, false)
+	span.Set("op", req.Op)
+	span.Set("shard", req.Shard.Index)
+	span.Set("shard_count", req.Shard.Count)
+	resp, err := s.ShardOp(ctx, &req)
+	if err != nil {
+		span.Set("error", err.Error())
+	}
+	span.End()
+	if err == nil && span.Recording() {
+		resp.Trace = span.Data()
+	}
 	if err != nil {
 		var vm *versionMismatchError
 		if errors.As(err, &vm) {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // scanChunk is the batch size of a coalesced labeling pass. It matches the
@@ -61,6 +63,8 @@ func newScanCoalescer(m *Metrics) *scanCoalescer {
 // error back (the SDK maps it to a cancellation); any other failure makes
 // the SDK fall back to a standalone scan.
 func (c *scanCoalescer) LabelAll(ctx context.Context, key string, n int, eval func(idxs []int, out []bool)) ([]bool, error) {
+	_, span := obs.StartSpan(ctx, "sharedscan.member")
+	defer span.End()
 	m := &scanMember{ctx: ctx, eval: eval, out: make([]bool, n), done: make(chan struct{})}
 	gk := fmt.Sprintf("%s|%d", key, n)
 	c.mu.Lock()
@@ -71,7 +75,10 @@ func (c *scanCoalescer) LabelAll(ctx context.Context, key string, n int, eval fu
 		time.AfterFunc(c.window, func() { c.run(gk, n) })
 	}
 	g.members = append(g.members, m)
+	joined := len(g.members)
 	c.mu.Unlock()
+	span.Set("objects", n)
+	span.Set("members_at_join", joined)
 
 	// Wait for the worker even if ctx fires: the member's eval closure is
 	// not safe for concurrent use, so returning early while the worker may

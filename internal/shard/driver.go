@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/estimate"
 	"repro/internal/live"
+	"repro/internal/obs"
 )
 
 // Plan describes one sharded estimation: the method and every knob that
@@ -108,14 +109,16 @@ func Drive(ctx context.Context, plan Plan, workers []Worker) (*Result, error) {
 	// Census round: every shard must report its population before any
 	// loss is survivable.
 	r.metas = make([]Meta, len(r.workers))
-	err := r.scatter(ctx, func(slot int, w Worker) error {
-		m, merr := w.Meta(ctx)
+	cctx, csp := obs.StartSpan(ctx, "shard.census")
+	err := r.scatter(cctx, func(slot int, w Worker) error {
+		m, merr := w.Meta(cctx)
 		if merr != nil {
 			return merr
 		}
 		r.metas[slot] = m
 		return nil
 	})
+	csp.End()
 	if err != nil {
 		if errors.Is(err, ErrShardLost) {
 			return nil, fmt.Errorf("shard: lost before census, population unknown: %w", err)
@@ -126,14 +129,22 @@ func Drive(ctx context.Context, plan Plan, workers []Worker) (*Result, error) {
 	for _, m := range r.metas {
 		fullN += m.N
 	}
+	csp.Set("shards", len(r.workers))
+	csp.Set("population", fullN)
 	fullGroups := r.mergeCensus()
 
-	for {
-		res, rerr := r.attempt(ctx)
+	for restart := 0; ; restart++ {
+		actx, asp := obs.StartSpan(ctx, "shard.attempt")
+		asp.Set("survivors", len(r.workers))
+		asp.Set("restart", restart)
+		res, rerr := r.attempt(actx)
 		if rerr == nil {
+			asp.End()
 			r.degrade(res, fullN, fullGroups)
 			return res, nil
 		}
+		asp.Set("error", rerr.Error())
+		asp.End()
 		var lost *LostShardError
 		if !errors.As(rerr, &lost) || !plan.AllowDegraded {
 			return nil, rerr

@@ -104,6 +104,16 @@
 //	                      catalog" below
 //	WithCatalogBudget(b)  shorthand: attach a fresh catalog bounded to b
 //	                      bytes (<= 0 selects the 64 MiB default)
+//	WithTracer(t)         record a head-sampled span tree per execution
+//	                      (phase granularity — enumerate, predicate build,
+//	                      estimate, ... — never per evaluation; nil
+//	                      detaches, and a disabled or unsampled tracer
+//	                      keeps labeling zero-alloc and estimates
+//	                      byte-identical)
+//	WithLogger(l)         structured JSON query log: one line per
+//	                      execution with method, evals, duration, and the
+//	                      trace ids when a span is recording (nil
+//	                      detaches)
 //
 // # Predicate compilation
 //

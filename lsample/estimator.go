@@ -3,8 +3,10 @@ package lsample
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 	"repro/internal/xrand"
 )
@@ -65,26 +67,38 @@ func (e *Estimator) Estimate(ctx context.Context, features [][]float64, pred Pre
 	if err != nil {
 		return nil, badf("%v", err)
 	}
+	wall := time.Now()
+	ctx, span := obs.EnsureSpan(ctx, cfg.tracer, "execute")
+	defer span.End()
+	span.Set("method", cfg.method)
+	span.Set("objects", obj.N())
 	budget := cfg.budgetFor(obj.N())
-	res, err := m.Estimate(ctx, obj, budget, xrand.New(cfg.seed))
+	mctx, msp := obs.StartSpan(ctx, "estimate")
+	res, err := m.Estimate(mctx, obj, budget, xrand.New(cfg.seed))
 	if err != nil {
+		msp.End()
 		if ctx != nil && ctx.Err() != nil {
 			return nil, fmt.Errorf("lsample: %w", err)
 		}
 		return nil, fmt.Errorf("lsample: estimation failed: %w", err)
 	}
 	est := fromCore(res, obj.N(), budget, cfg.seed, cfg.alpha)
+	estimateSpan(mctx, est)
+	msp.End()
 	// Callback predicates stay on the interpreter-style sequential path:
 	// the SDK makes no thread-safety demands on user functions, and there
 	// is no SQL to compile.
 	est.Labeling = Labeling{Fallback: "callback predicate (nothing to compile)", Workers: 1}
 	if cfg.exact {
-		tc, err := exactCount(ctx, p, obj.N())
+		xctx, xsp := obs.StartSpan(ctx, "exact.scan")
+		tc, err := exactCount(xctx, p, obj.N())
+		xsp.End()
 		if err != nil {
 			return nil, err
 		}
 		est.TrueCount = &tc
 		est.SamplesUsed = p.Evals()
 	}
+	cfg.queryLog(ctx, est, time.Since(wall))
 	return est, nil
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/xrand"
 )
@@ -129,20 +131,61 @@ func (q *PreparedQuery) ExecuteGroups(ctx context.Context, params map[string]any
 		alpha = 0.05
 	}
 
+	wall := time.Now()
+	ctx, span := obs.EnsureSpan(ctx, cfg.tracer, "execute.groups")
+	defer span.End()
+	span.Set("method", cfg.method)
+	out, err := q.executeGroups(ctx, cfg, gm, vals, strs, alpha)
+	if err != nil {
+		span.Set("error", err.Error())
+		return nil, err
+	}
+	span.Set("objects", out.Objects)
+	span.Set("groups", len(out.Groups))
+	span.Set("evals", out.SamplesUsed)
+	if cfg.logger != nil {
+		cfg.logger.Info(ctx, "query",
+			"fingerprint", out.Fingerprint,
+			"method", out.Method,
+			"objects", out.Objects,
+			"budget", out.Budget,
+			"groups", len(out.Groups),
+			"evals", out.SamplesUsed,
+			"labeling", out.Labeling.String(),
+			"duration_ms", float64(time.Since(wall))/float64(time.Millisecond))
+	}
+	return out, nil
+}
+
+// executeGroups is ExecuteGroups's body behind the root span (see execute
+// for the single-count analogue).
+func (q *PreparedQuery) executeGroups(ctx context.Context, cfg config, gm core.GroupedMethod,
+	vals map[string]engine.Value, strs map[string]string, alpha float64) (*GroupedEstimate, error) {
+
 	// Sharded grouped execution: the shared-sample plan runs per shard
 	// and merges (see shardexec.go); never a silent fallback.
 	if cfg.shards > 0 {
-		return q.executeShardedGroups(ctx, cfg, vals, strs, alpha)
+		sctx, ssp := obs.StartSpan(ctx, "shard.drive")
+		ssp.Set("shards", cfg.shards)
+		est, err := q.executeShardedGroups(sctx, cfg, vals, strs, alpha)
+		if err != nil {
+			ssp.Set("error", err.Error())
+		}
+		ssp.End()
+		return est, err
 	}
 
 	ev := engine.NewEvaluator(q.cat)
 	for name, v := range vals {
 		ev.SetParam(name, v)
 	}
+	_, esp := obs.StartSpan(ctx, "enumerate")
 	objects, err := ev.Run(q.dec.Objects, nil)
+	esp.End()
 	if err != nil {
 		return nil, badf("enumerating objects: %v", err)
 	}
+	esp.Set("objects", objects.NumRows())
 	out := &GroupedEstimate{
 		Method:       cfg.method,
 		Fingerprint:  sql.Fingerprint(q.inner, strs),
@@ -166,10 +209,14 @@ func (q *PreparedQuery) ExecuteGroups(ctx context.Context, params map[string]any
 		out.FeatureColumns = cols
 	}
 
+	_, psp := obs.StartSpan(ctx, "predicate.build")
 	pred, labeling, err := q.buildPredicate(ev, objects, vals, cfg)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	psp.Set("compiled", labeling.Compiled)
+	psp.Set("vectorized", labeling.Vectorized)
 	out.Labeling = labeling
 	obj, err := core.NewObjectSet(features, pred)
 	if err != nil {
@@ -177,13 +224,16 @@ func (q *PreparedQuery) ExecuteGroups(ctx context.Context, params map[string]any
 	}
 
 	budget := cfg.budgetFor(obj.N())
-	res, err := gm.EstimateGroups(ctx, obj, groupOf, len(keys), budget, xrand.New(cfg.seed))
+	mctx, msp := obs.StartSpan(ctx, "estimate")
+	res, err := gm.EstimateGroups(mctx, obj, groupOf, len(keys), budget, xrand.New(cfg.seed))
+	msp.End()
 	if err != nil {
 		if ctx != nil && ctx.Err() != nil {
 			return nil, fmt.Errorf("lsample: %w", err)
 		}
 		return nil, fmt.Errorf("lsample: grouped estimation failed: %w", err)
 	}
+	msp.Set("evals", pred.Evals())
 
 	var trueCounts []int
 	if cfg.exact {
@@ -191,7 +241,9 @@ func (q *PreparedQuery) ExecuteGroups(ctx context.Context, params map[string]any
 		// further evaluations, exactly like WithExact on Execute. The batch
 		// path labels the whole population in one (possibly parallel) call.
 		trueCounts = make([]int, len(keys))
-		labels, err := exactLabels(ctx, pred, obj.N())
+		xctx, xsp := obs.StartSpan(ctx, "exact.scan")
+		labels, err := exactLabels(xctx, pred, obj.N())
+		xsp.End()
 		if err != nil {
 			return nil, err
 		}

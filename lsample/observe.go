@@ -1,0 +1,207 @@
+package lsample
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Tracer records per-execution span trees: every Execute, ExecuteGroups,
+// and Refresh opens a root span with one child per phase (enumerate,
+// features, predicate build, estimate with learn/design/sample children,
+// exact scan, catalog and shard activity), and completed traces land in a
+// fixed-size ring readable through Traces. Tracing is head-sampled: the
+// coin is flipped once per execution and an unsampled execution costs one
+// nil check per phase — no allocations, so the labeling hot path stays
+// zero-alloc when tracing is off (spans wrap phases, never individual
+// predicate evaluations).
+//
+// A Tracer is safe for concurrent use and may be shared by any number of
+// sessions. Attach one with WithTracer.
+type Tracer struct {
+	inner *obs.Tracer
+}
+
+// TracerOptions configures NewTracer.
+type TracerOptions struct {
+	// SampleRate is the probability in [0, 1] that an execution records a
+	// trace. 0 records nothing (the zero value is an off switch).
+	SampleRate float64
+	// RingSize is the completed-trace ring capacity; <= 0 selects 256.
+	RingSize int
+	// SlowQuery, when > 0, forces recording and logs the full span tree of
+	// any execution at least this slow through Logger.
+	SlowQuery time.Duration
+	// Logger receives slow-query records; nil disables the slow-query log.
+	Logger *Logger
+}
+
+// NewTracer builds a Tracer.
+func NewTracer(o TracerOptions) *Tracer {
+	var lg *obs.Logger
+	if o.Logger != nil {
+		lg = o.Logger.inner
+	}
+	return &Tracer{inner: obs.NewTracer(obs.TracerConfig{
+		Sample:    o.SampleRate,
+		RingSize:  o.RingSize,
+		SlowQuery: o.SlowQuery,
+		Logger:    lg,
+	})}
+}
+
+// Traces returns up to limit completed traces, newest first; limit <= 0
+// returns the whole ring.
+func (t *Tracer) Traces(limit int) []*TraceSpan {
+	if t == nil || t.inner == nil {
+		return nil
+	}
+	data := t.inner.Traces(limit)
+	out := make([]*TraceSpan, 0, len(data))
+	for _, d := range data {
+		out = append(out, spanFromObs(d))
+	}
+	return out
+}
+
+// TraceSpan is one node of a recorded span tree.
+type TraceSpan struct {
+	// TraceID identifies the whole tree (32 hex digits).
+	TraceID string `json:"trace_id,omitempty"`
+	// SpanID identifies this span (16 hex digits).
+	SpanID string `json:"span_id,omitempty"`
+	// Name is the phase name, e.g. "execute", "estimate", "learn".
+	Name string `json:"name"`
+	// Start is the span's start time.
+	Start time.Time `json:"start"`
+	// Duration is the span's wall time.
+	Duration time.Duration `json:"duration"`
+	// Attrs are the span's typed attributes (evals, reuse path, ...).
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Children are the sub-phases, in start order.
+	Children []*TraceSpan `json:"children,omitempty"`
+}
+
+// spanFromObs converts an internal span tree to the public form.
+func spanFromObs(d *obs.SpanData) *TraceSpan {
+	if d == nil {
+		return nil
+	}
+	ts := &TraceSpan{
+		TraceID:  d.TraceID,
+		SpanID:   d.SpanID,
+		Name:     d.Name,
+		Start:    d.Start,
+		Duration: time.Duration(d.DurationMS * float64(time.Millisecond)),
+		Attrs:    d.Attrs,
+	}
+	for _, c := range d.Children {
+		ts.Children = append(ts.Children, spanFromObs(c))
+	}
+	return ts
+}
+
+// Logger writes structured JSON logs: one object per line with ts, level,
+// msg, the ids of the active trace span when one is recording, and the
+// call's key/value fields. Attach one with WithLogger to get a per-
+// execution query log; it also serves as the slow-query sink for
+// TracerOptions.SlowQuery. A nil *Logger discards everything.
+type Logger struct {
+	inner *obs.Logger
+}
+
+// NewLogger returns a Logger writing JSON lines to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{inner: obs.NewLogger(w)}
+}
+
+// Info writes one line at level info.
+func (l *Logger) Info(ctx context.Context, msg string, keyvals ...any) {
+	if l == nil {
+		return
+	}
+	l.inner.Info(ctx, msg, keyvals...)
+}
+
+// Error writes one line at level error.
+func (l *Logger) Error(ctx context.Context, msg string, keyvals ...any) {
+	if l == nil {
+		return
+	}
+	l.inner.Error(ctx, msg, keyvals...)
+}
+
+// WithTracer attaches a span tracer: executions through the configured
+// session/query open per-phase spans and sampled traces land in the
+// tracer's ring (see Tracer). WithTracer(nil) detaches it. Disabled or
+// unsampled tracing leaves estimation cost and results untouched —
+// estimates are byte-identical with tracing on, off, or sampled.
+func WithTracer(t *Tracer) Option {
+	return func(c *config) error {
+		if t == nil {
+			c.tracer = nil
+			return nil
+		}
+		c.tracer = t.inner
+		return nil
+	}
+}
+
+// WithLogger attaches a structured query logger: every Execute,
+// ExecuteGroups, and Refresh writes one JSON line summarizing the run
+// (fingerprint, method, objects, evaluations spent, reuse path, wall
+// time). WithLogger(nil) detaches it. Logging never changes estimates.
+func WithLogger(l *Logger) Option {
+	return func(c *config) error {
+		if l == nil {
+			c.logger = nil
+			return nil
+		}
+		c.logger = l.inner
+		return nil
+	}
+}
+
+// queryLog writes the per-execution structured log line when a logger is
+// attached.
+func (c config) queryLog(ctx context.Context, est *Estimate, wall time.Duration) {
+	if c.logger == nil || est == nil {
+		return
+	}
+	kv := []any{
+		"fingerprint", est.Fingerprint,
+		"method", est.Method,
+		"objects", est.Objects,
+		"budget", est.Budget,
+		"count", est.Count,
+		"evals", est.SamplesUsed,
+		"labeling", est.Labeling.String(),
+		"duration_ms", float64(wall) / float64(time.Millisecond),
+	}
+	if est.Reuse != "" {
+		kv = append(kv, "reuse", est.Reuse, "reused_labels", est.ReusedLabels)
+	}
+	c.logger.Info(ctx, "query", kv...)
+}
+
+// estimateSpan wraps the core estimation call in an "estimate" span and
+// synthesizes completed learn/design/sample children from the result's
+// phase timings — the core estimator is not tracer-aware, so the phase
+// breakdown it already measures is replayed into the trace after the
+// fact.
+func estimateSpan(ctx context.Context, est *Estimate) {
+	sp := obs.FromContext(ctx)
+	if sp == nil || est == nil {
+		return
+	}
+	sp.Set("evals", est.SamplesUsed)
+	sp.Set("budget", est.Budget)
+	t := est.Timings
+	start := time.Now().Add(-t.Total())
+	sp.ChildSpan("learn", start, t.Learn)
+	sp.ChildSpan("design", start.Add(t.Learn), t.Design)
+	sp.ChildSpan("sample", start.Add(t.Learn+t.Design), t.Sample)
+	sp.Set("predicate_ms", float64(t.Predicate)/float64(time.Millisecond))
+}

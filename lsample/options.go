@@ -2,6 +2,8 @@ package lsample
 
 import (
 	"errors"
+
+	"repro/internal/obs"
 )
 
 // ErrInvalid marks caller errors: unknown method or classifier names,
@@ -64,6 +66,8 @@ type config struct {
 	catalog     *Catalog      // cross-query reuse catalog; nil disables reuse
 	shards      int           // sharded execution; 0 disables (the default)
 	scanner     ScanCoalescer // shared-scan hook for full-population passes; nil disables
+	tracer      *obs.Tracer   // span tracer; nil disables (see WithTracer)
+	logger      *obs.Logger   // structured query log; nil disables (see WithLogger)
 }
 
 // churnThreshold resolves the refresh retraining threshold.

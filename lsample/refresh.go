@@ -13,6 +13,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/learn"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 	"repro/internal/qcompile"
 	"repro/internal/shard"
@@ -268,6 +269,9 @@ func (q *LiveQuery) Refresh(ctx context.Context, params map[string]any, opts ...
 	if err != nil {
 		return nil, err
 	}
+	ctx, span := obs.EnsureSpan(ctx, cfg.tracer, "refresh")
+	defer span.End()
+	span.Set("method", cfg.method)
 	q.mu.Lock()
 	defer q.mu.Unlock()
 
@@ -510,6 +514,21 @@ func (q *LiveQuery) Refresh(ctx context.Context, params map[string]any, opts ...
 	out.ReusedLabels = memo.reused
 	out.Timings = PhaseTimings{Sample: time.Since(t0), Predicate: tp.dur}
 	st.snaps = snaps
+	span.Set("objects", n)
+	span.Set("delta_rows", out.DeltaRows)
+	span.Set("invalidated_all", out.InvalidatedAll)
+	span.Set("retrained", out.Retrained)
+	span.Set("fresh_labels", out.FreshLabels)
+	span.Set("memoized_labels", out.ReusedLabels)
+	cfg.queryLog(ctx, &Estimate{
+		Method:      out.Method,
+		Fingerprint: out.Fingerprint,
+		Objects:     out.Objects,
+		Budget:      out.Budget,
+		Count:       out.Count,
+		SamplesUsed: out.SamplesUsed,
+		Labeling:    out.Labeling,
+	}, time.Since(t0))
 	return out, nil
 }
 

@@ -6,10 +6,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 	"repro/internal/qcompile"
 	"repro/internal/sql"
@@ -274,12 +276,40 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 		alpha = 0.05
 	}
 
+	wall := time.Now()
+	ctx, span := obs.EnsureSpan(ctx, cfg.tracer, "execute")
+	defer span.End()
+	span.Set("method", cfg.method)
+	est, err := q.execute(ctx, cfg, m, vals, strs, alpha)
+	if err != nil {
+		span.Set("error", err.Error())
+		return nil, err
+	}
+	span.Set("objects", est.Objects)
+	span.Set("evals", est.SamplesUsed)
+	cfg.queryLog(ctx, est, time.Since(wall))
+	return est, nil
+}
+
+// execute is Execute's body behind the root span: path selection (sharded,
+// catalog, classic) and the classic enumerate → features → predicate →
+// estimate pipeline, each phase wrapped in a child span.
+func (q *PreparedQuery) execute(ctx context.Context, cfg config, m core.Method,
+	vals map[string]engine.Value, strs map[string]string, alpha float64) (*Estimate, error) {
+
 	// Sharded execution: WithShards(s) partitions the population by key
 	// hash and merges per-shard partials byte-identically to the unsharded
 	// run (see shardexec.go). Unlike the catalog fast path this never
 	// falls through — unsupported methods or shapes are request errors.
 	if cfg.shards > 0 {
-		return q.executeSharded(ctx, cfg, vals, strs, alpha)
+		sctx, ssp := obs.StartSpan(ctx, "shard.drive")
+		ssp.Set("shards", cfg.shards)
+		est, err := q.executeSharded(sctx, cfg, vals, strs, alpha)
+		if err != nil {
+			ssp.Set("error", err.Error())
+		}
+		ssp.End()
+		return est, err
 	}
 
 	// Cross-query reuse: a configured catalog serves srs, lss, and oracle
@@ -287,18 +317,36 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 	// executeCatalog). Shapes and methods outside its contract fall through
 	// to the classic path; errors inside it are real request errors, not
 	// fallback triggers.
-	if est, handled, err := q.executeCatalog(ctx, cfg, vals, strs, alpha); handled || err != nil {
-		return est, err
+	if cfg.catalog != nil {
+		cctx, csp := obs.StartSpan(ctx, "catalog")
+		est, handled, err := q.executeCatalog(cctx, cfg, vals, strs, alpha)
+		if handled || err != nil {
+			if est != nil {
+				csp.Set("reuse", est.Reuse)
+				csp.Set("reused_labels", est.ReusedLabels)
+				csp.Set("evals", est.SamplesUsed)
+			}
+			if err != nil {
+				csp.Set("error", err.Error())
+			}
+			csp.End()
+			return est, err
+		}
+		csp.Set("fallthrough", true)
+		csp.End()
 	}
 
 	ev := engine.NewEvaluator(q.cat)
 	for name, v := range vals {
 		ev.SetParam(name, v)
 	}
+	_, esp := obs.StartSpan(ctx, "enumerate")
 	objects, err := ev.Run(q.dec.Objects, nil)
+	esp.End()
 	if err != nil {
 		return nil, badf("enumerating objects: %v", err)
 	}
+	esp.Set("objects", objects.NumRows())
 	out := &Estimate{
 		Method:      cfg.method,
 		Fingerprint: sql.Fingerprint(q.inner, strs),
@@ -319,17 +367,27 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 	// group-key restriction it needs.
 	features := make([][]float64, objects.NumRows())
 	if needsFeatures(cfg.method) {
+		_, fsp := obs.StartSpan(ctx, "features")
 		fv, cols, err := q.featureVectors(objects, strs)
+		fsp.End()
 		if err != nil {
 			return nil, err
 		}
+		fsp.Set("columns", len(cols))
 		features = fv
 		out.FeatureColumns = cols
 	}
 
+	_, psp := obs.StartSpan(ctx, "predicate.build")
 	pred, labeling, err := q.buildPredicate(ev, objects, vals, cfg)
+	psp.End()
 	if err != nil {
 		return nil, err
+	}
+	psp.Set("compiled", labeling.Compiled)
+	psp.Set("vectorized", labeling.Vectorized)
+	if labeling.Fallback != "" {
+		psp.Set("fallback", labeling.Fallback)
 	}
 	obj, err := core.NewObjectSet(features, pred)
 	if err != nil {
@@ -337,8 +395,10 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 	}
 
 	budget := cfg.budgetFor(obj.N())
-	res, err := m.Estimate(ctx, obj, budget, xrand.New(cfg.seed))
+	mctx, msp := obs.StartSpan(ctx, "estimate")
+	res, err := m.Estimate(mctx, obj, budget, xrand.New(cfg.seed))
 	if err != nil {
+		msp.End()
 		if ctx != nil && ctx.Err() != nil {
 			return nil, fmt.Errorf("lsample: %w", err)
 		}
@@ -350,8 +410,13 @@ func (q *PreparedQuery) Execute(ctx context.Context, params map[string]any, opts
 	est.Fingerprint = out.Fingerprint
 	est.FeatureColumns = out.FeatureColumns
 	est.Labeling = labeling
+	estimateSpan(mctx, est)
+	msp.End()
 	if cfg.exact {
-		tc, err := q.exactCountShared(ctx, cfg, pred, strs, obj.N())
+		xctx, xsp := obs.StartSpan(ctx, "exact.scan")
+		xsp.Set("shared_scanner", cfg.scanner != nil)
+		tc, err := q.exactCountShared(xctx, cfg, pred, strs, obj.N())
+		xsp.End()
 		if err != nil {
 			return nil, err
 		}
